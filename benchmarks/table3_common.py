@@ -1,0 +1,86 @@
+"""Shared driver for the per-dataset Table 3 benchmarks.
+
+Each (system, query) cell becomes one pytest-benchmark entry; DNF cells
+(the nested loop exceeding its work budget) are recorded as such in
+``extra_info`` and are cheap to "re-run" because the budget cuts them
+off deterministically.
+
+Shape assertions (scale- and machine-independent, on work counters):
+
+* TS reads less I/O than XH on every query (index vs navigation);
+* PL performs exactly one sequential scan on non-recursive data;
+* NL finishes the high-selectivity queries and DNFs the low ones on
+  recursive data;
+* XH and TS never DNF;
+* all finishing systems return the same number of results.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import CellResult, run_cell, systems_for
+from repro.datagen import DATASETS
+
+from conftest import dataset
+
+__all__ = ["cases_for", "run_benchmark_cell", "assert_shape"]
+
+
+def cases_for(name: str) -> list[tuple[str, str]]:
+    return [(system, query.qid)
+            for system in systems_for(name)
+            for query in DATASETS[name].queries]
+
+
+def run_benchmark_cell(benchmark, name: str, system: str, qid: str) -> CellResult:
+    prepared = dataset(name)
+    query = prepared.spec.query(qid)
+
+    def once() -> CellResult:
+        return run_cell(prepared, query.text, system)
+
+    cell = benchmark(once)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["query"] = query.text
+    benchmark.extra_info["outcome"] = cell.display()
+    benchmark.extra_info["nodes_scanned"] = cell.counters.get("nodes_scanned", 0)
+    benchmark.extra_info["n_results"] = cell.n_results
+    return cell
+
+
+def assert_shape(name: str) -> None:
+    prepared = dataset(name)
+    cells: dict[tuple[str, str], CellResult] = {}
+    for system in systems_for(name):
+        for query in prepared.spec.queries:
+            cells[(system, query.qid)] = run_cell(prepared, query.text, system)
+
+    qids = [q.qid for q in prepared.spec.queries]
+
+    # XH and TS always finish.
+    for system in ("XH", "TS"):
+        assert not any(cells[(system, qid)].dnf for qid in qids), system
+
+    # TwigStack's index I/O beats navigation on every query.
+    for qid in qids:
+        assert cells[("TS", qid)].counters["nodes_scanned"] < \
+            cells[("XH", qid)].counters["nodes_scanned"], qid
+
+    if DATASETS[name].recursive:
+        nl_dnfs = {qid for qid in qids if cells[("NL", qid)].dnf}
+        assert "Q1" not in nl_dnfs
+        assert {"Q5", "Q6"} <= nl_dnfs
+    else:
+        n_nodes = len(prepared.doc.nodes)
+        for qid in qids:
+            pl = cells[("PL", qid)]
+            assert not pl.dnf
+            assert pl.counters["nodes_scanned"] == n_nodes, qid
+            assert pl.counters["nodes_scanned"] <= \
+                cells[("XH", qid)].counters["nodes_scanned"], qid
+
+    # Result agreement among finishing systems.
+    for qid in qids:
+        counts = {cells[(s, qid)].n_results for s in systems_for(name)
+                  if not cells[(s, qid)].dnf}
+        assert len(counts) == 1, qid

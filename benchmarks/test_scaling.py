@@ -1,0 +1,67 @@
+"""Scaling series: does the Table-3 shape survive dataset growth?
+
+The paper runs at one (large) size per dataset; since our reproduction
+is scaled down ~100x, this series demonstrates that the qualitative
+conclusions are not artifacts of the chosen scale: per-query work for
+every system grows linearly-ish with document size, so the system
+ordering is scale-stable.  (This is the "figure" the paper never had —
+each benchmark's ``extra_info`` carries the series.)
+"""
+
+import pytest
+
+from repro.bench.harness import prepare_dataset, run_cell
+
+SCALES = [0.1, 0.2, 0.4]
+
+
+def series(name: str, qid: str, system: str) -> list[tuple[int, int]]:
+    """(document nodes, nodes scanned) across the scale sweep."""
+    out = []
+    for scale in SCALES:
+        prepared = prepare_dataset(name, scale)
+        query = prepared.spec.query(qid)
+        cell = run_cell(prepared, query.text, system)
+        scanned = (cell.counters["nodes_scanned"]
+                   if not cell.dnf else -1)
+        out.append((len(prepared.doc.nodes), scanned))
+    return out
+
+
+@pytest.mark.parametrize("name,system", [
+    ("d2", "PL"), ("d2", "TS"), ("d2", "XH"),
+    ("d3", "PL"), ("d3", "TS"),
+    ("d1", "TS"), ("d1", "XH"),
+])
+def test_work_scales_linearly(benchmark, name, system):
+    def check():
+        points = series(name, "Q4", system)
+        assert all(scanned >= 0 for _, scanned in points)
+        # Work per node stays within a 3x band across a 4x size sweep:
+        # no super-linear blowup for the finishing systems.
+        ratios = [scanned / nodes for nodes, scanned in points]
+        assert max(ratios) <= 3.0 * min(ratios) + 1e-9
+        return points
+
+    points = benchmark.pedantic(check, rounds=1, iterations=1)
+    benchmark.extra_info["series"] = points
+
+
+def test_system_ordering_stable_across_scales(benchmark):
+    """TS < PL <= XH on I/O at every scale (d2/d3, all queries)."""
+
+    def check():
+        for scale in SCALES:
+            for name in ("d2", "d3"):
+                prepared = prepare_dataset(name, scale)
+                for query in prepared.spec.queries:
+                    ts = run_cell(prepared, query.text, "TS") \
+                        .counters["nodes_scanned"]
+                    pl = run_cell(prepared, query.text, "PL") \
+                        .counters["nodes_scanned"]
+                    xh = run_cell(prepared, query.text, "XH") \
+                        .counters["nodes_scanned"]
+                    assert ts < xh, (name, query.qid, scale)
+                    assert pl <= xh, (name, query.qid, scale)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

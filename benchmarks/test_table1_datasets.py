@@ -1,0 +1,36 @@
+"""Table 1 reproduction: dataset statistics.
+
+Regenerates the per-dataset rows (size, #nodes, avg/max depth, |tags|,
+recursiveness) and benchmarks the statistics pass itself.  Run
+``python -m repro.bench table1`` for the rendered table.
+"""
+
+import pytest
+
+from repro.datagen import DATASETS
+from repro.xmlkit import compute_stats
+
+from conftest import dataset
+
+#: (recursive?, max |tags| window, max-depth window) per Table 1.
+EXPECTED = {
+    "d1": (True, (8, 8), (8, 10)),
+    "d2": (False, (7, 7), (3, 4)),
+    "d3": (False, (30, 55), (5, 8)),
+    "d4": (True, (40, 260), (15, 36)),
+    "d5": (False, (20, 40), (2, 6)),
+}
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_table1_row(benchmark, name):
+    prepared = dataset(name)
+    stats = benchmark(compute_stats, prepared.doc, False)
+
+    recursive, tag_window, depth_window = EXPECTED[name]
+    assert stats.recursive == recursive
+    assert tag_window[0] <= stats.n_distinct_tags <= tag_window[1]
+    assert depth_window[0] <= stats.max_depth <= depth_window[1]
+
+    benchmark.extra_info["table1_row"] = stats.table1_row(name)
+    benchmark.extra_info["recursion_degree"] = stats.recursion_degree

@@ -1,0 +1,17 @@
+"""Table 3 reproduction for dataset d5 (see table3_common for the
+shape contract).  Run `python -m repro.bench table3 --datasets d5`
+for the rendered paper-layout table."""
+
+import pytest
+
+from table3_common import assert_shape, cases_for, run_benchmark_cell
+
+
+@pytest.mark.parametrize("system,qid", cases_for("d5"))
+def test_cell(benchmark, system, qid):
+    run_benchmark_cell(benchmark, "d5", system, qid)
+
+
+def test_shape(benchmark):
+    """One round: the qualitative Table-3 claims for d5."""
+    benchmark.pedantic(assert_shape, args=("d5",), rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Quickstart: parse a document, run path and FLWOR queries, inspect plans.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Engine, parse
+
+BIB = """
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>Economics</title>
+    <price>29.99</price>
+  </book>
+</bib>
+"""
+
+
+def main() -> None:
+    doc = parse(BIB)
+    engine = Engine(doc)
+
+    print("== 1. Path queries ==")
+    for query in [
+        "//book/title",
+        "//book[author]/title",
+        "//book[price > 30]/title",
+        '//book[author/last = "Buneman"]/title',
+    ]:
+        result = engine.query(query)
+        print(f"{query:45s} -> {result.string_values()}")
+
+    print("\n== 2. A FLWOR query with construction ==")
+    flwor = """
+    for $b in //book
+    let $a := $b/author
+    where $b/price > 30
+    order by $b/title
+    return <entry authors="many">{ $b/title }{ count($a) }</entry>
+    """
+    result = engine.query(flwor)
+    print(result.pretty())
+
+    print("== 3. Choosing a physical strategy ==")
+    query = "//book[author]//last"
+    for strategy in ("auto", "pipelined", "twigstack", "bnlj", "naive", "xhive"):
+        result = engine.query(query, strategy=strategy)
+        print(f"{strategy:10s} -> {result.string_values()}")
+
+    print("\n== 4. Explaining a plan ==")
+    print(engine.explain("//book[author]//last"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments whose pip needs the legacy editable path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""BlossomTree: evaluating correlated XPaths in FLWOR expressions.
+
+A from-scratch reproduction of Zhang, Agrawal and Ozsu,
+"BlossomTree: Evaluating XPaths in FLWOR Expressions" (ICDE 2005 /
+UWaterloo TR CS-2004-58).
+
+Public entry points live in :mod:`repro.engine.session`; the most
+convenient import is::
+
+    from repro import Engine, parse
+
+    engine = Engine(parse(xml_text))
+    result = engine.query('//book[author]/title')
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CompileError,
+    DNFError,
+    ExecutionError,
+    QuerySyntaxError,
+    ReproError,
+    StaticError,
+    XMLSyntaxError,
+)
+from repro.xmlkit import parse, parse_file, serialize
+
+__all__ = [
+    "CompileError",
+    "DNFError",
+    "Engine",
+    "ExecutionError",
+    "QuerySyntaxError",
+    "ReproError",
+    "StaticError",
+    "XMLSyntaxError",
+    "parse",
+    "parse_file",
+    "serialize",
+]
+
+
+def __getattr__(name):
+    # Engine is imported lazily to keep `import repro` cheap and to avoid
+    # import cycles while the subpackages load each other.
+    if name == "Engine":
+        from repro.engine.session import Engine
+        return Engine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,59 @@
+"""The Env abstract data type: variable bindings derived from NestedLists.
+
+Figure 2 of the paper shows the data flow ``NestedList --variable
+binding--> Env --construction--> XMLTree``.  An :class:`Env` is one
+tuple of the FLWOR iteration: every for-variable is bound to a single
+node (with the NestedList entry it came from, so descendant variables
+can anchor their own enumeration), and every let-variable to a node
+sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xmlkit.tree import Node
+from repro.algebra.nested_list import NLEntry
+
+__all__ = ["Env"]
+
+
+@dataclass
+class Env:
+    """One binding tuple.
+
+    ``values`` maps variable names to node sequences (singletons for
+    for-variables).  ``anchors`` maps for-variable names to the NestedList
+    entry of the bound node; let-variables map to the entry list of
+    their sequence.  The executor threads anchors through nested
+    enumeration; the construction layer only reads ``values``.
+    """
+
+    values: dict[str, list[Node]] = field(default_factory=dict)
+    anchors: dict[str, list[NLEntry]] = field(default_factory=dict)
+
+    def bind_for(self, name: str, entry: NLEntry) -> "Env":
+        """Extend with a for-binding (returns a copy; Envs are persistent
+        values handed to the construction layer)."""
+        child = Env(dict(self.values), dict(self.anchors))
+        assert entry.node is not None
+        child.values[name] = [entry.node]
+        child.anchors[name] = [entry]
+        return child
+
+    def bind_let(self, name: str, entries: list[NLEntry]) -> "Env":
+        """Extend with a let-binding over a (possibly empty) entry list."""
+        child = Env(dict(self.values), dict(self.anchors))
+        child.values[name] = [e.node for e in entries if e.node is not None]
+        child.anchors[name] = entries
+        return child
+
+    def node_of(self, name: str) -> Optional[Node]:
+        seq = self.values.get(name)
+        return seq[0] if seq else None
+
+    def as_variables(self) -> dict[str, list[Node]]:
+        """The mapping handed to the XPath evaluator for residual checks,
+        order-by keys and return construction."""
+        return self.values

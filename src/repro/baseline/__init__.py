@@ -1,0 +1,13 @@
+"""Baselines: the naive FLWOR interpreter (oracle) and the simulated
+commercial navigational engine (X-Hive stand-in)."""
+
+from repro.baseline.naive_flwor import NaiveInterpreter
+
+__all__ = ["NaiveInterpreter", "XHiveSimulator"]
+
+
+def __getattr__(name):
+    if name == "XHiveSimulator":
+        from repro.baseline.xhive import XHiveSimulator
+        return XHiveSimulator
+    raise AttributeError(f"module 'repro.baseline' has no attribute {name!r}")

@@ -1,0 +1,28 @@
+"""Benchmark harness reproducing the paper's evaluation tables."""
+
+from repro.bench.harness import (
+    SYSTEMS,
+    CellResult,
+    Table3Row,
+    prepare_dataset,
+    run_cell,
+    systems_for,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.reporting import format_dict_table, format_table3
+
+__all__ = [
+    "SYSTEMS",
+    "CellResult",
+    "Table3Row",
+    "format_dict_table",
+    "format_table3",
+    "prepare_dataset",
+    "run_cell",
+    "systems_for",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import Table3Row
+
+__all__ = ["format_dict_table", "format_table3"]
+
+
+def format_dict_table(rows: Sequence[dict[str, object]]) -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    lines = [
+        "  ".join(str(c).ljust(widths[c]) for c in columns),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)
+
+
+def format_table3(rows: Sequence[Table3Row], show_counters: bool = False) -> str:
+    """Render Table-3 rows in the paper's layout (file / sys / Q1..Q6)."""
+    qids = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+    out: list[dict[str, object]] = []
+    for row in rows:
+        line: dict[str, object] = {"file": row.dataset, "sys.": row.system}
+        for qid in qids:
+            cell = row.cells.get(qid)
+            line[qid] = cell.display() if cell else ""
+        if show_counters:
+            scanned = sum((c.counters.get("nodes_scanned", 0)
+                           for c in row.cells.values()), 0)
+            line["nodes scanned"] = scanned
+        out.append(line)
+    return format_dict_table(out)

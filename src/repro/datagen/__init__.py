@@ -1,0 +1,19 @@
+"""Deterministic dataset generators and benchmark workloads (Table 1 / 2)."""
+
+from repro.datagen.dblp import generate_d5
+from repro.datagen.synthetic import generate_d1
+from repro.datagen.treebank import generate_d4
+from repro.datagen.workload import DATASETS, DatasetSpec, QuerySpec, measure_selectivity
+from repro.datagen.xbench import generate_d2, generate_d3
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "QuerySpec",
+    "generate_d1",
+    "generate_d2",
+    "generate_d3",
+    "generate_d4",
+    "generate_d5",
+    "measure_selectivity",
+]

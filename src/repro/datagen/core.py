@@ -1,0 +1,79 @@
+"""Shared machinery for the deterministic dataset generators.
+
+Each generator reproduces the *structural signature* of one of the
+paper's Table-1 datasets — tag alphabet size, depth profile,
+recursiveness, fan-out — at a laptop-friendly scale (the ``scale``
+parameter multiplies the base element count).  Determinism comes from a
+seeded :class:`random.Random` per generator call, so every test and
+benchmark sees identical documents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.xmlkit.tree import Document, DocumentBuilder
+
+__all__ = ["WeightedTags", "GenContext", "word", "sentence"]
+
+_WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
+    "lima mike november oscar papa quebec romeo sierra tango uniform "
+    "victor whiskey xray yankee zulu").split()
+
+
+class WeightedTags:
+    """Cumulative-weight tag chooser (stable across Python versions)."""
+
+    def __init__(self, pairs: Sequence[tuple[str, float]]) -> None:
+        self.tags = [tag for tag, _ in pairs]
+        self.cumulative: list[float] = []
+        total = 0.0
+        for _, weight in pairs:
+            total += weight
+            self.cumulative.append(total)
+        self.total = total
+
+    def choose(self, rng: random.Random) -> str:
+        point = rng.random() * self.total
+        for index, bound in enumerate(self.cumulative):
+            if point <= bound:
+                return self.tags[index]
+        return self.tags[-1]
+
+
+class GenContext:
+    """Builder + RNG + element budget for one generation run."""
+
+    def __init__(self, seed: int, target_elements: int) -> None:
+        self.rng = random.Random(seed)
+        self.builder = DocumentBuilder()
+        self.target = target_elements
+        self.count = 0
+
+    def exhausted(self) -> bool:
+        return self.count >= self.target
+
+    def start(self, tag: str, attrs: Optional[dict[str, str]] = None) -> None:
+        self.count += 1
+        self.builder.start_element(tag, attrs)
+
+    def end(self) -> None:
+        self.builder.end_element()
+
+    def leaf(self, tag: str, text: Optional[str] = None,
+             attrs: Optional[dict[str, str]] = None) -> None:
+        self.count += 1
+        self.builder.element(tag, text, attrs)
+
+    def finish(self) -> Document:
+        return self.builder.finish()
+
+
+def word(rng: random.Random) -> str:
+    return rng.choice(_WORDS)
+
+
+def sentence(rng: random.Random, n_words: int = 3) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(n_words))

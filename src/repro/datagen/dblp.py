@@ -1,0 +1,110 @@
+"""d5: dblp-style bibliography — shallow, bushy, non-recursive.
+
+The dblp snapshot in the UW repository is a huge flat list of
+publication records: average depth 3, maximum 6, 35 distinct tags, no
+recursion.  This is the regime where the paper finds the pipelined
+join comparable to or faster than TwigStack (no deep nesting for the
+index to exploit; a single scan amortizes over many records).
+
+Record mix mirrors dblp's: mostly ``article``/``inproceedings``, few
+``proceedings``, rare ``phdthesis`` and ``www`` (the high-selectivity
+targets of Q1-Q4).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlkit.tree import Document
+from repro.datagen.core import GenContext, WeightedTags, sentence, word
+
+__all__ = ["generate_d5"]
+
+_KIND = WeightedTags([
+    ("article", 0.44),
+    ("inproceedings", 0.40),
+    ("proceedings", 0.10),
+    ("incollection", 0.03),
+    ("phdthesis", 0.02),
+    ("masterthesis", 0.01),
+    ("www", 0.012),
+])
+
+_SCHOOLS = ("waterloo", "toronto", "stanford", "mit", "cmu", "ethz")
+_JOURNALS = ("tods", "vldbj", "sigmod record", "tkde", "jacm")
+
+
+def generate_d5(scale: float = 1.0, seed: int = 105) -> Document:
+    """d5 analogue: flat bibliography (~16000*scale elements)."""
+    target = max(100, int(16000 * scale))
+    ctx = GenContext(seed, target)
+    ctx.start("dblp")
+    while not ctx.exhausted():
+        _record(ctx, ctx.rng)
+    ctx.end()
+    return ctx.finish()
+
+
+def _record(ctx: GenContext, rng: random.Random) -> None:
+    kind = _KIND.choose(rng)
+    ctx.start(kind, {"key": f"{kind}/{ctx.count}"})
+
+    if kind == "proceedings":
+        # ~60% of proceedings have editors; Q5/Q6 target these.
+        if rng.random() < 0.6:
+            for _ in range(rng.randint(1, 3)):
+                ctx.leaf("editor", f"{word(rng)} {word(rng)}")
+        ctx.leaf("title", sentence(rng, 4))
+        ctx.leaf("booktitle", word(rng).upper())
+        ctx.leaf("year", str(rng.randint(1980, 2004)))
+        ctx.leaf("publisher", f"{word(rng)} press")
+        if rng.random() < 0.5:
+            ctx.leaf("isbn", str(rng.randint(10 ** 9, 10 ** 10 - 1)))
+        if rng.random() < 0.55:
+            ctx.leaf("url", f"db/conf/{word(rng)}.html")
+    elif kind == "www":
+        if rng.random() < 0.7:
+            ctx.leaf("author", f"{word(rng)} {word(rng)}")
+        ctx.leaf("title", sentence(rng, 3))
+        if rng.random() < 0.65:
+            ctx.leaf("url", f"http://{word(rng)}.example.org")
+        if rng.random() < 0.5:
+            ctx.leaf("editor", f"{word(rng)} {word(rng)}")
+        if rng.random() < 0.6:
+            ctx.leaf("year", str(rng.randint(1995, 2004)))
+        if rng.random() < 0.2:
+            ctx.leaf("note", sentence(rng, 2))
+    elif kind in ("phdthesis", "masterthesis"):
+        ctx.leaf("author", f"{word(rng)} {word(rng)}")
+        ctx.leaf("title", sentence(rng, 5))
+        ctx.leaf("year", str(rng.randint(1975, 2004)))
+        if rng.random() < 0.8:
+            ctx.leaf("school", rng.choice(_SCHOOLS))
+        if rng.random() < 0.3:
+            ctx.leaf("isbn", str(rng.randint(10 ** 9, 10 ** 10 - 1)))
+    else:  # article / inproceedings / incollection
+        for _ in range(rng.randint(1, 4)):
+            ctx.leaf("author", f"{word(rng)} {word(rng)}")
+        ctx.leaf("title", sentence(rng, 5))
+        if kind == "article":
+            ctx.leaf("journal", rng.choice(_JOURNALS))
+            ctx.leaf("volume", str(rng.randint(1, 40)))
+            if rng.random() < 0.7:
+                ctx.leaf("number", str(rng.randint(1, 6)))
+        else:
+            ctx.leaf("booktitle", word(rng).upper())
+        ctx.leaf("pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+        ctx.leaf("year", str(rng.randint(1980, 2004)))
+        if rng.random() < 0.45:
+            ctx.leaf("ee", f"db/journals/{word(rng)}.html")
+        if rng.random() < 0.25:
+            ctx.leaf("crossref", f"conf/{word(rng)}")
+        if rng.random() < 0.1:
+            ctx.leaf("cite", f"ref{rng.randint(1, 999)}")
+        if rng.random() < 0.05:
+            ctx.leaf("note", sentence(rng, 2))
+        if rng.random() < 0.04:
+            ctx.leaf("cdrom", f"{word(rng).upper()}/{rng.randint(1, 9)}")
+        if rng.random() < 0.03:
+            ctx.leaf("month", str(rng.randint(1, 12)))
+    ctx.end()

@@ -1,0 +1,65 @@
+"""d1: synthetic recursive dataset (Table 1's recursive-DTD document).
+
+Structural signature to reproduce: recursive (tags nest within
+themselves), 8 distinct tags, average depth ≈ 7-8, maximum depth 10 (slightly deeper than the paper's 8, to reproduce the recursion-degree regime that separates the join algorithms at our smaller scale).
+
+The recursion core is the mutual nesting ``b1 → c2 → b1 → ...`` —
+that is what makes ``//b1//c2//b1`` a low-selectivity query and what
+breaks the pipelined join's order-preservation on this dataset.  Tag
+``b4`` is rare (the high-selectivity target of Q1); ``b3`` is uncommon
+(Q2); the ``c2/b1/c2/b1`` child chain occurs at moderate frequency
+(Q3/Q4).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlkit.tree import Document
+from repro.datagen.core import GenContext, WeightedTags
+
+__all__ = ["generate_d1"]
+
+#: children menus per tag; the b1/c2 pair is mutually recursive.
+_MENU = {
+    "a": WeightedTags([("b1", 0.40), ("c2", 0.22), ("b2", 0.10), ("c1", 0.12),
+                       ("c3", 0.12), ("b3", 0.03), ("b4", 0.01)]),
+    "b1": WeightedTags([("c2", 0.62), ("c3", 0.28), ("b2", 0.10)]),
+    "c2": WeightedTags([("b1", 0.62), ("c3", 0.26), ("c1", 0.12)]),
+    "b2": WeightedTags([("c3", 0.70), ("c1", 0.30)]),
+    "b3": WeightedTags([("c3", 1.0)]),
+    "c1": WeightedTags([("c3", 1.0)]),
+}
+
+_MAX_DEPTH = 10
+
+
+def generate_d1(scale: float = 1.0, seed: int = 101) -> Document:
+    """Generate the d1 analogue with about ``12000 * scale`` elements."""
+    target = max(50, int(12000 * scale))
+    ctx = GenContext(seed, target)
+    ctx.start("a")
+    # Keep extending the root's children until the element budget is
+    # spent; each top-level subtree grows to the depth limit so the
+    # depth profile stays deep regardless of scale.
+    while not ctx.exhausted():
+        _grow(ctx, "a", depth=2)
+    ctx.end()
+    return ctx.finish()
+
+
+def _grow(ctx: GenContext, parent_tag: str, depth: int) -> None:
+    rng = ctx.rng
+    menu = _MENU.get(parent_tag)
+    if menu is None or depth > _MAX_DEPTH or ctx.exhausted():
+        return
+    tag = menu.choose(rng)
+    ctx.start(tag)
+    if depth < _MAX_DEPTH:
+        # Deep documents: interior nodes branch 1-3 ways, biased to
+        # continue downward so average depth stays near the maximum.
+        n_children = rng.choices((1, 2, 3), weights=(0.45, 0.35, 0.20))[0]
+        for _ in range(n_children):
+            if not ctx.exhausted():
+                _grow(ctx, tag, depth + 1)
+    ctx.end()

@@ -1,0 +1,125 @@
+"""d4: Treebank-style deeply recursive dataset.
+
+The real Treebank corpus (UW repository, licensed Penn Treebank data)
+is parse trees encoded as XML: part-of-speech and phrase tags, extreme
+depth (max 36), heavy recursion (``VP`` under ``VP`` under ``VP``...),
+and a large tag alphabet (250).  This generator emits grammar-driven
+parse trees with the same properties:
+
+* phrase recursion through ``VP → VP PP``, ``NP → NP PP``, ``S``
+  embedding (``SBAR → S``), driving both depth and recursion degree;
+* a long tail of rare part-of-speech tags padding the alphabet toward
+  250 distinct names.
+
+What Table 3 exercises on d4 is exactly this regime: the pipelined
+join is excluded (recursive), the bounded nested loop drowns in
+overlapping subtree scans (DNF), TwigStack wins.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlkit.tree import Document
+from repro.datagen.core import GenContext, word
+
+__all__ = ["generate_d4"]
+
+_MAX_DEPTH = 36
+
+#: Rare filler tags to widen the alphabet toward Treebank's 250.
+_RARE_TAGS = tuple(f"X{i}" for i in range(1, 201))
+
+_POS = ("NN", "NNS", "NNP", "VB", "VBD", "VBZ", "JJ", "RB", "DT", "IN",
+        "PRP", "CC", "CD", "TO", "MD", "WDT", "EX", "POS", "UH", "FW")
+
+
+def generate_d4(scale: float = 1.0, seed: int = 104) -> Document:
+    """d4 analogue: parse-tree forest (~15000*scale elements)."""
+    target = max(100, int(15000 * scale))
+    ctx = GenContext(seed, target)
+    ctx.start("FILE")
+    while not ctx.exhausted():
+        _sentence(ctx, depth=2)
+    ctx.end()
+    return ctx.finish()
+
+
+def _sentence(ctx: GenContext, depth: int) -> None:
+    ctx.start("S")
+    _np(ctx, depth + 1)
+    _vp(ctx, depth + 1)
+    ctx.end()
+
+
+def _vp(ctx: GenContext, depth: int) -> None:
+    rng = ctx.rng
+    ctx.start("VP")
+    if depth >= _MAX_DEPTH - 2 or ctx.exhausted():
+        ctx.leaf("VB", word(rng))
+        ctx.end()
+        return
+    roll = rng.random()
+    if roll < 0.48:
+        # VP -> VP PP : the recursion that makes d4 deep.
+        _vp(ctx, depth + 1)
+        _pp(ctx, depth + 1)
+    elif roll < 0.66:
+        ctx.leaf("VB", word(rng))
+        _np(ctx, depth + 1)
+        if rng.random() < 0.5:
+            _pp(ctx, depth + 1)
+    elif roll < 0.78:
+        ctx.leaf("VBD", word(rng))
+        _sbar(ctx, depth + 1)
+    else:
+        ctx.leaf("VB", word(rng))
+        _pos_tail(ctx, rng)
+    ctx.end()
+
+
+def _np(ctx: GenContext, depth: int) -> None:
+    rng = ctx.rng
+    ctx.start("NP")
+    if depth >= _MAX_DEPTH - 1 or ctx.exhausted():
+        ctx.leaf("NN", word(rng))
+        ctx.end()
+        return
+    roll = rng.random()
+    if roll < 0.33:
+        # NP -> NP PP : more recursion.
+        _np(ctx, depth + 1)
+        _pp(ctx, depth + 1)
+    elif roll < 0.70:
+        ctx.leaf("DT", word(rng))
+        if rng.random() < 0.45:
+            ctx.leaf("JJ", word(rng))
+        ctx.leaf("NN", word(rng))
+    else:
+        ctx.leaf("NNP", word(rng))
+        _pos_tail(ctx, rng)
+    ctx.end()
+
+
+def _pp(ctx: GenContext, depth: int) -> None:
+    ctx.start("PP")
+    ctx.leaf("IN", word(ctx.rng))
+    if depth < _MAX_DEPTH - 1 and not ctx.exhausted():
+        _np(ctx, depth + 1)
+    ctx.end()
+
+
+def _sbar(ctx: GenContext, depth: int) -> None:
+    ctx.start("SBAR")
+    ctx.leaf("WDT", word(ctx.rng))
+    if depth < _MAX_DEPTH - 2 and not ctx.exhausted():
+        _sentence(ctx, depth + 1)
+    ctx.end()
+
+
+def _pos_tail(ctx: GenContext, rng: random.Random) -> None:
+    """Occasional rare tags: Treebank's long-tail alphabet."""
+    if rng.random() < 0.35:
+        ctx.leaf(rng.choice(_POS), word(rng))
+    if rng.random() < 0.22:
+        ctx.leaf(rng.choice(_RARE_TAGS), word(rng))

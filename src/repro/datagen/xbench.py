@@ -1,0 +1,160 @@
+"""d2 (address) and d3 (catalog): XBench-style non-recursive datasets.
+
+XBench's data-centric documents (reference [19]) are shallow, regular
+and non-recursive.  Signatures to reproduce (Table 1):
+
+* **d2 address** — 7 distinct tags, average depth ≈ 3, maximum 3-4,
+  very regular (every address looks alike except for optional parts).
+* **d3 catalog** — 51 distinct tags, average depth ≈ 5, maximum 8,
+  bushier with several optional subtrees (publisher, authors with
+  contact information, item attributes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlkit.tree import Document
+from repro.datagen.core import GenContext, sentence, word
+
+__all__ = ["generate_d2", "generate_d3"]
+
+_STATES = ("ontario", "quebec", "bavaria", "texas", "oregon", "kyoto",
+           "tuscany", "catalonia")
+_CITIES = ("waterloo", "kitchener", "toronto", "boston", "munich", "lyon",
+           "seattle", "girona", "florence", "osaka")
+_COUNTRIES = ("CA", "US", "DE", "FR", "JP", "IT", "ES")
+
+
+def generate_d2(scale: float = 1.0, seed: int = 102) -> Document:
+    """d2 analogue: a flat list of addresses (~4000*scale elements)."""
+    target = max(40, int(4000 * scale))
+    ctx = GenContext(seed, target)
+    rng = ctx.rng
+    ctx.start("addresses")
+    while not ctx.exhausted():
+        ctx.start("address", {"id": f"addr{ctx.count}"})
+        ctx.leaf("street_address", f"{rng.randint(1, 999)} {word(rng)} street")
+        ctx.leaf("name_of_city", rng.choice(_CITIES))
+        # name_of_state present for ~55% of addresses: the target of the
+        # moderate-selectivity queries.
+        if rng.random() < 0.55:
+            ctx.leaf("name_of_state", rng.choice(_STATES))
+        ctx.leaf("zip_code", f"{rng.randint(10000, 99999)}")
+        # country_id is rare (~2%): the high-selectivity target.
+        if rng.random() < 0.02:
+            ctx.leaf("country_id", rng.choice(_COUNTRIES))
+        ctx.end()
+    ctx.end()
+    return ctx.finish()
+
+
+# ----------------------------------------------------------------------
+# d3: catalog.
+# ----------------------------------------------------------------------
+
+_SUBJECTS = ("databases", "networks", "compilers", "graphics", "theory",
+             "systems", "security", "learning")
+
+
+def generate_d3(scale: float = 1.0, seed: int = 103) -> Document:
+    """d3 analogue: a product catalog (~9000*scale elements, 51 tags)."""
+    target = max(80, int(9000 * scale))
+    ctx = GenContext(seed, target)
+    rng = ctx.rng
+    ctx.start("catalog")
+    while not ctx.exhausted():
+        _item(ctx, rng)
+    ctx.end()
+    return ctx.finish()
+
+
+def _item(ctx: GenContext, rng: random.Random) -> None:
+    ctx.start("item", {"id": f"item{ctx.count}"})
+    ctx.start("title")
+    ctx.leaf("main_title", sentence(rng, 3))
+    if rng.random() < 0.3:
+        ctx.leaf("subtitle", sentence(rng, 2))
+    ctx.end()
+    ctx.leaf("isbn", f"{rng.randint(1000000000, 9999999999)}")
+    ctx.leaf("subject", rng.choice(_SUBJECTS))
+
+    ctx.start("attributes")
+    ctx.start("size_of_book")
+    # length is uncommon (~15% of items): the high-selectivity target
+    # //item/attributes//length.
+    if rng.random() < 0.15:
+        ctx.leaf("length", str(rng.randint(100, 900)))
+    ctx.leaf("width", str(rng.randint(10, 30)))
+    ctx.leaf("height", str(rng.randint(15, 40)))
+    ctx.end()
+    ctx.leaf("number_of_pages", str(rng.randint(80, 1200)))
+    if rng.random() < 0.4:
+        ctx.start("media")
+        ctx.leaf("binding", rng.choice(("hardcover", "paperback")))
+        ctx.leaf("reading_level", str(rng.randint(1, 5)))
+        ctx.end()
+    ctx.end()  # attributes
+
+    for _ in range(rng.randint(2, 4)):
+        _author(ctx, rng)
+
+    # publisher subtree present for ~80% of items.
+    if rng.random() < 0.8:
+        _publisher(ctx, rng)
+
+    ctx.leaf("pricing", str(rng.randint(10, 150)))
+    ctx.start("publication")
+    ctx.leaf("year_of_publication", str(rng.randint(1970, 2004)))
+    ctx.leaf("edition", str(rng.randint(1, 5)))
+    ctx.end()
+    ctx.end()  # item
+
+
+def _author(ctx: GenContext, rng: random.Random) -> None:
+    ctx.start("authors")
+    ctx.start("author")
+    ctx.start("name")
+    ctx.leaf("first_name", word(rng))
+    ctx.leaf("last_name", word(rng))
+    ctx.end()
+    if rng.random() < 0.5:
+        ctx.leaf("date_of_birth", f"19{rng.randint(20, 85)}")
+    if rng.random() < 0.6:
+        ctx.start("contact_information")
+        _mailing_address(ctx, rng, with_state=rng.random() < 0.35)
+        if rng.random() < 0.3:
+            ctx.leaf("email_address", f"{word(rng)}@example.org")
+        if rng.random() < 0.2:
+            ctx.leaf("phone_number", f"{rng.randint(200, 999)}-{rng.randint(1000, 9999)}")
+        ctx.end()
+    ctx.end()
+    ctx.end()
+
+
+def _publisher(ctx: GenContext, rng: random.Random) -> None:
+    ctx.start("publisher")
+    ctx.leaf("publisher_name", f"{word(rng)} press")
+    ctx.start("street_information")
+    ctx.leaf("street_address", f"{rng.randint(1, 500)} {word(rng)} ave")
+    ctx.leaf("suite_number", str(rng.randint(1, 90)))
+    ctx.end()
+    if rng.random() < 0.5:
+        _mailing_address(ctx, rng, with_state=rng.random() < 0.4)
+    if rng.random() < 0.3:
+        ctx.start("web_site")
+        ctx.leaf("url", f"http://{word(rng)}.example.org")
+        ctx.end()
+    ctx.end()
+
+
+def _mailing_address(ctx: GenContext, rng: random.Random, with_state: bool) -> None:
+    ctx.start("mailing_address")
+    ctx.leaf("street_address", f"{rng.randint(1, 999)} {word(rng)} road")
+    ctx.leaf("name_of_city", rng.choice(_CITIES))
+    if with_state:
+        ctx.leaf("name_of_state", rng.choice(_STATES))
+    ctx.leaf("zip_code", str(rng.randint(10000, 99999)))
+    if rng.random() < 0.15:
+        ctx.leaf("name_of_country", rng.choice(_COUNTRIES))
+    ctx.end()

@@ -1,0 +1,25 @@
+"""Query engine: compiler, optimizer, executor, session facade, results."""
+
+from repro.engine.compiler import CompiledQuery, compile_query
+from repro.engine.construct import DirectEvaluator
+from repro.engine.cost import CostEstimate, CostModel
+from repro.engine.database import Database
+from repro.engine.executor import FLWORExecutor
+from repro.engine.optimizer import PlanChoice, choose_strategy
+from repro.engine.result import QueryResult, ResultBuilder
+from repro.engine.session import Engine
+
+__all__ = [
+    "CompiledQuery",
+    "CostEstimate",
+    "CostModel",
+    "Database",
+    "DirectEvaluator",
+    "Engine",
+    "FLWORExecutor",
+    "PlanChoice",
+    "QueryResult",
+    "ResultBuilder",
+    "choose_strategy",
+    "compile_query",
+]

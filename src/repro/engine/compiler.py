@@ -1,0 +1,101 @@
+"""Query compilation: text → (query expression, FLWOR core, BlossomTree).
+
+The compiler normalizes the three query shapes the public API accepts —
+bare path expressions, FLWOR expressions, and element constructors
+wrapping a FLWOR — into one :class:`CompiledQuery` that the session
+executes.  Compilation of the BlossomTree may fail with
+:class:`~repro.errors.CompileError` for constructs outside the
+pattern-matching subset; the failure is *recorded*, not raised, so the
+session can fall back to direct evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import CompileError
+from repro.pattern.blossom import BlossomTree
+from repro.pattern.build import build_blossom_tree, path_as_flwor
+from repro.xpath.ast import Expr, LocationPath, RootContext
+from repro.xquery.ast import ElementConstructor, Enclosed, FLWOR, QueryExpr
+from repro.xquery.parser import parse_query
+
+__all__ = ["CompiledQuery", "compile_query"]
+
+
+@dataclass
+class CompiledQuery:
+    """A parsed query, its FLWOR core (if any), and its BlossomTree."""
+
+    source: str
+    query: QueryExpr                   # the full query expression
+    flwor: Optional[FLWOR]             # the FLWOR to optimize (None: static)
+    is_bare_path: bool                 # query was a single path expression
+    tree: Optional[BlossomTree]        # None when compilation failed
+    compile_error: Optional[str]       # reason for fallback, if any
+
+    @property
+    def optimizable(self) -> bool:
+        return self.flwor is not None and self.tree is not None
+
+
+def compile_query(text: Union[str, QueryExpr]) -> CompiledQuery:
+    """Parse and compile a query string (or pre-parsed expression)."""
+    source = text if isinstance(text, str) else str(text)
+    query = parse_query(text) if isinstance(text, str) else text
+
+    is_bare_path = isinstance(query, LocationPath)
+    if is_bare_path:
+        # A top-level path starting with '/' parses with a non-absolute
+        # root (predicate convention); at query top level the context
+        # item is the document node, so absolutizing is an identity.
+        query = _absolutize(query)
+        flwor: Optional[FLWOR] = path_as_flwor(query)
+        # The query to evaluate IS the synthetic wrapper.
+        query = flwor
+    else:
+        flwor = _locate_single_flwor(query)
+
+    tree: Optional[BlossomTree] = None
+    error: Optional[str] = None
+    if flwor is not None:
+        try:
+            tree = build_blossom_tree(flwor)
+        except CompileError as exc:
+            error = str(exc)
+    return CompiledQuery(source, query, flwor, is_bare_path, tree, error)
+
+
+def _absolutize(path: LocationPath) -> LocationPath:
+    if isinstance(path.root, RootContext) and not path.root.absolute:
+        return LocationPath(RootContext(absolute=True), path.steps)
+    return path
+
+
+def _locate_single_flwor(expr: QueryExpr) -> Optional[FLWOR]:
+    """Find exactly one FLWOR to optimize inside the query expression.
+
+    Nested or multiple FLWORs are left to direct evaluation (returning
+    ``None`` here means "static / fallback", not an error).
+    """
+    if isinstance(expr, FLWOR):
+        return expr
+    if isinstance(expr, ElementConstructor):
+        found: Optional[FLWOR] = None
+        for item in expr.content:
+            if isinstance(item, Enclosed):
+                for sub in item.exprs:
+                    inner = _locate_single_flwor(sub)
+                    if inner is not None:
+                        if found is not None:
+                            return None
+                        found = inner
+            elif isinstance(item, ElementConstructor):
+                inner = _locate_single_flwor(item)
+                if inner is not None:
+                    if found is not None:
+                        return None
+                    found = inner
+        return found
+    return None

@@ -1,0 +1,175 @@
+"""A cost model for physical-strategy selection (the paper's future work).
+
+Section 6: "To choose an optimal plan automatically, the optimizer
+needs a cost model or similar mechanism.  These will be topics of
+future work."  This module supplies that mechanism in the paper's own
+currency — *expected nodes touched*, the same unit the runtime
+counters report — so the model's predictions are directly testable
+against measurements.
+
+Estimation rules (all per query, using document statistics and
+tag-index cardinalities):
+
+* **pipelined / stack merge** — one merged sequential scan of the
+  document (``N`` nodes) plus a merge pass over each inter edge's two
+  projected streams (bounded by tag cardinalities).  The strict
+  pipelined variant is inapplicable (infinite cost) on recursive
+  documents.
+* **TwigStack** — the sum of the query vertices' tag-stream
+  cardinalities (index I/O), infinite when the query is not a twig or
+  a stream tag has no index.
+* **BNLJ** — the scan plus, per inter edge, (outer cardinality) ×
+  (average subtree size of the outer tag), the bounded rescan volume.
+* **naive NL** — the scan plus (outer cardinality) × N per edge.
+* **navigational (xhive)** — ``N`` per location step from the root,
+  a coarse model of per-step re-traversal.
+
+The model is deliberately simple — a handful of sufficient statistics,
+no per-query sampling — and the benchmark
+``benchmarks/test_cost_model.py`` measures its *regret*: how much
+slower the model's pick is than the best strategy found by exhaustive
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pattern.blossom import BlossomTree
+from repro.pattern.decompose import Decomposition, decompose
+from repro.physical.twigstack import twig_supported
+from repro.xmlkit.index import TagIndex
+from repro.xmlkit.stats import DocumentStats
+from repro.xmlkit.tree import Document
+
+__all__ = ["CostEstimate", "CostModel"]
+
+INFINITE = float("inf")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted work for one strategy, with the model's reasoning."""
+
+    strategy: str
+    cost: float          # expected nodes touched; inf = inapplicable
+    detail: str
+
+    def __str__(self) -> str:
+        cost = "inapplicable" if self.cost == INFINITE else f"{self.cost:,.0f}"
+        return f"{self.strategy}: {cost} ({self.detail})"
+
+
+class CostModel:
+    """Ranks the physical strategies for one compiled query."""
+
+    def __init__(self, doc: Document, stats: DocumentStats,
+                 index: Optional[TagIndex] = None) -> None:
+        self.doc = doc
+        self.stats = stats
+        self.index = index if index is not None else TagIndex(doc)
+        self.n_nodes = len(doc.nodes)
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def rank(self, tree: BlossomTree) -> list[CostEstimate]:
+        """All applicable strategies, cheapest first."""
+        dec = decompose(tree)
+        estimates = [
+            self._merge_joins(tree, dec),
+            self._twigstack(tree),
+            self._bnlj(dec),
+            self._naive_nl(dec),
+            self._navigational(tree),
+        ]
+        return sorted(estimates, key=lambda e: e.cost)
+
+    def choose(self, tree: BlossomTree) -> CostEstimate:
+        """The model's pick (always applicable: navigational is finite)."""
+        return self.rank(tree)[0]
+
+    # ------------------------------------------------------------------
+    # Per-strategy estimators.
+    # ------------------------------------------------------------------
+
+    def _cardinality(self, tag: str) -> int:
+        if tag == "*" or tag == "#root":
+            return max(1, self.stats.n_elements)
+        return self.index.cardinality(tag)
+
+    def _avg_subtree(self, tag: str) -> float:
+        """Average subtree size of a tag's elements.
+
+        Uses the exact per-tag statistic when the document statistics
+        carry it (one extra dict in the single stats pass); otherwise
+        falls back to a cardinality heuristic.  On recursive data the
+        exact statistic already includes the nested rescan volume
+        (nested same-tag subtrees are counted once per enclosing
+        occurrence).
+        """
+        exact = self.stats.tag_subtree_avg.get(tag) if tag not in ("*", "#root") \
+            else None
+        if exact is not None:
+            return exact
+        card = max(1, self._cardinality(tag))
+        base = min(self.n_nodes, 2.0 * self.n_nodes / card)
+        if self.stats.recursive:
+            base *= self.stats.recursion_degree
+        return base
+
+    def _merge_joins(self, tree: BlossomTree, dec: Decomposition) -> CostEstimate:
+        scan = self.n_nodes
+        merge = 0
+        for edge in dec.inter_edges:
+            if edge.parent.name == "#root":
+                continue  # vacuous join
+            merge += self._cardinality(edge.parent.name)
+            merge += self._cardinality(edge.child.name)
+        if self.stats.recursive:
+            return CostEstimate(
+                "stack", scan + merge,
+                f"scan {scan} + stack merges {merge} "
+                f"(recursive: strict pipelining unsound)")
+        return CostEstimate(
+            "pipelined", scan + merge,
+            f"one merged scan {scan} + merge passes {merge}")
+
+    def _twigstack(self, tree: BlossomTree) -> CostEstimate:
+        if not twig_supported(tree):
+            return CostEstimate("twigstack", INFINITE,
+                                "query is not a single //-twig")
+        streams = 0
+        for vertex in tree.vertices:
+            if vertex.name == "#root":
+                continue
+            streams += self._cardinality(vertex.name)
+        return CostEstimate("twigstack", float(streams),
+                            f"sum of tag-stream cardinalities {streams}")
+
+    def _bnlj(self, dec: Decomposition) -> CostEstimate:
+        cost = float(self.n_nodes)
+        for edge in dec.inter_edges:
+            if edge.parent.name == "#root":
+                continue
+            outer = self._cardinality(edge.parent.name)
+            cost += outer * self._avg_subtree(edge.parent.name)
+        return CostEstimate("bnlj", cost,
+                            "scan + bounded per-outer subtree rescans")
+
+    def _naive_nl(self, dec: Decomposition) -> CostEstimate:
+        cost = float(self.n_nodes)
+        for edge in dec.inter_edges:
+            if edge.parent.name == "#root":
+                continue
+            cost += self._cardinality(edge.parent.name) * self.n_nodes
+        return CostEstimate("nl", cost, "scan + full rescan per outer match")
+
+    def _navigational(self, tree: BlossomTree) -> CostEstimate:
+        # One traversal per tree edge from the root, a coarse stand-in
+        # for per-step materialize-and-filter evaluation.
+        steps = max(1, len(tree.tree_edges))
+        cost = float(steps * self.n_nodes)
+        return CostEstimate("xhive", cost, f"{steps} steps x {self.n_nodes} nodes")

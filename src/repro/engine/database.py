@@ -1,0 +1,99 @@
+"""A minimal persistent-database facade over the engine.
+
+The paper's setting is a native XML database (its comparator X-Hive is
+one); this module provides the corresponding storage-backed entry
+point: a :class:`Database` bundles a document stored in the succinct
+binary format (:mod:`repro.xmlkit.binary`) with its statistics and a
+tag-name index, and hands out ready-to-use :class:`~repro.engine.session.Engine`
+sessions.
+
+Typical use::
+
+    db = Database.from_xml(xml_text)
+    db.save("library.btx")
+    ...
+    db = Database.open("library.btx")
+    db.query("//book[author]//title")
+
+Updates go through :meth:`updater`, which keeps the index registered
+for invalidation — the Section-2.1 maintenance story, wired in.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.xmlkit.binary import dump, load
+from repro.xmlkit.parser import parse
+from repro.xmlkit.stats import DocumentStats, compute_stats
+from repro.xmlkit.tree import Document
+from repro.xmlkit.update import DocumentUpdater
+from repro.engine.result import QueryResult
+from repro.engine.session import Engine
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A stored document plus its engine, statistics and index."""
+
+    def __init__(self, doc: Document) -> None:
+        self.doc = doc
+        self.engine = Engine(doc)
+        self._updater: Optional[DocumentUpdater] = None
+
+    # ------------------------------------------------------------------
+    # Construction / persistence.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str) -> "Database":
+        """Build a database from XML text."""
+        return cls(parse(text))
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "Database":
+        """Open a database stored with :meth:`save`."""
+        return cls(load(Path(path).read_bytes()))
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Persist to the succinct binary format; returns bytes written."""
+        payload = dump(self.doc)
+        Path(path).write_bytes(payload)
+        return len(payload)
+
+    # ------------------------------------------------------------------
+    # Queries and updates.
+    # ------------------------------------------------------------------
+
+    def query(self, text: str, strategy: str = "auto", **kwargs) -> QueryResult:
+        """Evaluate a query (see :meth:`Engine.query` for options)."""
+        return self.engine.query(text, strategy=strategy, **kwargs)
+
+    def explain(self, text: str, strategy: str = "auto") -> str:
+        return self.engine.explain(text, strategy)
+
+    @property
+    def stats(self) -> DocumentStats:
+        return self.engine.stats
+
+    def updater(self) -> DocumentUpdater:
+        """The document updater, with the engine's index registered so
+        structural updates invalidate it (rebuilt lazily on the next
+        join-based query)."""
+        if self._updater is None:
+            self._updater = DocumentUpdater(self.doc)
+            self._updater.register_index(self.engine.index)
+        return self._updater
+
+    def refresh_stats(self) -> DocumentStats:
+        """Recompute statistics after updates (the optimizer reads them)."""
+        self.engine._stats = compute_stats(self.doc, with_size=False)
+        return self.engine._stats
+
+    def __repr__(self) -> str:  # pragma: no cover
+        stats = self.stats
+        return (f"<Database {stats.n_elements} elements, "
+                f"{stats.n_distinct_tags} tags, "
+                f"{'recursive' if stats.recursive else 'flat'}>")

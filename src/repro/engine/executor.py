@@ -1,0 +1,346 @@
+"""The BlossomTree FLWOR executor.
+
+Execution pipeline (Figure 2's data flow, made concrete):
+
+1. **Match** — every NoK pattern tree is evaluated with the merged
+   sequential scan (one document pass per distinct document, Section
+   4.2 technique 1), producing per-NoK NestedList sequences in document
+   order.
+2. **Join** — every inter-NoK edge is evaluated with the physical join
+   the optimizer picked (pipelined merge, stack merge, or bounded
+   nested loop), producing ancestor→matches adjacency.  Mandatory
+   inter edges then run a bottom-up semi-join reduction: nodes without
+   a partner are σ-filtered out of their NestedLists, cascading through
+   the mandatory-edge rules.
+3. **Bind** — tuples are enumerated in clause order.  A for-variable's
+   candidates are found by walking its vertex chain from its anchor
+   (the variable it dereferences, or the document root), moving through
+   NestedList groups on local edges and through join adjacency on cut
+   edges; a let-variable binds the whole candidate sequence.  This
+   walk-based enumeration deduplicates by node, reproducing XPath's
+   set semantics exactly.
+4. **Finish** — the original where clause is re-verified per tuple
+   (crossing-edge relationships like ``<<``/``deep-equal`` are checked
+   here, which *is* the paper's nested-loop value join), then order by
+   and return-clause construction run through the same
+   :class:`~repro.engine.construct.DirectEvaluator` the oracle uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CompileError, ExecutionError
+from repro.pattern.blossom import MODE_MANDATORY, BlossomTree, BlossomVertex, TreeEdge
+from repro.pattern.build import RESULT_VAR, build_blossom_tree
+from repro.pattern.decompose import Decomposition, InterEdge, NoKTree, decompose
+from repro.pattern.dewey import assign_dewey
+from repro.xmlkit.storage import ScanCounters
+from repro.xmlkit.tree import Document, Node
+from repro.xquery.ast import FLWOR, ForClause, LetClause
+from repro.algebra.env import Env
+from repro.algebra.nested_list import NLEntry
+from repro.algebra.operators import select
+from repro.physical.nested_loop import (
+    bounded_nested_loop_join,
+    naive_nested_loop_join,
+)
+from repro.physical.nok_merge import merged_scan
+from repro.physical.pipelined_join import caching_desc_join, pipelined_desc_join
+from repro.physical.stack_join import stack_desc_join
+from repro.physical.structural import JoinResult, left_projection
+from repro.physical.twigstack import TwigStackOperator, twig_supported
+from repro.engine.construct import DirectEvaluator
+from repro.engine.result import Item
+
+__all__ = ["FLWORExecutor", "JOIN_ALGORITHMS"]
+
+#: Join-algorithm names the optimizer / harness may request per edge.
+JOIN_ALGORITHMS = ("pipelined", "caching", "stack", "bnlj", "nl")
+
+
+class FLWORExecutor:
+    """Executes one FLWOR expression through the BlossomTree pipeline.
+
+    Parameters
+    ----------
+    doc:
+        Default document (``doc(uri)`` resolves to it unless
+        ``resolve_doc`` is given).
+    resolve_doc:
+        Optional URI resolver for multi-document queries.
+    join_algorithm:
+        One of :data:`JOIN_ALGORITHMS`, or ``"auto"`` to let the
+        executor pick per edge (pipelined on non-recursive documents,
+        stack merge on recursive ones — the optimizer policy Section
+        5.2's analysis suggests).
+    counters:
+        Shared work counters (created if omitted; exposed as
+        ``self.counters``).
+    """
+
+    def __init__(self, doc: Document,
+                 resolve_doc: Optional[Callable[[str], Document]] = None,
+                 join_algorithm: str = "auto",
+                 counters: Optional[ScanCounters] = None,
+                 recursive_hint: Optional[bool] = None) -> None:
+        self.doc = doc
+        self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
+        if join_algorithm != "auto" and join_algorithm not in JOIN_ALGORITHMS:
+            raise ValueError(f"unknown join algorithm {join_algorithm!r}")
+        self.join_algorithm = join_algorithm
+        self.counters = counters if counters is not None else ScanCounters()
+        self._recursive_hint = recursive_hint
+        self._direct = DirectEvaluator(doc, self.resolve_doc)
+        #: (parent_vid, child_vid) -> JoinResult, filled during execute()
+        self._adjacency: dict[tuple[int, int], JoinResult] = {}
+        #: filled during execute(), for explain()
+        self.plan_notes: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def execute(self, flwor: FLWOR) -> list[Item]:
+        """Run the full pipeline; raises CompileError for unsupported
+        constructs (callers fall back to direct evaluation)."""
+        tree = build_blossom_tree(flwor)
+        dec = decompose(tree)
+        assign_dewey(tree)  # global Dewey IDs (Theorem 2 precondition)
+
+        matches = self._match_phase(dec)
+        matches = self._join_phase(dec, matches)
+        envs = self._bind_phase(flwor, tree, dec, matches)
+
+        # Finish: where re-verification, order by, return construction.
+        surviving: list[dict] = []
+        for env in envs:
+            self.counters.comparisons += 1
+            if self._direct.check_where(flwor.where, env.as_variables()):
+                surviving.append(env.as_variables())
+        surviving = self._direct.order_tuples(flwor.order_by, surviving)
+        items: list[Item] = []
+        for bindings in surviving:
+            items.extend(self._direct.eval_query_expr(flwor.return_expr, bindings))
+        return items
+
+    def execute_twigstack(self, flwor: FLWOR) -> list[Item]:
+        """Evaluate a bare-path FLWOR holistically with TwigStack.
+
+        Only applicable when the BlossomTree is a single twig and the
+        query is the synthetic ``for $#result in path return $#result``
+        wrapper (Table 3's TS column runs path queries).
+        """
+        tree = build_blossom_tree(flwor)
+        if not twig_supported(tree):
+            raise CompileError("TwigStack requires a single //-twig pattern")
+        if set(tree.var_vertex) != {RESULT_VAR} or flwor.where or flwor.order_by:
+            raise CompileError("TwigStack strategy only runs bare path queries")
+        operator = TwigStackOperator(tree, self._doc_for_root(tree.roots[0]),
+                                     counters=self.counters)
+        output = tree.var_vertex[RESULT_VAR]
+        return list(operator.matching_nodes(output))
+
+    # ------------------------------------------------------------------
+    # Phase 1: NoK matching (merged scans, Section 4.2 technique 1).
+    # ------------------------------------------------------------------
+
+    def _match_phase(self, dec: Decomposition) -> dict[int, list[NLEntry]]:
+        by_doc: dict[int, tuple[Document, list[NoKTree]]] = {}
+        for nok in dec.noks:
+            doc = self._doc_for_nok(dec, nok)
+            by_doc.setdefault(id(doc), (doc, []))[1].append(nok)
+        matches: dict[int, list[NLEntry]] = {}
+        for doc, noks in by_doc.values():
+            self.plan_notes.append(
+                f"merged scan: {len(noks)} NoK(s) in one pass over "
+                f"{len(doc.nodes)} nodes")
+            matches.update(merged_scan(noks, doc, self.counters))
+        for nok_id, entries in matches.items():
+            self.counters.intermediate_results += len(entries)
+        return matches
+
+    def _doc_for_nok(self, dec: Decomposition, nok: NoKTree) -> Document:
+        return self._doc_for_root(dec.tree.pattern_root_of(nok.root))
+
+    def _doc_for_root(self, root: BlossomVertex) -> Document:
+        uri = getattr(root, "doc_uri", "")
+        if uri == "":
+            return self.doc
+        return self.resolve_doc(uri)
+
+    # ------------------------------------------------------------------
+    # Phase 2: structural joins + bottom-up semi-join reduction.
+    # ------------------------------------------------------------------
+
+    def _join_phase(self, dec: Decomposition,
+                    matches: dict[int, list[NLEntry]]) -> dict[int, list[NLEntry]]:
+        self._adjacency = {}
+        depth = _nok_depths(dec)
+        # Deepest NoKs first, so every edge sees an already-reduced
+        # right side and reductions cascade toward the roots.
+        edges = sorted(dec.inter_edges, key=lambda e: depth[e.nok_to], reverse=True)
+        for edge in edges:
+            right = matches.get(edge.nok_to, [])
+            left = matches.get(edge.nok_from, [])
+            result = self._run_join(dec, edge, left, right)
+            self._adjacency[(edge.parent.vid, edge.child.vid)] = result
+            if edge.mode == MODE_MANDATORY:
+                adjacency = result.adjacency
+                matches[edge.nok_from] = select(
+                    left, edge.parent, lambda node: node.nid in adjacency)
+        return matches
+
+    def _run_join(self, dec: Decomposition, edge: InterEdge,
+                  left: list[NLEntry], right: list[NLEntry]) -> JoinResult:
+        if edge.axis != "descendant":
+            raise CompileError(f"inter-NoK axis {edge.axis!r} has no join "
+                               "operator (navigational fallback required)")
+        if not left or not right:
+            return JoinResult(edge)
+
+        # Vacuous join: everything is a descendant of the document node.
+        if edge.parent.name == "#root":
+            result = JoinResult(edge)
+            doc_node = left[0].node
+            assert doc_node is not None
+            for entry in right:
+                result.add(doc_node, entry)
+            self.plan_notes.append(
+                f"join V{edge.parent.vid}->V{edge.child.vid}: vacuous (document root)")
+            return result
+
+        algorithm = self._pick_algorithm(dec, edge)
+        self.plan_notes.append(
+            f"join V{edge.parent.vid}->V{edge.child.vid}: {algorithm}")
+        projection = left_projection(left, edge)
+        if algorithm == "pipelined":
+            return pipelined_desc_join(projection, right, edge, self.counters)
+        if algorithm == "caching":
+            return caching_desc_join(projection, right, edge, self.counters)
+        if algorithm == "stack":
+            return stack_desc_join(projection, right, edge, self.counters)
+        inner_nok = dec.nok_of(edge.child)
+        doc = self._doc_for_nok(dec, dec.noks[edge.nok_from])
+        # The nested loops re-discover inner matches by scanning; the
+        # canonical map reconciles them with the bottom-up-reduced right
+        # entries so deeper mandatory joins stay enforced.
+        canonical = {e.node.nid: e for e in right if e.node is not None}
+        if algorithm == "bnlj":
+            return bounded_nested_loop_join(projection, inner_nok, doc, edge,
+                                            self.counters, canonical)
+        assert algorithm == "nl"
+        return naive_nested_loop_join(projection, inner_nok, doc, edge,
+                                      self.counters, canonical)
+
+    def _pick_algorithm(self, dec: Decomposition, edge: InterEdge) -> str:
+        if self.join_algorithm != "auto":
+            return self.join_algorithm
+        recursive = self._recursive_hint
+        if recursive is None:
+            from repro.xmlkit.stats import compute_stats
+
+            doc = self._doc_for_nok(dec, dec.noks[edge.nok_from])
+            recursive = compute_stats(doc, with_size=False).recursive
+            self._recursive_hint = recursive
+        return "stack" if recursive else "pipelined"
+
+    # ------------------------------------------------------------------
+    # Phase 3: tuple enumeration (variable binding).
+    # ------------------------------------------------------------------
+
+    def _bind_phase(self, flwor: FLWOR, tree: BlossomTree, dec: Decomposition,
+                    matches: dict[int, list[NLEntry]]) -> list[Env]:
+        root_entries: dict[int, list[NLEntry]] = {}
+        for nok in dec.root_noks():
+            root_entries[nok.root.vid] = matches.get(nok.nok_id, [])
+
+        envs: list[Env] = []
+        self._enumerate(flwor, tree, root_entries, 0, Env(), envs)
+        return envs
+
+    def _enumerate(self, flwor: FLWOR, tree: BlossomTree,
+                   root_entries: dict[int, list[NLEntry]], index: int,
+                   env: Env, out: list[Env]) -> None:
+        if index == len(flwor.clauses):
+            out.append(env)
+            return
+        clause = flwor.clauses[index]
+        candidates = self._candidates(tree, root_entries, clause.var, env)
+        if isinstance(clause, ForClause):
+            for entry in candidates:
+                self._enumerate(flwor, tree, root_entries, index + 1,
+                                env.bind_for(clause.var, entry), out)
+        else:
+            assert isinstance(clause, LetClause)
+            self._enumerate(flwor, tree, root_entries, index + 1,
+                            env.bind_let(clause.var, candidates), out)
+
+    def _candidates(self, tree: BlossomTree,
+                    root_entries: dict[int, list[NLEntry]], var: str,
+                    env: Env) -> list[NLEntry]:
+        """Walk the variable's vertex chain from its anchor, producing the
+        document-ordered, deduplicated candidate entries."""
+        vertex = tree.var_vertex[var]
+        chain: list[TreeEdge] = []
+        anchor = vertex
+        while True:
+            edge = anchor.parent_edge
+            if edge is None:
+                break
+            chain.append(edge)
+            anchor = edge.parent
+            if anchor.variables or anchor.parent_edge is None:
+                break
+        chain.reverse()
+
+        if anchor.variables:
+            anchor_var = anchor.variables[0]
+            frontier = list(env.anchors.get(anchor_var, []))
+        else:
+            frontier = list(root_entries.get(anchor.vid, []))
+
+        for edge in chain:
+            next_frontier: list[NLEntry] = []
+            if getattr(edge, "cut", False):
+                adjacency = self._adjacency.get((edge.parent.vid, edge.child.vid))
+                for entry in frontier:
+                    node = entry.node
+                    if node is None or adjacency is None:
+                        continue
+                    next_frontier.extend(adjacency.partners(node))
+            else:
+                for entry in frontier:
+                    for sub in entry.group_for(edge.child):
+                        if sub is not None:
+                            next_frontier.append(sub)
+            frontier = next_frontier
+
+        # Deduplicate by node and restore document order (descendant
+        # hops can reach the same node through different ancestors).
+        seen: set[int] = set()
+        unique: list[NLEntry] = []
+        for entry in frontier:
+            node = entry.node
+            if node is not None and node.nid not in seen:
+                seen.add(node.nid)
+                unique.append(entry)
+        unique.sort(key=lambda e: e.node.nid)  # type: ignore[union-attr]
+        return unique
+
+
+def _nok_depths(dec: Decomposition) -> dict[int, int]:
+    """Distance of each NoK from its root NoK in the inter-edge forest."""
+    depth: dict[int, int] = {nok.nok_id: 0 for nok in dec.root_noks()}
+    changed = True
+    while changed:
+        changed = False
+        for edge in dec.inter_edges:
+            if edge.nok_from in depth:
+                want = depth[edge.nok_from] + 1
+                if depth.get(edge.nok_to, -1) < want:
+                    depth[edge.nok_to] = want
+                    changed = True
+    for nok in dec.noks:
+        depth.setdefault(nok.nok_id, 0)
+    return depth

@@ -1,0 +1,76 @@
+"""Rule-based physical-operator selection.
+
+The paper leaves full cost-based optimization to future work but states
+the decision rules its experiments support (Section 5.2):
+
+* pipelined merge joins are preferred on **non-recursive** documents —
+  they are index-free, scan-friendly and comparable to or faster than
+  TwigStack there;
+* on **recursive** documents the pipelined join is unsound (Example 5 /
+  Theorem 2's precondition fails), so a stack-based merge (bounded
+  memory) or bounded nested loop is used instead;
+* TwigStack is the choice when a tag-name index exists and the whole
+  query is a ``//``-twig — optimal for all-``//`` patterns;
+* the naive per-iteration interpreter is the fallback for constructs
+  outside the pattern-matching subset.
+
+:func:`choose_strategy` encodes those rules; the engine session calls
+it when the caller asks for ``strategy="auto"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pattern.blossom import BlossomTree
+from repro.physical.twigstack import twig_supported
+from repro.xmlkit.stats import DocumentStats
+
+__all__ = ["PlanChoice", "choose_strategy"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The optimizer's decision and its reasoning (for ``explain``)."""
+
+    strategy: str        # "pipelined" | "stack" | "bnlj" | "twigstack" | "naive"
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.strategy} ({self.reason})"
+
+
+def choose_strategy(stats: DocumentStats, tree: Optional[BlossomTree],
+                    is_bare_path: bool, has_index: bool) -> PlanChoice:
+    """Pick the physical strategy for a compiled query.
+
+    Parameters
+    ----------
+    stats:
+        Statistics of the (primary) input document.
+    tree:
+        The BlossomTree, or ``None`` when compilation failed (forces the
+        naive fallback).
+    is_bare_path:
+        Whether the query is a single path expression (TwigStack is only
+        applicable there).
+    has_index:
+        Whether a tag-name index is available (TwigStack requires one).
+    """
+    if tree is None:
+        return PlanChoice("naive", "query outside the pattern-matching subset")
+    if stats.recursive:
+        if is_bare_path and has_index and twig_supported(tree):
+            return PlanChoice(
+                "twigstack",
+                f"recursive document (degree {stats.recursion_degree}); "
+                "holistic twig join is optimal for //-twigs")
+        return PlanChoice(
+            "stack",
+            f"recursive document (degree {stats.recursion_degree}); "
+            "pipelined merge is unsound, stack merge bounds memory by depth")
+    return PlanChoice(
+        "pipelined",
+        "non-recursive document; index-free merge joins over ordered "
+        "NoK streams (Theorem 2)")

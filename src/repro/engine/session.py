@@ -1,0 +1,234 @@
+"""Public API facade: the :class:`Engine`.
+
+Typical use::
+
+    from repro import Engine, parse
+
+    engine = Engine(parse(xml_text))
+    result = engine.query('//book[author]/title')
+    print(result.pretty())
+
+``Engine.query`` accepts bare path expressions, FLWOR expressions, and
+constructor-wrapped FLWORs; ``strategy`` selects the physical plan:
+
+========== ==========================================================
+strategy    meaning
+========== ==========================================================
+``auto``    optimizer picks per the Section-5.2 rules (default)
+``pipelined`` BlossomTree with pipelined merge ``//``-joins (PL)
+``stack``   BlossomTree with stack-based merge joins
+``bnlj``    BlossomTree with bounded nested-loop joins (the paper's NL)
+``twigstack`` holistic twig join over the tag index (TS)
+``naive``   direct per-iteration FLWOR semantics (the Section-1 strawman)
+``xhive``   simulated commercial navigational engine (XH stand-in)
+``cost``    pick by the Section-6 cost model (expected nodes touched)
+========== ==========================================================
+
+Strategies that do not apply to a query (e.g. ``twigstack`` on a FLWOR
+with crossing edges) raise :class:`~repro.errors.CompileError`;
+``auto`` never raises — it falls back to ``naive``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import CompileError
+from repro.xmlkit.index import TagIndex
+from repro.xmlkit.stats import DocumentStats, compute_stats
+from repro.xmlkit.storage import ScanCounters
+from repro.xmlkit.tree import Document
+from repro.xquery.ast import FLWOR, QueryExpr
+from repro.engine.compiler import CompiledQuery, compile_query
+from repro.engine.construct import DirectEvaluator
+from repro.engine.executor import FLWORExecutor
+from repro.engine.optimizer import PlanChoice, choose_strategy
+from repro.engine.result import Item, QueryResult
+
+__all__ = ["Engine"]
+
+_BLOSSOM_STRATEGIES = {"pipelined", "caching", "stack", "bnlj", "nl"}
+
+
+class _SubstitutingEvaluator(DirectEvaluator):
+    """DirectEvaluator that substitutes a precomputed value for one
+    specific FLWOR node (the one the BlossomTree executor ran)."""
+
+    def __init__(self, doc, resolve_doc, target: FLWOR, items: list[Item]) -> None:
+        super().__init__(doc, resolve_doc)
+        self._target = target
+        self._items = items
+
+    def eval_query_expr(self, expr, bindings):  # type: ignore[override]
+        if expr is self._target:
+            return list(self._items)
+        return super().eval_query_expr(expr, bindings)
+
+
+class Engine:
+    """A query engine bound to one primary document.
+
+    Parameters
+    ----------
+    doc:
+        The primary document; ``doc("uri")`` references resolve to it
+        unless ``documents`` maps the uri elsewhere.
+    documents:
+        Optional ``{uri: Document}`` mapping for multi-document queries.
+    work_budget:
+        Optional cap on scanned nodes per query (DNF emulation); can be
+        overridden per call.
+    """
+
+    def __init__(self, doc: Document,
+                 documents: Optional[dict[str, Document]] = None,
+                 work_budget: Optional[int] = None) -> None:
+        self.doc = doc
+        self.documents = dict(documents or {})
+        self.work_budget = work_budget
+        self.index = TagIndex(doc)
+        self._stats: Optional[DocumentStats] = None
+        self.last_plan: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def query(self, text: Union[str, QueryExpr], strategy: str = "auto",
+              counters: Optional[ScanCounters] = None,
+              work_budget: Optional[int] = None) -> QueryResult:
+        """Evaluate a query and return its result sequence."""
+        counters = counters if counters is not None else ScanCounters()
+        budget = work_budget if work_budget is not None else self.work_budget
+        if budget is not None:
+            counters.budget = budget
+
+        compiled = compile_query(text)
+        if compiled.flwor is not None and not compiled.is_bare_path:
+            from repro.xquery.semantics import analyze
+
+            analyze(compiled.flwor).raise_errors()
+        choice = self._resolve_strategy(compiled, strategy)
+        self.last_plan = str(choice)
+
+        if choice.strategy == "naive":
+            evaluator = DirectEvaluator(self.doc, self._resolve_doc,
+                                        work_budget=budget)
+            return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
+        if choice.strategy == "xhive":
+            from repro.baseline.xhive import XHiveSimulator
+
+            simulator = XHiveSimulator(self.doc, self._resolve_doc, counters)
+            return simulator.run(compiled.query)
+
+        assert compiled.flwor is not None and compiled.tree is not None
+        executor = FLWORExecutor(
+            self.doc, self._resolve_doc,
+            join_algorithm=("auto" if choice.strategy == "twigstack"
+                            else choice.strategy),
+            counters=counters,
+            recursive_hint=self.stats.recursive)
+        try:
+            if choice.strategy == "twigstack":
+                items = executor.execute_twigstack(compiled.flwor)
+            else:
+                items = executor.execute(compiled.flwor)
+        except CompileError:
+            if strategy != "auto":
+                raise
+            # Late compile failure under auto: fall back to direct
+            # evaluation rather than surfacing an internal limitation.
+            evaluator = DirectEvaluator(self.doc, self._resolve_doc,
+                                        work_budget=budget)
+            self.last_plan = "naive (late fallback)"
+            return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
+        self.last_plan = str(choice) + "; " + "; ".join(executor.plan_notes)
+
+        if compiled.query is compiled.flwor:
+            return QueryResult(items)
+        wrapper = _SubstitutingEvaluator(self.doc, self._resolve_doc,
+                                         compiled.flwor, items)
+        return QueryResult(wrapper.eval_query_expr(compiled.query, {}))
+
+    def explain(self, text: Union[str, QueryExpr], strategy: str = "auto") -> str:
+        """Describe the plan that ``query`` would run (without running it)."""
+        compiled = compile_query(text)
+        choice = self._resolve_strategy(compiled, strategy)
+        lines = [f"strategy: {choice}"]
+        if compiled.flwor is not None and not compiled.is_bare_path:
+            from repro.xquery.semantics import analyze
+
+            report = analyze(compiled.flwor)
+            if report.correlations:
+                lines.append("correlations:")
+                for corr in report.correlations:
+                    variables = ", ".join(f"${v}" for v in corr.variables)
+                    lines.append(f"  [{corr.relation}] {variables}: "
+                                 f"{corr.description}")
+        if compiled.tree is not None:
+            lines.append("BlossomTree:")
+            lines.append(compiled.tree.describe())
+            from repro.pattern.decompose import decompose
+
+            lines.append("decomposition:")
+            lines.append(decompose(compiled.tree).describe())
+            from repro.engine.cost import CostModel
+
+            lines.append("cost estimates (expected nodes touched):")
+            model = CostModel(self.doc, self.stats, self.index)
+            for estimate in model.rank(compiled.tree):
+                lines.append(f"  {estimate}")
+        elif compiled.compile_error:
+            lines.append(f"fallback reason: {compiled.compile_error}")
+        return "\n".join(lines)
+
+    @property
+    def stats(self) -> DocumentStats:
+        """Statistics of the primary document (computed once)."""
+        if self._stats is None:
+            self._stats = compute_stats(self.doc, with_size=False)
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _resolve_doc(self, uri: str) -> Document:
+        return self.documents.get(uri, self.doc)
+
+    def _resolve_strategy(self, compiled: CompiledQuery, strategy: str) -> PlanChoice:
+        if strategy == "auto":
+            return choose_strategy(self.stats, compiled.tree,
+                                   compiled.is_bare_path, has_index=True)
+        if strategy == "cost":
+            return self._cost_based_choice(compiled)
+        if strategy in ("naive", "xhive"):
+            return PlanChoice(strategy, "explicitly requested")
+        if strategy == "twigstack":
+            if compiled.tree is None:
+                raise CompileError(
+                    f"twigstack strategy unavailable: {compiled.compile_error}")
+            return PlanChoice("twigstack", "explicitly requested")
+        if strategy in _BLOSSOM_STRATEGIES:
+            if compiled.tree is None or compiled.flwor is None:
+                raise CompileError(
+                    f"{strategy} strategy unavailable: "
+                    f"{compiled.compile_error or 'no FLWOR core'}")
+            return PlanChoice(strategy, "explicitly requested")
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    def _cost_based_choice(self, compiled: CompiledQuery) -> PlanChoice:
+        """Pick by the Section-6 cost model (expected nodes touched)."""
+        if compiled.tree is None:
+            return PlanChoice("naive",
+                              compiled.compile_error or "no pattern tree")
+        from repro.engine.cost import CostModel
+
+        model = CostModel(self.doc, self.stats, self.index)
+        for estimate in model.rank(compiled.tree):
+            if estimate.cost == float("inf"):
+                continue
+            if estimate.strategy == "twigstack" and not compiled.is_bare_path:
+                continue  # holistic execution only covers bare paths
+            return PlanChoice(estimate.strategy, f"cost model: {estimate}")
+        return PlanChoice("naive", "cost model found no applicable strategy")

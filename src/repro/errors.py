@@ -1,0 +1,72 @@
+"""Exception hierarchy for the BlossomTree reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  More specific
+subclasses identify the failing layer (XML parsing, query parsing,
+compilation, execution), which keeps error handling explicit without
+forcing callers to know internal module structure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised when the XML tokenizer or parser rejects its input.
+
+    Carries the 1-based line and column of the offending position so that
+    callers can point users at the exact spot in the document.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class QuerySyntaxError(ReproError):
+    """Raised when an XPath or FLWOR expression fails to parse."""
+
+    def __init__(self, message: str, position: int = -1, query: str = ""):
+        self.position = position
+        self.query = query
+        if position >= 0 and query:
+            caret = " " * position + "^"
+            message = f"{message}\n  {query}\n  {caret}"
+        super().__init__(message)
+
+
+class StaticError(ReproError):
+    """Raised for static (compile-time) semantic errors.
+
+    Examples: reference to an unbound variable, an ``order by`` clause with
+    no enclosing binding, or a crossing edge between vertices that belong to
+    no pattern tree.
+    """
+
+
+class CompileError(ReproError):
+    """Raised when a BlossomTree cannot be translated to a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical operator fails at run time."""
+
+
+class DNFError(ExecutionError):
+    """Raised when an operator exceeds its work budget (the paper's "DNF").
+
+    The experimental harness converts this into a ``DNF`` table entry, the
+    same way the paper reports runs that did not finish within 15 minutes.
+    """
+
+    def __init__(self, message: str = "work budget exhausted", budget: int | None = None):
+        self.budget = budget
+        if budget is not None:
+            message = f"{message} (budget={budget})"
+        super().__init__(message)

@@ -1,0 +1,31 @@
+"""Pattern layer: BlossomTree, construction, decomposition, Dewey IDs."""
+
+from repro.pattern.blossom import (
+    MODE_MANDATORY,
+    MODE_OPTIONAL,
+    BlossomTree,
+    BlossomVertex,
+    CrossingEdge,
+    TreeEdge,
+)
+from repro.pattern.build import build_blossom_tree, build_from_path, path_as_flwor
+from repro.pattern.decompose import Decomposition, InterEdge, NoKTree, decompose
+from repro.pattern.dewey import DeweyAssignment, assign_dewey
+
+__all__ = [
+    "MODE_MANDATORY",
+    "MODE_OPTIONAL",
+    "BlossomTree",
+    "BlossomVertex",
+    "CrossingEdge",
+    "Decomposition",
+    "DeweyAssignment",
+    "InterEdge",
+    "NoKTree",
+    "TreeEdge",
+    "assign_dewey",
+    "build_blossom_tree",
+    "build_from_path",
+    "decompose",
+    "path_as_flwor",
+]

@@ -1,0 +1,264 @@
+"""BlossomTree: the paper's formalism (Definition 1).
+
+A BlossomTree is an annotated directed graph of interconnected pattern
+trees.  Vertices carry a tag-name test, optional value constraints and
+an optional variable (a *blossom*).  Tree edges carry an axis and a
+matching mode: ``"f"`` (mandatory — a valid mapping needs a non-empty
+image) or ``"l"`` (optional — the image may be the empty sequence).
+Crossing edges carry structural (``<<``, ``>>``), value-based (``=``,
+``!=``) or mixed (``deep-equal``) relationships contributed by the
+where clause.
+
+Mode policy (a deliberate, documented refinement of the paper): the
+paper annotates edges "f" for for-clauses and "l" for let-clauses and
+draws where/return-contributed edges as "f".  We derive modes from
+binding semantics instead — for-clause steps are "f" (an empty step
+kills the tuple), while let/where/order-by/return steps are "l"
+(XQuery's empty-sequence semantics mean e.g. ``not($a/t = $b/t)`` is
+*satisfied* by a missing ``t``).  This keeps BlossomTree matching
+exactly equivalent to the naive FLWOR semantics on all documents, not
+just those where the optional nodes happen to exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.xpath.ast import Expr
+
+__all__ = [
+    "MODE_MANDATORY",
+    "MODE_OPTIONAL",
+    "BlossomVertex",
+    "TreeEdge",
+    "CrossingEdge",
+    "BlossomTree",
+]
+
+MODE_MANDATORY = "f"
+MODE_OPTIONAL = "l"
+
+
+@dataclass
+class BlossomVertex:
+    """One vertex of a BlossomTree.
+
+    Attributes
+    ----------
+    vid:
+        Dense vertex id within the owning BlossomTree.
+    name:
+        Tag-name test (``"*"`` matches any element).  The special name
+        ``"#root"`` marks a pattern-tree root that matches the document
+        node itself.
+    value_predicates:
+        Local value constraints from path predicates — XPath expressions
+        evaluated with a candidate element as context node (e.g.
+        ``. = "Smith"`` or ``@year = "2000"``).  These stay *inside* the
+        NoK pattern tree: they never force an edge cut.
+    variables:
+        Variable names bound to this vertex (the vertex is a *blossom*
+        when non-empty).  Several variables may share a vertex when
+        their defining paths coincide.
+    var_kinds:
+        For each variable in ``variables``: ``"for"`` (bound to a single
+        node per tuple) or ``"let"`` (bound to the whole sequence).
+    returning:
+        Whether matches of this vertex must be kept in the NestedList
+        output (blossoms, join endpoints and output vertices are
+        returning; purely existential vertices are not).
+    """
+
+    vid: int
+    name: str
+    value_predicates: list[Expr] = field(default_factory=list)
+    variables: list[str] = field(default_factory=list)
+    var_kinds: dict[str, str] = field(default_factory=dict)
+    returning: bool = False
+
+    # Filled in by BlossomTree bookkeeping:
+    parent_edge: Optional["TreeEdge"] = None
+    child_edges: list["TreeEdge"] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_edge is None
+
+    @property
+    def is_blossom(self) -> bool:
+        return bool(self.variables)
+
+    def matches_tag(self, tag: Optional[str]) -> bool:
+        """Tag-name test (value predicates are checked separately)."""
+        if self.name == "#root":
+            return False  # roots match the document node, not elements
+        return self.name == "*" or self.name == tag
+
+    def children(self) -> list["BlossomVertex"]:
+        return [e.child for e in self.child_edges]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mark = f" ${','.join(self.variables)}" if self.variables else ""
+        return f"<V{self.vid} {self.name}{mark}>"
+
+
+@dataclass
+class TreeEdge:
+    """A tree edge ``parent --axis,mode--> child``."""
+
+    parent: BlossomVertex
+    child: BlossomVertex
+    axis: str          # "child", "descendant", "following-sibling", ...
+    mode: str          # MODE_MANDATORY or MODE_OPTIONAL
+
+    @property
+    def is_local(self) -> bool:
+        """Local edges stay inside a NoK pattern tree (Section 2.1)."""
+        return self.axis in ("child", "self", "attribute", "following-sibling")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<E {self.parent.vid}-{self.axis},{self.mode}->{self.child.vid}>"
+
+
+@dataclass
+class CrossingEdge:
+    """A crossing edge from a where-clause relationship.
+
+    ``relation`` is one of ``<<``, ``>>``, ``is``, ``isnot`` (structural),
+    ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=`` (value-based, existential
+    over the two projected sequences) or ``deep-equal`` (mixed).
+    ``negated`` wraps the relation in ``not(...)``.
+
+    Crossing edges are *pruning* devices: the executor re-verifies the
+    full where clause per tuple, so a crossing edge may be conservative
+    (keep when unsure) without affecting correctness.
+    """
+
+    u: BlossomVertex
+    v: BlossomVertex
+    relation: str
+    negated: bool = False
+
+    @property
+    def kind(self) -> str:
+        if self.relation in ("<<", ">>", "is", "isnot"):
+            return "structural"
+        if self.relation == "deep-equal":
+            return "mixed"
+        return "value"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        op = f"not {self.relation}" if self.negated else self.relation
+        return f"<X {self.u.vid} {op} {self.v.vid}>"
+
+
+class BlossomTree:
+    """The annotated graph: vertices, tree edges, crossing edges, roots."""
+
+    def __init__(self) -> None:
+        self.vertices: list[BlossomVertex] = []
+        self.roots: list[BlossomVertex] = []
+        self.tree_edges: list[TreeEdge] = []
+        self.crossing_edges: list[CrossingEdge] = []
+        #: variable name -> vertex bound to it
+        self.var_vertex: dict[str, BlossomVertex] = {}
+        #: where-clause conjuncts not captured by crossing edges or
+        #: value predicates; re-checked per tuple by the executor.
+        self.residual_where: list[Expr] = []
+
+    # ------------------------------------------------------------------
+    # Construction API (used by the builder).
+    # ------------------------------------------------------------------
+
+    def new_vertex(self, name: str) -> BlossomVertex:
+        vertex = BlossomVertex(len(self.vertices), name)
+        self.vertices.append(vertex)
+        return vertex
+
+    def new_root(self, name: str = "#root") -> BlossomVertex:
+        vertex = self.new_vertex(name)
+        self.roots.append(vertex)
+        return vertex
+
+    def add_edge(self, parent: BlossomVertex, child: BlossomVertex,
+                 axis: str, mode: str) -> TreeEdge:
+        if child.parent_edge is not None:
+            raise ValueError(f"vertex {child!r} already has a parent")
+        edge = TreeEdge(parent, child, axis, mode)
+        parent.child_edges.append(edge)
+        child.parent_edge = edge
+        self.tree_edges.append(edge)
+        return edge
+
+    def add_crossing(self, u: BlossomVertex, v: BlossomVertex, relation: str,
+                     negated: bool = False) -> CrossingEdge:
+        edge = CrossingEdge(u, v, relation, negated)
+        u.returning = True
+        v.returning = True
+        self.crossing_edges.append(edge)
+        return edge
+
+    def bind_variable(self, name: str, vertex: BlossomVertex, kind: str) -> None:
+        """Attach a for/let variable to a vertex, making it a blossom."""
+        if name in self.var_vertex:
+            raise ValueError(f"variable ${name} bound twice")
+        vertex.variables.append(name)
+        vertex.var_kinds[name] = kind
+        vertex.returning = True
+        self.var_vertex[name] = vertex
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def iter_subtree(self, root: BlossomVertex) -> Iterator[BlossomVertex]:
+        """Depth-first iteration of a vertex's pattern (sub)tree."""
+        stack = [root]
+        while stack:
+            vertex = stack.pop()
+            yield vertex
+            for edge in reversed(vertex.child_edges):
+                stack.append(edge.child)
+
+    def pattern_root_of(self, vertex: BlossomVertex) -> BlossomVertex:
+        node = vertex
+        while node.parent_edge is not None:
+            node = node.parent_edge.parent
+        return node
+
+    def blossoms(self) -> list[BlossomVertex]:
+        return [v for v in self.vertices if v.is_blossom]
+
+    def mandatory_path_to_root(self, vertex: BlossomVertex) -> bool:
+        """True iff every edge from the vertex up to its root is mode f."""
+        node = vertex
+        while node.parent_edge is not None:
+            if node.parent_edge.mode != MODE_MANDATORY:
+                return False
+            node = node.parent_edge.parent
+        return True
+
+    def describe(self) -> str:
+        """Multi-line textual rendering (tests and the examples use it)."""
+        lines: list[str] = []
+        for root in self.roots:
+            self._describe_vertex(root, 0, lines)
+        for edge in self.crossing_edges:
+            op = f"not({edge.relation})" if edge.negated else edge.relation
+            lines.append(f"crossing: V{edge.u.vid} {op} V{edge.v.vid}")
+        for expr in self.residual_where:
+            lines.append(f"residual: {expr}")
+        return "\n".join(lines)
+
+    def _describe_vertex(self, vertex: BlossomVertex, depth: int,
+                         lines: list[str]) -> None:
+        pad = "  " * depth
+        variables = f" ${{{','.join(vertex.variables)}}}" if vertex.variables else ""
+        preds = "".join(f"[{p}]" for p in vertex.value_predicates)
+        ret = " (ret)" if vertex.returning else ""
+        edge = vertex.parent_edge
+        arrow = f"-{edge.axis},{edge.mode}-> " if edge else ""
+        lines.append(f"{pad}{arrow}V{vertex.vid} {vertex.name}{preds}{variables}{ret}")
+        for child_edge in vertex.child_edges:
+            self._describe_vertex(child_edge.child, depth + 1, lines)

@@ -1,0 +1,509 @@
+"""Build a BlossomTree from a FLWOR expression (paper Section 3.1).
+
+Construction rules
+------------------
+* Every for/let clause path contributes a fresh chain of vertices from
+  its anchor — the document root (``doc(...)`` / absolute paths) or the
+  vertex of the variable it dereferences (``$v/...``).  Chains are never
+  shared between clauses: sharing would let one clause's mandatory-match
+  pruning corrupt another clause's binding (e.g. an ``f``-pruned chain
+  shrinking a ``let`` sequence).
+* Edge modes: for-clause steps are mandatory (``f``), let-clause steps
+  optional (``l``) — see the mode-policy note in
+  :mod:`repro.pattern.blossom`.
+* Step predicates become: value predicates on the vertex (comparisons
+  against literals on ``.``, ``text()`` or ``@attr``), existential
+  mandatory subtrees (bare relative paths), or a combination (path
+  compared to a literal).  Anything else (positional predicates,
+  ``or``-expressions over paths, functions) is unsupported by the
+  pattern matcher and raises :class:`~repro.errors.CompileError`; the
+  engine then falls back to the navigational evaluator.
+* Top-level ``and``-conjuncts of the where clause become crossing edges
+  (``<<``, ``>>``, value comparisons, ``deep-equal``, their negations)
+  when both sides are variable-rooted paths; single-variable comparisons
+  against literals become mandatory pruning chains when the variable is
+  for-bound.  Remaining conjuncts go to ``residual_where``.  The
+  executor re-verifies the complete where clause per tuple, so all of
+  this is sound pruning, never a semantic shortcut.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import CompileError
+from repro.xpath.ast import (
+    Arithmetic,
+    BooleanExpr,
+    Comparison,
+    Conditional,
+    Expr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NameTest,
+    NotExpr,
+    NumberLiteral,
+    Quantified,
+    RootContext,
+    RootDoc,
+    RootVariable,
+    Step,
+    TextTest,
+)
+from repro.xquery.ast import FLWOR, ForClause, LetClause
+from repro.pattern.blossom import (
+    MODE_MANDATORY,
+    MODE_OPTIONAL,
+    BlossomTree,
+    BlossomVertex,
+)
+
+__all__ = ["build_blossom_tree", "build_from_path", "path_as_flwor"]
+
+#: Variable name used when a bare path query is wrapped in a FLWOR.
+RESULT_VAR = "#result"
+
+_VALUE_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_ORDER_OPS = ("<<", ">>", "is", "isnot")
+
+
+def path_as_flwor(path: LocationPath) -> FLWOR:
+    """Wrap a bare path query as ``for $#result in <path> return $#result``."""
+    result_ref = LocationPath(RootVariable(RESULT_VAR), ())
+    return FLWOR((ForClause(RESULT_VAR, path),), None, (), result_ref)
+
+
+def build_from_path(path: LocationPath) -> BlossomTree:
+    """Build the BlossomTree of a bare path query."""
+    return build_blossom_tree(path_as_flwor(path))
+
+
+def build_blossom_tree(flwor: FLWOR) -> BlossomTree:
+    """Translate a FLWOR expression into a BlossomTree.
+
+    Raises :class:`~repro.errors.CompileError` when the expression uses
+    constructs outside the pattern-matching subset (the engine catches
+    this and falls back to navigational evaluation).
+    """
+    builder = _Builder()
+    for clause in flwor.clauses:
+        if isinstance(clause, ForClause):
+            builder.add_clause_path(clause.var, clause.source, "for")
+        else:
+            assert isinstance(clause, LetClause)
+            builder.add_clause_path(clause.var, clause.source, "let")
+    if flwor.where is not None:
+        builder.add_where(flwor.where)
+    builder.finalize()
+    return builder.tree
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.tree = BlossomTree()
+        #: document uri -> its #root vertex (shared so all absolute paths
+        #: over one document form a single interconnected pattern tree,
+        #: enabling the merged-scan optimization of Section 4.2).
+        self._doc_roots: dict[str, BlossomVertex] = {}
+
+    # ------------------------------------------------------------------
+    # Clause paths.
+    # ------------------------------------------------------------------
+
+    def add_clause_path(self, var: str, path: LocationPath, kind: str) -> None:
+        mode = MODE_MANDATORY if kind == "for" else MODE_OPTIONAL
+        anchor = self._anchor_vertex(path)
+        leaf = self._extend_chain(anchor, path.steps, mode)
+        if leaf is anchor and isinstance(path.root, RootVariable):
+            # ``let $y := $x`` — aliasing a variable to another vertex.
+            raise CompileError("variable aliasing without steps is not "
+                               "supported by the pattern matcher")
+        self.tree.bind_variable(var, leaf, kind)
+
+    def _anchor_vertex(self, path: LocationPath) -> BlossomVertex:
+        root = path.root
+        if isinstance(root, RootDoc):
+            return self._doc_root(root.uri)
+        if isinstance(root, RootVariable):
+            vertex = self.tree.var_vertex.get(root.name)
+            if vertex is None:
+                raise CompileError(f"path references unbound variable ${root.name}")
+            return vertex
+        assert isinstance(root, RootContext)
+        if not root.absolute:
+            raise CompileError("relative clause paths need a context item, "
+                               "which the pattern matcher does not model")
+        return self._doc_root("")
+
+    def _doc_root(self, uri: str) -> BlossomVertex:
+        vertex = self._doc_roots.get(uri)
+        if vertex is None:
+            vertex = self.tree.new_root("#root")
+            vertex.returning = True
+            setattr(vertex, "doc_uri", uri)
+            self._doc_roots[uri] = vertex
+        return vertex
+
+    # ------------------------------------------------------------------
+    # Steps.
+    # ------------------------------------------------------------------
+
+    def _extend_chain(self, anchor: BlossomVertex, steps: tuple[Step, ...],
+                      mode: str) -> BlossomVertex:
+        """Append a fresh vertex chain for ``steps`` below ``anchor``."""
+        current = anchor
+        for step in steps:
+            current = self._apply_step(current, step, mode)
+        return current
+
+    def _apply_step(self, parent: BlossomVertex, step: Step, mode: str) -> BlossomVertex:
+        axis = step.axis
+        if axis == "self":
+            # ``.`` — predicates attach to the current vertex.
+            for predicate in step.predicates:
+                self._attach_predicate(parent, predicate, mode)
+            return parent
+        if axis not in ("child", "descendant", "following-sibling"):
+            raise CompileError(f"axis {axis!r} is outside the pattern-matching "
+                               "subset (navigational fallback required)")
+        if not isinstance(step.test, NameTest):
+            raise CompileError(f"node test {step.test} is outside the "
+                               "pattern-matching subset")
+
+        if axis == "following-sibling":
+            edge_in = parent.parent_edge
+            if edge_in is None or edge_in.axis != "child":
+                # Sibling constraints are only local when the current
+                # vertex is anchored by a child edge; //a/following-
+                # sibling::b would need the sibling's parent to be "any
+                # a-ancestor", which is not a NoK-expressible shape.
+                raise CompileError("following-sibling is only supported "
+                                   "after a child step")
+            grand = edge_in.parent
+            vertex = self.tree.new_vertex(step.test.name)
+            edge = self.tree.add_edge(grand, vertex, "child", mode)
+            setattr(vertex, "after_vid", parent.vid)
+        else:
+            vertex = self.tree.new_vertex(step.test.name)
+            self.tree.add_edge(parent, vertex, axis, mode)
+
+        for predicate in step.predicates:
+            self._attach_predicate(vertex, predicate, mode)
+        return vertex
+
+    # ------------------------------------------------------------------
+    # Step predicates.
+    # ------------------------------------------------------------------
+
+    def _attach_predicate(self, vertex: BlossomVertex, predicate: Expr,
+                          mode: str) -> None:
+        """Translate one step predicate onto ``vertex``.
+
+        The predicate was written in a context where ``vertex``'s match
+        is the context node; existence requirements inside it are always
+        mandatory relative to the vertex regardless of the clause mode.
+        """
+        if isinstance(predicate, BooleanExpr) and predicate.op == "and":
+            for operand in predicate.operands:
+                self._attach_predicate(vertex, operand, mode)
+            return
+        if isinstance(predicate, LocationPath):
+            # Existential: [p] requires a match of p below the vertex.
+            self._build_existential(vertex, predicate, value_pred=None)
+            return
+        if isinstance(predicate, Comparison) and predicate.op in _VALUE_OPS:
+            handled = self._attach_comparison(vertex, predicate)
+            if handled:
+                return
+        if isinstance(predicate, NumberLiteral):
+            raise CompileError("positional predicates are outside the "
+                               "pattern-matching subset")
+        if _mentions_position(predicate):
+            raise CompileError("position()/last() predicates are outside the "
+                               "pattern-matching subset")
+        if _mentions_variable(predicate):
+            raise CompileError("variable references inside step predicates are "
+                               "outside the pattern-matching subset")
+        # Anything else (boolean mixes, functions, negated existence) is
+        # checked navigationally per candidate node during NoK matching;
+        # the full XPath evaluator runs with the candidate as context.
+        vertex.value_predicates.append(predicate)
+
+    def _attach_comparison(self, vertex: BlossomVertex, cmp: Comparison) -> bool:
+        """Handle ``path op literal`` predicates; returns True if consumed."""
+        path, literal, op = _split_path_literal(cmp)
+        if path is None or literal is None:
+            return False
+        if not isinstance(path.root, RootContext) or path.root.absolute:
+            return False
+        if not path.steps:
+            # [. op literal]
+            vertex.value_predicates.append(cmp)
+            return True
+        if len(path.steps) == 1 and path.steps[0].axis in ("attribute", "self") \
+                and not path.steps[0].predicates:
+            vertex.value_predicates.append(cmp)
+            return True
+        if len(path.steps) == 1 and isinstance(path.steps[0].test, TextTest) \
+                and path.steps[0].axis == "child" and not path.steps[0].predicates:
+            vertex.value_predicates.append(cmp)
+            return True
+        # [a/b op literal] — existential subtree with a value-constrained leaf.
+        leaf_pred = Comparison(op, LocationPath(RootContext(False), ()), literal) \
+            if _path_is_left(cmp) else \
+            Comparison(op, literal, LocationPath(RootContext(False), ()))
+        self._build_existential(vertex, path, value_pred=leaf_pred)
+        return True
+
+    def _build_existential(self, vertex: BlossomVertex, path: LocationPath,
+                           value_pred: Optional[Expr]) -> None:
+        """Build a mandatory, non-returning subtree below ``vertex``."""
+        if not isinstance(path.root, RootContext) or path.root.absolute:
+            raise CompileError("predicate paths must be relative to the "
+                               "context node")
+        leaf = self._extend_chain(vertex, path.steps, MODE_MANDATORY)
+        if leaf is vertex:
+            raise CompileError("empty predicate path")
+        if value_pred is not None:
+            leaf.value_predicates.append(value_pred)
+
+    # ------------------------------------------------------------------
+    # Where clause.
+    # ------------------------------------------------------------------
+
+    def add_where(self, where: Expr) -> None:
+        for conjunct in _flatten_and(where):
+            self._add_conjunct(conjunct)
+
+    def _add_conjunct(self, conjunct: Expr) -> None:
+        tree = self.tree
+        inner, negated = _strip_not(conjunct)
+
+        if isinstance(inner, FunctionCall) and inner.name == "deep-equal" \
+                and len(inner.args) == 2:
+            if isinstance(inner.args[0], LocationPath) \
+                    and isinstance(inner.args[1], LocationPath):
+                u = self._where_endpoint(inner.args[0])
+                v = self._where_endpoint(inner.args[1])
+                if u is not None and v is not None:
+                    tree.add_crossing(u, v, "deep-equal", negated)
+                    return
+            tree.residual_where.append(conjunct)
+            return
+
+        if isinstance(inner, Comparison):
+            op = inner.op
+            if (op in _ORDER_OPS or op in _VALUE_OPS) \
+                    and isinstance(inner.left, LocationPath) \
+                    and isinstance(inner.right, LocationPath):
+                u = self._where_endpoint(inner.left)
+                v = self._where_endpoint(inner.right)
+                if u is not None and v is not None:
+                    tree.add_crossing(u, v, op, negated)
+                    return
+            if op in _VALUE_OPS and not negated:
+                if self._try_prune_literal(inner):
+                    # Conjunct kept in residual_where too: the crossing
+                    # machinery only prunes, the executor re-verifies.
+                    return
+        tree.residual_where.append(conjunct)
+
+    def _where_endpoint(self, expr: Expr) -> Optional[BlossomVertex]:
+        """Resolve a where-side expression to a vertex (building an
+        optional chain for ``$v/steps`` forms).  None if not a
+        variable-rooted path."""
+        if not isinstance(expr, LocationPath):
+            return None
+        if not isinstance(expr.root, RootVariable):
+            return None
+        anchor = self.tree.var_vertex.get(expr.root.name)
+        if anchor is None:
+            raise CompileError(f"where references unbound variable ${expr.root.name}")
+        if not expr.steps:
+            return anchor
+        try:
+            leaf = self._extend_chain(anchor, expr.steps, MODE_OPTIONAL)
+        except CompileError:
+            return None
+        leaf.returning = True
+        return leaf
+
+    def _try_prune_literal(self, cmp: Comparison) -> bool:
+        """``$v/steps op literal`` where $v is for-bound: add a mandatory
+        pruning chain with the value constraint on its leaf."""
+        path, literal, _ = _split_path_literal(cmp)
+        if path is None or literal is None:
+            return False
+        if not isinstance(path.root, RootVariable):
+            return False
+        anchor = self.tree.var_vertex.get(path.root.name)
+        if anchor is None:
+            raise CompileError(f"where references unbound variable ${path.root.name}")
+        if anchor.var_kinds.get(path.root.name) != "for":
+            return False  # pruning a let-bound sequence would change it
+        if not path.steps:
+            anchor.value_predicates.append(
+                Comparison(cmp.op,
+                           LocationPath(RootContext(False), ()) if _path_is_left(cmp)
+                           else literal,
+                           literal if _path_is_left(cmp)
+                           else LocationPath(RootContext(False), ())))
+            self.tree.residual_where.append(cmp)
+            return True
+        leaf_pred = (Comparison(cmp.op, LocationPath(RootContext(False), ()), literal)
+                     if _path_is_left(cmp)
+                     else Comparison(cmp.op, literal, LocationPath(RootContext(False), ())))
+        try:
+            self._build_existential(anchor, LocationPath(RootContext(False), path.steps),
+                                    value_pred=leaf_pred)
+        except CompileError:
+            return False
+        self.tree.residual_where.append(cmp)
+        return True
+
+    # ------------------------------------------------------------------
+    # Finalization.
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Mark which vertices must be kept in NestedList output."""
+        tree = self.tree
+        # Returning-ness propagates up: any vertex with a returning
+        # descendant must be kept so projections can navigate to it.
+        changed = True
+        while changed:
+            changed = False
+            for edge in tree.tree_edges:
+                if edge.child.returning and not edge.parent.returning:
+                    edge.parent.returning = True
+                    changed = True
+
+
+# ----------------------------------------------------------------------
+# Expression shape helpers.
+# ----------------------------------------------------------------------
+
+def _flatten_and(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BooleanExpr) and expr.op == "and":
+        out: list[Expr] = []
+        for operand in expr.operands:
+            out.extend(_flatten_and(operand))
+        return out
+    return [expr]
+
+
+def _strip_not(expr: Expr) -> tuple[Expr, bool]:
+    negated = False
+    while True:
+        if isinstance(expr, NotExpr):
+            expr = expr.operand
+            negated = not negated
+        elif isinstance(expr, FunctionCall) and expr.name == "not" and len(expr.args) == 1:
+            expr = expr.args[0]
+            negated = not negated
+        else:
+            return expr, negated
+
+
+def _split_path_literal(cmp: Comparison):
+    """Return (path, literal, op) when one side is a path and the other a
+    literal; (None, None, op) otherwise."""
+    literal_types = (Literal, NumberLiteral)
+    if isinstance(cmp.left, LocationPath) and isinstance(cmp.right, literal_types):
+        return cmp.left, cmp.right, cmp.op
+    if isinstance(cmp.right, LocationPath) and isinstance(cmp.left, literal_types):
+        return cmp.right, cmp.left, cmp.op
+    return None, None, cmp.op
+
+
+def _path_is_left(cmp: Comparison) -> bool:
+    return isinstance(cmp.left, LocationPath)
+
+
+def _mentions_position(expr: Expr) -> bool:
+    if isinstance(expr, Quantified):
+        return _mentions_position(expr.source) or _mentions_position(expr.satisfies)
+    if isinstance(expr, Conditional):
+        return any(_mentions_position(e) for e in
+                   (expr.condition, expr.then_branch, expr.else_branch))
+    return _mentions_position_core(expr)
+
+
+def _mentions_position_core(expr: Expr) -> bool:
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("position", "last"):
+            return True
+        return any(_mentions_position(a) for a in expr.args)
+    if isinstance(expr, (BooleanExpr,)):
+        return any(_mentions_position(o) for o in expr.operands)
+    if isinstance(expr, NotExpr):
+        return _mentions_position(expr.operand)
+    if isinstance(expr, (Comparison, Arithmetic)):
+        return _mentions_position(expr.left) or _mentions_position(expr.right)
+    if isinstance(expr, LocationPath):
+        return any(any(_mentions_position(p) for p in s.predicates) for s in expr.steps)
+    return False
+
+
+def _mentions_variable_ext(expr: Expr) -> bool:
+    if isinstance(expr, Quantified):
+        # The quantifier binds its own variable; references to it are
+        # fine, but its source/satisfies may still leak outer variables.
+        return _mentions_variable(expr.source) or _mentions_variable(expr.satisfies)
+    if isinstance(expr, Conditional):
+        return any(_mentions_variable(e) for e in
+                   (expr.condition, expr.then_branch, expr.else_branch))
+    return False
+
+
+def _mentions_variable(expr: Expr) -> bool:
+    if isinstance(expr, (Quantified, Conditional)):
+        return _mentions_variable_ext(expr)
+    if isinstance(expr, LocationPath):
+        if isinstance(expr.root, RootVariable):
+            return True
+        return any(any(_mentions_variable(p) for p in s.predicates) for s in expr.steps)
+    if isinstance(expr, FunctionCall):
+        return any(_mentions_variable(a) for a in expr.args)
+    if isinstance(expr, BooleanExpr):
+        return any(_mentions_variable(o) for o in expr.operands)
+    if isinstance(expr, NotExpr):
+        return _mentions_variable(expr.operand)
+    if isinstance(expr, (Comparison, Arithmetic)):
+        return _mentions_variable(expr.left) or _mentions_variable(expr.right)
+    return False
+
+
+def _is_local_value_expr(expr: Expr) -> bool:
+    """True when the expression only inspects the context element's own
+    text, attributes or direct text children — safe to evaluate as a
+    vertex value predicate during NoK matching."""
+    if isinstance(expr, (Literal, NumberLiteral)):
+        return True
+    if isinstance(expr, LocationPath):
+        if not isinstance(expr.root, RootContext) or expr.root.absolute:
+            return False
+        for step in expr.steps:
+            if step.predicates:
+                return False
+            if step.axis == "attribute":
+                continue
+            if step.axis in ("child", "self") and isinstance(step.test, TextTest):
+                continue
+            if step.axis == "self" and isinstance(step.test, NameTest):
+                continue
+            return False
+        return True
+    if isinstance(expr, (Comparison, Arithmetic)):
+        return _is_local_value_expr(expr.left) and _is_local_value_expr(expr.right)
+    if isinstance(expr, BooleanExpr):
+        return all(_is_local_value_expr(o) for o in expr.operands)
+    if isinstance(expr, NotExpr):
+        return _is_local_value_expr(expr.operand)
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("contains", "starts-with", "string-length", "normalize-space",
+                         "string", "number", "true", "false", "concat"):
+            return all(_is_local_value_expr(a) for a in expr.args)
+        return False
+    return False

@@ -1,0 +1,85 @@
+"""Dewey ID assignment for returning nodes (paper Sections 3.2 / 4.1).
+
+The paper addresses returning nodes with Dewey IDs assigned over the
+*returning tree*: the tree formed by the returning vertices only, where
+two returning vertices are connected iff one is the closest returning
+ancestor of the other in the BlossomTree.  Because a BlossomTree can
+have several pattern roots, an artificial super-root ``(1,)`` is
+introduced and the pattern roots become ``(1, 1)``, ``(1, 2)``, ... in
+declaration order (Section 3.3's construction for Example 4).
+
+Dewey IDs are assigned *globally* — on the BlossomTree, not per NoK —
+which is the precondition of Theorem 2's order-preservation result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pattern.blossom import BlossomTree, BlossomVertex
+
+__all__ = ["DeweyAssignment", "assign_dewey"]
+
+Dewey = tuple[int, ...]
+
+
+@dataclass
+class DeweyAssignment:
+    """Bidirectional mapping between returning vertices and Dewey IDs."""
+
+    of_vertex: dict[int, Dewey] = field(default_factory=dict)   # vid -> dewey
+    vertex_of: dict[Dewey, BlossomVertex] = field(default_factory=dict)
+    #: closest returning ancestor (vid -> vid), for returning-tree walks
+    returning_parent: dict[int, Optional[int]] = field(default_factory=dict)
+
+    def dewey(self, vertex: BlossomVertex) -> Dewey:
+        return self.of_vertex[vertex.vid]
+
+    def vertex(self, dewey: Dewey) -> BlossomVertex:
+        return self.vertex_of[dewey]
+
+    def variable_dewey(self, tree: BlossomTree, name: str) -> Dewey:
+        return self.of_vertex[tree.var_vertex[name].vid]
+
+    def format(self, dewey: Dewey) -> str:
+        return ".".join(str(part) for part in dewey)
+
+
+def assign_dewey(tree: BlossomTree) -> DeweyAssignment:
+    """Assign Dewey IDs to every returning vertex of the BlossomTree."""
+    assignment = DeweyAssignment()
+    super_root: Dewey = (1,)
+    for ordinal, root in enumerate(tree.roots, start=1):
+        _assign_subtree(tree, root, super_root + (ordinal,), None, assignment)
+    return assignment
+
+
+def _assign_subtree(tree: BlossomTree, vertex: BlossomVertex, dewey: Dewey,
+                    returning_parent: Optional[int],
+                    assignment: DeweyAssignment) -> None:
+    """Assign ``dewey`` to ``vertex`` (assumed returning or a root) and
+    recurse into the closest returning descendants."""
+    assignment.of_vertex[vertex.vid] = dewey
+    assignment.vertex_of[dewey] = vertex
+    assignment.returning_parent[vertex.vid] = returning_parent
+
+    ordinal = 0
+    for descendant in _closest_returning_descendants(vertex):
+        ordinal += 1
+        _assign_subtree(tree, descendant, dewey + (ordinal,), vertex.vid, assignment)
+
+
+def _closest_returning_descendants(vertex: BlossomVertex) -> list[BlossomVertex]:
+    """Returning vertices below ``vertex`` with no returning vertex
+    strictly between (the returning-tree children)."""
+    found: list[BlossomVertex] = []
+    stack = [edge.child for edge in reversed(vertex.child_edges)]
+    while stack:
+        node = stack.pop()
+        if node.returning:
+            found.append(node)
+            continue
+        for edge in reversed(node.child_edges):
+            stack.append(edge.child)
+    return found

@@ -1,0 +1,89 @@
+"""Shared machinery for structural joins over NestedList streams.
+
+Every structural join in this repository — pipelined merge, stack-based
+merge, bounded and naive nested loops, TwigStack — produces the same
+logical thing: for one inter-NoK edge ``u --axis--> v``, the set of
+(ancestor-node, descendant-match) pairs.  :class:`JoinResult` is that
+set in adjacency-list form, keyed by the ancestor node's pre-order rank
+so the executor's tuple enumeration can look up "which matches of the
+child NoK hang under this particular u node" in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.pattern.decompose import InterEdge
+from repro.xmlkit.tree import Node
+from repro.algebra.nested_list import NLEntry, project
+
+__all__ = ["JoinResult", "left_projection", "axis_test"]
+
+
+@dataclass
+class JoinResult:
+    """Adjacency form of one structural join's output.
+
+    ``adjacency[u_nid]`` lists the right-side NestedList entries whose
+    root node stands in the edge's axis relationship to the left node
+    with pre-order rank ``u_nid``.  Nodes with no partners simply do not
+    appear — mandatory-edge filtering reads that absence.
+    """
+
+    edge: InterEdge
+    adjacency: dict[int, list[NLEntry]] = field(default_factory=dict)
+
+    def partners(self, u: Node) -> list[NLEntry]:
+        return self.adjacency.get(u.nid, [])
+
+    def has_partner(self, u: Node) -> bool:
+        return u.nid in self.adjacency
+
+    def add(self, u: Node, entry: NLEntry) -> None:
+        self.adjacency.setdefault(u.nid, []).append(entry)
+
+    def pair_count(self) -> int:
+        return sum(len(v) for v in self.adjacency.values())
+
+
+def left_projection(left_entries: Iterable[NLEntry], edge: InterEdge) -> list[Node]:
+    """Document-ordered distinct u-nodes projected from the left stream.
+
+    Theorem 1 makes each per-entry projection document-ordered; entries
+    arrive in document order of their roots, and child-axis chains give
+    each u node a unique root, so a single merge-free concatenation plus
+    a linear dedup pass yields the global document order.  (On recursive
+    documents entry subtrees can interleave, so we sort defensively —
+    the cost is counted against the operators that need it.)
+    """
+    nodes: list[Node] = []
+    for entry in left_entries:
+        nodes.extend(project(entry, edge.parent))
+    nodes.sort(key=lambda n: n.nid)
+    out: list[Node] = []
+    last = -1
+    for node in nodes:
+        if node.nid != last:
+            out.append(node)
+            last = node.nid
+    return out
+
+
+def axis_test(axis: str, up: Node, down: Node) -> bool:
+    """Does ``down`` stand in ``axis`` relationship below ``up``?
+
+    ``up`` may be the document node (vacuously an ancestor of every
+    element), which arises for ``doc(...)//x`` inter edges.
+    """
+    if axis == "descendant":
+        return up.start < down.start and down.end < up.end
+    if axis == "descendant-or-self":
+        return up is down or (up.start < down.start and down.end < up.end)
+    if axis == "child":
+        return down.parent is up
+    if axis == "following":
+        return down.start > up.end
+    if axis == "preceding":
+        return down.end < up.start
+    raise ValueError(f"no structural test for axis {axis!r}")

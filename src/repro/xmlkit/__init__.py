@@ -1,0 +1,52 @@
+"""XML substrate: parser, tree model, labels, index, stats, storage.
+
+Everything above this package (pattern matching, joins, the FLWOR
+engine) consumes XML exclusively through these interfaces; no external
+XML library is used anywhere in the repository.
+"""
+
+from repro.xmlkit.binary import dump as dump_binary, load as load_binary
+from repro.xmlkit.index import TagIndex, TagStream
+from repro.xmlkit.labeling import Region, region_of
+from repro.xmlkit.parser import parse, parse_file
+from repro.xmlkit.serialize import pretty, serialize
+from repro.xmlkit.stats import DocumentStats, compute_stats
+from repro.xmlkit.storage import ScanCounters, SequentialScan
+from repro.xmlkit.update import DocumentUpdater, UpdateReport
+from repro.xmlkit.tree import (
+    DOCUMENT,
+    ELEMENT,
+    TEXT,
+    Document,
+    DocumentBuilder,
+    Node,
+    deep_equal,
+    deep_equal_sequences,
+)
+
+__all__ = [
+    "DOCUMENT",
+    "ELEMENT",
+    "TEXT",
+    "Document",
+    "DocumentBuilder",
+    "DocumentStats",
+    "DocumentUpdater",
+    "Node",
+    "Region",
+    "ScanCounters",
+    "SequentialScan",
+    "TagIndex",
+    "TagStream",
+    "UpdateReport",
+    "compute_stats",
+    "deep_equal",
+    "dump_binary",
+    "load_binary",
+    "deep_equal_sequences",
+    "parse",
+    "parse_file",
+    "pretty",
+    "region_of",
+    "serialize",
+]

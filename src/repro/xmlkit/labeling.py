@@ -1,0 +1,112 @@
+"""Region labeling utilities and axis predicates over labels.
+
+Every node receives its ``(start, end, level)`` region label at build
+time (see :class:`repro.xmlkit.tree.DocumentBuilder`); this module
+collects the label-only predicates that the structural-join operators
+use, so that a join can decide an axis relationship without touching
+the tree at all — exactly the property that makes join-based evaluation
+possible (Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlkit.tree import Node
+
+__all__ = [
+    "Region",
+    "region_of",
+    "contains",
+    "contained_in",
+    "is_parent",
+    "is_child",
+    "before",
+    "after",
+    "axis_predicate",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """A detached ``(start, end, level)`` label.
+
+    Ordering compares ``start`` first, so sorting regions sorts by
+    document order — the invariant all merge-style joins rely on.
+    """
+
+    start: int
+    end: int
+    level: int
+
+
+def region_of(node: Node) -> Region:
+    """Extract the region label of a tree node."""
+    return Region(node.start, node.end, node.level)
+
+
+def contains(ancestor: Region, descendant: Region) -> bool:
+    """True iff ``ancestor`` properly contains ``descendant`` (// axis)."""
+    return ancestor.start < descendant.start and descendant.end < ancestor.end
+
+
+def contained_in(descendant: Region, ancestor: Region) -> bool:
+    """True iff ``descendant`` is properly inside ``ancestor``."""
+    return contains(ancestor, descendant)
+
+
+def is_parent(parent: Region, child: Region) -> bool:
+    """True iff ``parent`` contains ``child`` at exactly one level down (/ axis)."""
+    return contains(parent, child) and child.level == parent.level + 1
+
+
+def is_child(child: Region, parent: Region) -> bool:
+    """True iff ``child`` is a direct child of ``parent``."""
+    return is_parent(parent, child)
+
+
+def before(a: Region, b: Region) -> bool:
+    """Document-order ``<<``: ``a`` starts (and therefore ends) before ``b``.
+
+    Note that an ancestor *precedes* its descendants under ``<<`` (the
+    XQuery node-order comparison), unlike the ``preceding`` axis which
+    excludes ancestors.
+    """
+    return a.start < b.start
+
+
+def after(a: Region, b: Region) -> bool:
+    """Document-order ``>>``."""
+    return before(b, a)
+
+
+def preceding(a: Region, b: Region) -> bool:
+    """XPath ``preceding`` axis: ``a`` entirely before ``b`` (no overlap)."""
+    return a.end < b.start
+
+
+def following(a: Region, b: Region) -> bool:
+    """XPath ``following`` axis: ``a`` entirely after ``b``."""
+    return b.end < a.start
+
+
+_AXIS_PREDICATES = {
+    "child": lambda up, down: is_parent(up, down),
+    "descendant": lambda up, down: contains(up, down),
+    "descendant-or-self": lambda up, down: up == down or contains(up, down),
+    "parent": lambda up, down: is_parent(down, up),
+    "ancestor": lambda up, down: contains(down, up),
+    "self": lambda up, down: up == down,
+    "preceding": lambda a, b: preceding(b, a),
+    "following": lambda a, b: following(b, a),
+    "before": before,
+    "after": after,
+}
+
+
+def axis_predicate(axis: str):
+    """Return the binary predicate ``pred(from_region, to_region)`` for an axis.
+
+    Raises ``KeyError`` for axes with no purely structural region test.
+    """
+    return _AXIS_PREDICATES[axis]

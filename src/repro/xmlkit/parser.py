@@ -1,0 +1,64 @@
+"""XML tree parser: token stream → :class:`~repro.xmlkit.tree.Document`.
+
+Enforces well-formed nesting (matching end tags, a single document
+element, no character data outside it) on top of the lexical layer in
+:mod:`repro.xmlkit.tokenizer`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import XMLSyntaxError
+from repro.xmlkit.tokenizer import CHARS, COMMENT, END, PI, START, tokenize
+from repro.xmlkit.tree import Document, DocumentBuilder
+
+__all__ = ["parse", "parse_file"]
+
+
+def parse(text: str) -> Document:
+    """Parse an XML string into a fully labeled :class:`Document`.
+
+    Raises :class:`~repro.errors.XMLSyntaxError` on lexical errors or
+    ill-formed nesting.
+    """
+    builder = DocumentBuilder()
+    open_tags: list[str] = []
+    for event in tokenize(text):
+        if event.kind == START:
+            tag, attrs = event.value  # type: ignore[misc]
+            try:
+                builder.start_element(tag, attrs)
+            except ValueError as exc:
+                raise XMLSyntaxError(str(exc), event.line, event.column) from exc
+            open_tags.append(tag)
+        elif event.kind == END:
+            if not open_tags:
+                raise XMLSyntaxError(
+                    f"end tag </{event.value}> with no open element",
+                    event.line, event.column)
+            expected = open_tags.pop()
+            if expected != event.value:
+                raise XMLSyntaxError(
+                    f"mismatched end tag: expected </{expected}>, got </{event.value}>",
+                    event.line, event.column)
+            builder.end_element()
+        elif event.kind == CHARS:
+            try:
+                builder.text(event.value)  # type: ignore[arg-type]
+            except ValueError as exc:
+                raise XMLSyntaxError(str(exc), event.line, event.column) from exc
+        elif event.kind in (COMMENT, PI):
+            continue  # not represented in the data model
+    if open_tags:
+        raise XMLSyntaxError(f"unclosed elements at end of input: {open_tags}")
+    try:
+        return builder.finish()
+    except ValueError as exc:
+        raise XMLSyntaxError(str(exc)) from exc
+
+
+def parse_file(path: Union[str, Path]) -> Document:
+    """Parse an XML file from disk."""
+    return parse(Path(path).read_text(encoding="utf-8"))

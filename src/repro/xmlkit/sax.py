@@ -1,0 +1,86 @@
+"""Minimal SAX-style streaming interface over the hand-written tokenizer.
+
+The navigational approaches the paper surveys (Section 2.1) consume XML
+"either through SAX event callbacks or ... the underlying storage
+system".  This module provides the callback form so that streaming
+consumers (and tests of the tokenizer) do not need a materialized tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XMLSyntaxError
+from repro.xmlkit.tokenizer import CHARS, COMMENT, END, PI, START, tokenize
+
+__all__ = ["ContentHandler", "parse_string"]
+
+
+class ContentHandler:
+    """Base class for streaming consumers; override the callbacks you need."""
+
+    def start_document(self) -> None:
+        """Called once before any other callback."""
+
+    def end_document(self) -> None:
+        """Called once after all other callbacks."""
+
+    def start_element(self, tag: str, attrs: dict[str, str]) -> None:
+        """Called for each start tag (and for self-closing tags)."""
+
+    def end_element(self, tag: str) -> None:
+        """Called for each end tag."""
+
+    def characters(self, text: str) -> None:
+        """Called for character data and CDATA content."""
+
+    def processing_instruction(self, target: str, data: str) -> None:
+        """Called for processing instructions."""
+
+    def comment(self, text: str) -> None:
+        """Called for comments."""
+
+
+def parse_string(text: str, handler: ContentHandler) -> None:
+    """Drive ``handler`` with the events of an XML string.
+
+    Performs the same well-formedness checks as the tree parser
+    (balanced tags, single root), raising
+    :class:`~repro.errors.XMLSyntaxError` on violation.
+    """
+    handler.start_document()
+    open_tags: list[str] = []
+    seen_root = False
+    for event in tokenize(text):
+        if event.kind == START:
+            tag, attrs = event.value  # type: ignore[misc]
+            if not open_tags:
+                if seen_root:
+                    raise XMLSyntaxError("document may have only one root element",
+                                         event.line, event.column)
+                seen_root = True
+            open_tags.append(tag)
+            handler.start_element(tag, attrs)
+        elif event.kind == END:
+            if not open_tags or open_tags[-1] != event.value:
+                expected = open_tags[-1] if open_tags else None
+                raise XMLSyntaxError(
+                    f"mismatched end tag </{event.value}> (open: {expected!r})",
+                    event.line, event.column)
+            open_tags.pop()
+            handler.end_element(event.value)  # type: ignore[arg-type]
+        elif event.kind == CHARS:
+            if not open_tags and event.value.strip():  # type: ignore[union-attr]
+                raise XMLSyntaxError("character data outside the document element",
+                                     event.line, event.column)
+            handler.characters(event.value)  # type: ignore[arg-type]
+        elif event.kind == PI:
+            target, data = event.value  # type: ignore[misc]
+            handler.processing_instruction(target, data)
+        elif event.kind == COMMENT:
+            handler.comment(event.value)  # type: ignore[arg-type]
+    if open_tags:
+        raise XMLSyntaxError(f"unclosed elements at end of input: {open_tags}")
+    if not seen_root:
+        raise XMLSyntaxError("document has no root element")
+    handler.end_document()

@@ -1,0 +1,106 @@
+"""Document statistics.
+
+Computes the per-document quantities the paper reports in Table 1
+(node count, average/maximum depth, distinct-tag count, serialized
+size) plus the two properties the optimizer needs:
+
+* **recursiveness** — whether any element occurs as a descendant of a
+  same-tag element (the paper's definition in Section 5.1), and
+* **recursion degree** — the maximum number of same-tag elements on any
+  root-to-leaf path, which bounds the memory a pipelined ``//``-join
+  needs to cache (Section 4.2 / reference [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.tree import ELEMENT, Document
+
+__all__ = ["DocumentStats", "compute_stats"]
+
+
+@dataclass
+class DocumentStats:
+    """Summary statistics for one document (Table 1 row)."""
+
+    n_nodes: int = 0            # element + text nodes (paper counts tree nodes)
+    n_elements: int = 0
+    n_text: int = 0
+    avg_depth: float = 0.0      # mean element depth (root = 1)
+    max_depth: int = 0
+    n_distinct_tags: int = 0
+    tag_histogram: dict[str, int] = field(default_factory=dict)
+    recursive: bool = False
+    recursion_degree: int = 1   # max same-tag count on a root-to-leaf path
+    serialized_bytes: int = 0
+    #: per-tag mean subtree size (nodes, self included) — the cost
+    #: model's rescan-volume statistic for bounded nested loops.
+    tag_subtree_avg: dict[str, float] = field(default_factory=dict)
+
+    def avg_subtree_size(self, tag: str) -> float:
+        """Mean subtree size of a tag (whole document for unknown tags)."""
+        return self.tag_subtree_avg.get(tag, float(max(1, self.n_nodes)))
+
+    def table1_row(self, name: str) -> dict[str, object]:
+        """Render this summary in the shape of a Table 1 row."""
+        return {
+            "data set": name,
+            "recursive?": "Y" if self.recursive else "N",
+            "size (KB)": round(self.serialized_bytes / 1024, 1),
+            "#nodes": self.n_nodes,
+            "avg. dep.": round(self.avg_depth, 1),
+            "max dep.": self.max_depth,
+            "|tags|": self.n_distinct_tags,
+        }
+
+
+def compute_stats(doc: Document, with_size: bool = True) -> DocumentStats:
+    """Compute :class:`DocumentStats` in a single document-order pass.
+
+    ``with_size=False`` skips serialization (the only expensive part) for
+    callers that need only the structural statistics.
+    """
+    stats = DocumentStats()
+    depth_sum = 0
+    subtree_totals: dict[str, int] = {}
+    # Running root-to-current-path tag multiset, for recursion degree.
+    path_counts: dict[str, int] = {}
+    max_same_tag = 1 if doc.root is not None else 0
+
+    stack: list[tuple[object, bool]] = [(doc.root, False)] if doc.root else []
+    while stack:
+        node, leaving = stack.pop()
+        if node.kind != ELEMENT:  # type: ignore[union-attr]
+            stats.n_text += 1
+            continue
+        tag = node.tag  # type: ignore[union-attr]
+        if leaving:
+            path_counts[tag] -= 1
+            continue
+        subtree_totals[tag] = subtree_totals.get(tag, 0) + node.subtree_size()
+        stats.n_elements += 1
+        depth_sum += node.level  # type: ignore[union-attr]
+        if node.level > stats.max_depth:  # type: ignore[union-attr]
+            stats.max_depth = node.level  # type: ignore[union-attr]
+        count = path_counts.get(tag, 0) + 1
+        path_counts[tag] = count
+        if count > max_same_tag:
+            max_same_tag = count
+        stats.tag_histogram[tag] = stats.tag_histogram.get(tag, 0) + 1
+        stack.append((node, True))
+        for child in reversed(node.children):  # type: ignore[union-attr]
+            stack.append((child, False))
+
+    stats.n_nodes = stats.n_elements + stats.n_text
+    stats.n_distinct_tags = len(stats.tag_histogram)
+    for tag, total in subtree_totals.items():
+        stats.tag_subtree_avg[tag] = total / stats.tag_histogram[tag]
+    if stats.n_elements:
+        stats.avg_depth = depth_sum / stats.n_elements
+    stats.recursion_degree = max_same_tag
+    stats.recursive = max_same_tag > 1
+    if with_size and doc.root is not None:
+        stats.serialized_bytes = len(serialize(doc.root).encode("utf-8"))
+    return stats

@@ -1,0 +1,413 @@
+"""XML tree data model.
+
+This module defines the in-memory document representation used by every
+layer above it: the navigational NoK matcher, the structural-join
+operators, the XPath/XQuery evaluators and the serializer.
+
+Design notes
+------------
+* Nodes are small ``__slots__`` objects kept in a single document-order
+  list on the :class:`Document`; the list position *is* the pre-order rank,
+  which makes document-order comparison an integer comparison.
+* Every node carries an extended pre/post **region label**
+  ``(start, end, level)`` assigned at build time.  ``u`` is an ancestor of
+  ``v`` iff ``u.start < v.start and v.end < u.end``.  This is the classic
+  encoding used by structural joins and TwigStack (Section 2.1 of the
+  paper).
+* Elements, text nodes and the document root share one node class,
+  distinguished by ``kind``.  Attributes are stored as a dict on the
+  element; the pattern-matching subset of the paper never navigates *into*
+  attributes structurally, but XPath ``@name`` tests are supported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "DOCUMENT",
+    "ELEMENT",
+    "TEXT",
+    "Node",
+    "Document",
+    "DocumentBuilder",
+]
+
+# Node kinds.  Plain ints (not an Enum) because kind checks sit on the
+# hottest paths of the scan operators.
+DOCUMENT = 0
+ELEMENT = 1
+TEXT = 2
+
+_KIND_NAMES = {DOCUMENT: "document", ELEMENT: "element", TEXT: "text"}
+
+
+class Node:
+    """A single node of an XML tree.
+
+    Attributes
+    ----------
+    doc:
+        Owning :class:`Document`.
+    nid:
+        Pre-order rank; index of this node in ``doc.nodes``.  Comparing
+        ``nid`` values compares document order.
+    kind:
+        One of :data:`DOCUMENT`, :data:`ELEMENT`, :data:`TEXT`.
+    tag:
+        Element tag name; ``None`` for text nodes, ``"#document"`` for the
+        document node.
+    text:
+        Character content for text nodes; ``None`` otherwise.
+    attrs:
+        Attribute dict for elements (empty dict when absent).
+    parent:
+        Parent node, ``None`` for the document node.
+    children:
+        Child nodes in document order.
+    start, end, level:
+        Region label: ``start`` and ``end`` bracket the subtree in a global
+        counter sequence; ``level`` is the depth (document node = 0).
+    """
+
+    __slots__ = (
+        "doc",
+        "nid",
+        "kind",
+        "tag",
+        "text",
+        "attrs",
+        "parent",
+        "children",
+        "start",
+        "end",
+        "level",
+        "_string_value",
+    )
+
+    def __init__(self, doc: "Document", nid: int, kind: int, tag: Optional[str],
+                 text: Optional[str] = None):
+        self.doc = doc
+        self.nid = nid
+        self.kind = kind
+        self.tag = tag
+        self.text = text
+        self.attrs: dict[str, str] = {}
+        self.parent: Optional[Node] = None
+        self.children: list[Node] = []
+        self.start = -1
+        self.end = -1
+        self.level = -1
+        self._string_value: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Navigation primitives (used by Algorithm 2's depth-first traversal).
+    # ------------------------------------------------------------------
+
+    def first_child(self) -> Optional["Node"]:
+        """Return the first child in document order, or ``None``."""
+        return self.children[0] if self.children else None
+
+    def following_sibling(self) -> Optional["Node"]:
+        """Return the next sibling in document order, or ``None``."""
+        parent = self.parent
+        if parent is None:
+            return None
+        siblings = parent.children
+        # Locate self among siblings by document order (binary search on nid).
+        lo, hi = 0, len(siblings) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if siblings[mid].nid < self.nid:
+                lo = mid + 1
+            elif siblings[mid].nid > self.nid:
+                hi = mid - 1
+            else:
+                return siblings[mid + 1] if mid + 1 < len(siblings) else None
+        return None
+
+    def element_children(self) -> Iterator["Node"]:
+        """Iterate child *elements* only (skipping text nodes)."""
+        for child in self.children:
+            if child.kind == ELEMENT:
+                yield child
+
+    def next_in_document(self) -> Optional["Node"]:
+        """Return the next node in document order (pre-order successor)."""
+        nxt = self.nid + 1
+        nodes = self.doc.nodes
+        return nodes[nxt] if nxt < len(nodes) else None
+
+    # ------------------------------------------------------------------
+    # Structural predicates via region labels.
+    # ------------------------------------------------------------------
+
+    def is_ancestor_of(self, other: "Node") -> bool:
+        """True iff ``self`` is a proper ancestor of ``other``."""
+        return self.start < other.start and other.end < self.end
+
+    def is_descendant_of(self, other: "Node") -> bool:
+        """True iff ``self`` is a proper descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    def is_parent_of(self, other: "Node") -> bool:
+        """True iff ``self`` is the parent of ``other``."""
+        return other.parent is self
+
+    def precedes(self, other: "Node") -> bool:
+        """Document-order ``<<`` comparison (self strictly before other)."""
+        return self.nid < other.nid
+
+    def subtree(self) -> Iterator["Node"]:
+        """Iterate this node and all descendants in document order."""
+        nodes = self.doc.nodes
+        stop = self.nid + self.subtree_size()
+        for i in range(self.nid, stop):
+            yield nodes[i]
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (self included)."""
+        # Region counters advance by 1 at each entry and exit, so a subtree
+        # with k nodes spans exactly 2k counter values.
+        return (self.end - self.start + 1) // 2
+
+    def descendants(self) -> Iterator["Node"]:
+        """Iterate proper descendants in document order."""
+        it = self.subtree()
+        next(it)  # drop self
+        return it
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Iterate proper ancestors from parent up to the document node."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Values.
+    # ------------------------------------------------------------------
+
+    def string_value(self) -> str:
+        """XPath string value: concatenated descendant text (cached)."""
+        if self._string_value is None:
+            if self.kind == TEXT:
+                self._string_value = self.text or ""
+            else:
+                parts = [n.text or "" for n in self.subtree() if n.kind == TEXT]
+                self._string_value = "".join(parts)
+        return self._string_value
+
+    def typed_value(self) -> object:
+        """Best-effort numeric interpretation of the string value.
+
+        Returns a ``float`` when the trimmed string value parses as a
+        number, otherwise the trimmed string itself.  This mirrors XPath
+        1.0-style untyped comparison without dragging in a schema system.
+        """
+        raw = self.string_value().strip()
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+    def dewey(self) -> tuple[int, ...]:
+        """Dewey label of this node: 1-based child ordinals from the root.
+
+        The paper uses Dewey IDs to address *pattern-tree* returning nodes;
+        document-node Dewey labels are provided for diagnostics, examples
+        and tests.
+        """
+        path: list[int] = []
+        node: Optional[Node] = self
+        while node is not None and node.parent is not None:
+            path.append(node.parent.children.index(node) + 1)
+            node = node.parent
+        path.reverse()
+        return tuple(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = _KIND_NAMES[self.kind]
+        if self.kind == TEXT:
+            snippet = (self.text or "")[:20]
+            return f"<Node {kind} {snippet!r} nid={self.nid}>"
+        return f"<Node {kind} {self.tag} nid={self.nid} region=({self.start},{self.end},{self.level})>"
+
+
+def deep_equal(a: Optional[Node], b: Optional[Node]) -> bool:
+    """XQuery ``fn:deep-equal`` over single nodes or ``None``.
+
+    Two ``None`` values (empty sequences) are deep-equal; a node is never
+    deep-equal to an empty sequence.  Elements are deep-equal when their
+    tags, attribute maps, and normalized child sequences are pairwise
+    deep-equal.  Whitespace-only text nodes are ignored, matching how the
+    paper's Example 2 compares ``author`` subtrees.
+    """
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    if a.kind != b.kind:
+        return False
+    if a.kind == TEXT:
+        return (a.text or "").strip() == (b.text or "").strip()
+    if a.tag != b.tag or a.attrs != b.attrs:
+        return False
+    a_kids = [c for c in a.children if not _ignorable(c)]
+    b_kids = [c for c in b.children if not _ignorable(c)]
+    if len(a_kids) != len(b_kids):
+        return False
+    return all(deep_equal(x, y) for x, y in zip(a_kids, b_kids))
+
+
+def deep_equal_sequences(xs: Iterable[Optional[Node]], ys: Iterable[Optional[Node]]) -> bool:
+    """``fn:deep-equal`` over two node sequences (pairwise, same length)."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        return False
+    return all(deep_equal(a, b) for a, b in zip(xs, ys))
+
+
+def _ignorable(node: Node) -> bool:
+    return node.kind == TEXT and not (node.text or "").strip()
+
+
+class Document:
+    """An XML document: node arena plus derived access structures."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.root: Optional[Node] = None  # document element
+        doc_node = Node(self, 0, DOCUMENT, "#document")
+        doc_node.level = 0
+        self.nodes.append(doc_node)
+        self._tag_lists: Optional[dict[str, list[Node]]] = None
+
+    @property
+    def document_node(self) -> Node:
+        """The synthetic root above the document element."""
+        return self.nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def elements(self) -> Iterator[Node]:
+        """All element nodes in document order."""
+        return (n for n in self.nodes if n.kind == ELEMENT)
+
+    def elements_by_tag(self, tag: str) -> list[Node]:
+        """Document-ordered list of elements with the given tag (cached).
+
+        This is the access path the tag-name index (:mod:`repro.xmlkit.index`)
+        wraps; building it lazily keeps pure-navigation workloads free of
+        index construction cost.
+        """
+        if self._tag_lists is None:
+            table: dict[str, list[Node]] = {}
+            for node in self.nodes:
+                if node.kind == ELEMENT:
+                    table.setdefault(node.tag, []).append(node)  # type: ignore[arg-type]
+            self._tag_lists = table
+        return self._tag_lists.get(tag, [])
+
+    def distinct_tags(self) -> list[str]:
+        """Sorted list of distinct element tag names."""
+        if self._tag_lists is None:
+            self.elements_by_tag("")  # force table construction
+        assert self._tag_lists is not None
+        return sorted(self._tag_lists)
+
+
+class DocumentBuilder:
+    """Incremental builder used by the parser and the data generators.
+
+    The builder enforces well-formedness of the nesting it is given and
+    assigns pre-order ranks, levels and region labels as it goes, so a
+    document is fully labeled the moment :meth:`finish` returns.
+    """
+
+    def __init__(self) -> None:
+        self.doc = Document()
+        self._stack: list[Node] = [self.doc.document_node]
+        self._counter = 0
+        doc_node = self.doc.document_node
+        doc_node.start = self._counter
+        self._counter += 1
+
+    def start_element(self, tag: str, attrs: Optional[dict[str, str]] = None) -> Node:
+        """Open an element as a child of the current open element."""
+        parent = self._stack[-1]
+        if parent.kind == DOCUMENT and self.doc.root is not None:
+            raise ValueError("document may have only one root element")
+        node = Node(self.doc, len(self.doc.nodes), ELEMENT, tag)
+        if attrs:
+            node.attrs = dict(attrs)
+        node.parent = parent
+        node.level = parent.level + 1
+        node.start = self._counter
+        self._counter += 1
+        parent.children.append(node)
+        self.doc.nodes.append(node)
+        self._stack.append(node)
+        if self.doc.root is None and parent.kind == DOCUMENT:
+            self.doc.root = node
+        return node
+
+    def end_element(self) -> Node:
+        """Close the most recently opened element."""
+        if len(self._stack) <= 1:
+            raise ValueError("end_element with no open element")
+        node = self._stack.pop()
+        node.end = self._counter
+        self._counter += 1
+        return node
+
+    def text(self, content: str) -> Optional[Node]:
+        """Append a text node to the current open element.
+
+        Adjacent text is merged into one node, and text directly under the
+        document node is rejected unless it is whitespace (which is
+        silently dropped), matching XML well-formedness rules.
+        """
+        parent = self._stack[-1]
+        if parent.kind == DOCUMENT:
+            if content.strip():
+                raise ValueError("character data outside the document element")
+            return None
+        if parent.children and parent.children[-1].kind == TEXT:
+            last = parent.children[-1]
+            last.text = (last.text or "") + content
+            last._string_value = None
+            return last
+        node = Node(self.doc, len(self.doc.nodes), TEXT, None, content)
+        node.parent = parent
+        node.level = parent.level + 1
+        node.start = self._counter
+        self._counter += 1
+        node.end = self._counter
+        self._counter += 1
+        parent.children.append(node)
+        self.doc.nodes.append(node)
+        return node
+
+    def element(self, tag: str, text: Optional[str] = None,
+                attrs: Optional[dict[str, str]] = None) -> Node:
+        """Convenience: open an element, add optional text, and close it."""
+        node = self.start_element(tag, attrs)
+        if text is not None:
+            self.text(text)
+        self.end_element()
+        return node
+
+    def finish(self) -> Document:
+        """Finalize labels and return the completed document."""
+        if len(self._stack) != 1:
+            open_tags = [n.tag for n in self._stack[1:]]
+            raise ValueError(f"unclosed elements at finish: {open_tags}")
+        doc_node = self.doc.document_node
+        doc_node.end = self._counter
+        self._counter += 1
+        if self.doc.root is None:
+            raise ValueError("document has no root element")
+        return self.doc

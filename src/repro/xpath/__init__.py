@@ -1,0 +1,23 @@
+"""XPath subset: lexer, parser, AST and the reference navigational evaluator."""
+
+from repro.xpath.ast import (
+    AXIS_NAMES,
+    GLOBAL_AXES,
+    LOCAL_AXES,
+    LocationPath,
+    Step,
+)
+from repro.xpath.evaluator import XPathEvaluator, evaluate_xpath
+from repro.xpath.parser import parse_expr, parse_xpath
+
+__all__ = [
+    "AXIS_NAMES",
+    "GLOBAL_AXES",
+    "LOCAL_AXES",
+    "LocationPath",
+    "Step",
+    "XPathEvaluator",
+    "evaluate_xpath",
+    "parse_expr",
+    "parse_xpath",
+]

@@ -1,0 +1,313 @@
+"""Abstract syntax for the XPath subset.
+
+The grammar covers what the paper's queries and FLWOR subset need:
+
+* the axes ``child`` (``/``), ``descendant`` (``//``), ``self`` (``.``),
+  ``parent`` (``..``), ``attribute`` (``@``), ``following-sibling``,
+  ``ancestor``, ``preceding`` and ``following``;
+* name tests (including ``*``), ``text()`` and ``node()`` kind tests;
+* predicates with boolean connectives, value comparisons, positional
+  predicates, and a small function library (``position``, ``last``,
+  ``count``, ``contains``, ``not``, ``deep-equal``, ``empty``,
+  ``exists``, ``string``, ``number``);
+* path roots: absolute (``/...``, ``//...``), ``doc("uri")``, and
+  variable references (``$x/...``) for paths embedded in FLWOR clauses.
+
+One deliberate deviation from W3C XPath, matching the paper's usage in
+Appendix A: a path *inside a predicate* is evaluated relative to the
+context node, so ``//address[//zip]`` selects addresses with a ``zip``
+descendant (W3C would restart at the document root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "AXIS_NAMES",
+    "LOCAL_AXES",
+    "GLOBAL_AXES",
+    "NameTest",
+    "TextTest",
+    "NodeTest",
+    "AnyKindTest",
+    "Step",
+    "LocationPath",
+    "RootDoc",
+    "RootContext",
+    "RootVariable",
+    "Literal",
+    "NumberLiteral",
+    "FunctionCall",
+    "Comparison",
+    "BooleanExpr",
+    "NotExpr",
+    "Arithmetic",
+    "Quantified",
+    "Conditional",
+    "Expr",
+]
+
+#: All axes the parser accepts.
+AXIS_NAMES = frozenset({
+    "child", "descendant", "descendant-or-self", "self", "parent",
+    "attribute", "following-sibling", "ancestor", "preceding", "following",
+})
+
+#: Axes a NoK pattern tree may contain (Section 2.1: only ``/`` and
+#: ``following-sibling`` are "local"; ``self`` is trivially local too).
+LOCAL_AXES = frozenset({"child", "self", "following-sibling", "attribute"})
+
+#: Axes that force an edge cut during BlossomTree decomposition.
+GLOBAL_AXES = frozenset(AXIS_NAMES) - LOCAL_AXES
+
+
+@dataclass(frozen=True)
+class NameTest:
+    """Match elements (or attributes) by name; ``*`` matches any name."""
+
+    name: str
+
+    def matches_tag(self, tag: Optional[str]) -> bool:
+        return tag is not None and (self.name == "*" or self.name == tag)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TextTest:
+    """``text()`` kind test."""
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class AnyKindTest:
+    """``node()`` kind test."""
+
+    def __str__(self) -> str:
+        return "node()"
+
+
+NodeTest = Union[NameTest, TextTest, AnyKindTest]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::test[pred1][pred2]...``."""
+
+    axis: str
+    test: NodeTest
+    predicates: tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        if self.axis == "child":
+            return f"{self.test}{preds}"
+        if self.axis == "attribute":
+            return f"@{self.test}{preds}"
+        return f"{self.axis}::{self.test}{preds}"
+
+
+@dataclass(frozen=True)
+class RootDoc:
+    """Path root ``doc("uri")`` — the named document's root."""
+
+    uri: str
+
+    def __str__(self) -> str:
+        return f'doc("{self.uri}")'
+
+
+@dataclass(frozen=True)
+class RootContext:
+    """Path root for absolute paths (``/`` or ``//``): the document node.
+
+    For *relative* paths the root is also ``RootContext`` but with
+    ``absolute=False``, meaning "start at the context node".
+    """
+
+    absolute: bool = True
+
+    def __str__(self) -> str:
+        return "" if self.absolute else "."
+
+
+@dataclass(frozen=True)
+class RootVariable:
+    """Path root ``$name`` — a FLWOR variable binding."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+PathRoot = Union[RootDoc, RootContext, RootVariable]
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A rooted sequence of steps."""
+
+    root: PathRoot
+    steps: tuple[Step, ...] = ()
+
+    def is_absolute(self) -> bool:
+        return isinstance(self.root, RootContext) and self.root.absolute
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        head = str(self.root)
+        if head == "." and self.steps:
+            head = ""  # leading "." before steps would not re-parse stably
+        if head:
+            parts.append(head)
+        for step in self.steps:
+            sep = "//" if step.axis in ("descendant", "descendant-or-self") else "/"
+            # Axes written explicitly keep the single-slash separator.
+            if step.axis not in ("child", "descendant", "attribute"):
+                sep = "/"
+            parts.append(f"{sep}{_strip_axis_for_display(step)}")
+        text = "".join(parts)
+        return text or "."
+
+
+def _strip_axis_for_display(step: Step) -> str:
+    preds = "".join(f"[{p}]" for p in step.predicates)
+    if step.axis in ("child", "descendant"):
+        return f"{step.test}{preds}"
+    if step.axis == "attribute":
+        return f"@{step.test}{preds}"
+    return f"{step.axis}::{step.test}{preds}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A quoted string literal."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    """A numeric literal.  In predicate position an integer means
+    ``position() = n``."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call to one of the supported functions."""
+
+    name: str
+    args: tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Binary comparison: value ops ``= != < <= > >=`` or node-order ops
+    ``<<``, ``>>``, ``is``, ``isnot``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """N-ary ``and`` / ``or``."""
+
+    op: str  # "and" | "or"
+    operands: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return f" {self.op} ".join(
+            f"({o})" if isinstance(o, BooleanExpr) else str(o) for o in self.operands)
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    """``not(expr)`` — kept distinct from FunctionCall because the
+    BlossomTree builder treats negated comparisons specially."""
+
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"not({self.operand})"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """Binary arithmetic: ``+ - * div mod`` (numeric, XPath 1.0 style)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Quantified:
+    """``some $v in path satisfies expr`` / ``every $v in path satisfies expr``.
+
+    Part of the XQuery surface beyond the paper's core grammar (its
+    Section-6 future work); usable anywhere an expression is (where
+    clauses, predicates).  The engine treats quantifiers as residual
+    conditions, re-verified per tuple.
+    """
+
+    kind: str  # "some" | "every"
+    var: str
+    source: "Expr"
+    satisfies: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.kind} ${self.var} in {self.source} satisfies {self.satisfies}"
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """``if (cond) then expr else expr``."""
+
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+    def __str__(self) -> str:
+        return (f"if ({self.condition}) then {self.then_branch} "
+                f"else {self.else_branch}")
+
+
+Expr = Union[
+    LocationPath,
+    Literal,
+    NumberLiteral,
+    FunctionCall,
+    Comparison,
+    BooleanExpr,
+    NotExpr,
+    Arithmetic,
+    Quantified,
+    Conditional,
+]

@@ -1,0 +1,358 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (see :mod:`repro.xpath.ast` for the semantic notes)::
+
+    path       ::= root? relpath?                (at least one of the two)
+    root       ::= '/' | '//' | 'doc' '(' STRING ')' | '$' NAME | '.'
+    relpath    ::= step (('/' | '//') step)*
+    step       ::= (axis '::')? nodetest predicate*
+                 | '@' nodetest predicate*
+                 | '.' | '..'
+    nodetest   ::= NAME | '*' | 'text' '(' ')' | 'node' '(' ')'
+    predicate  ::= '[' expr ']'
+    expr       ::= orExpr
+    orExpr     ::= andExpr ('or' andExpr)*
+    andExpr    ::= cmpExpr ('and' cmpExpr)*
+    cmpExpr    ::= value (cmpOp value)?
+    cmpOp      ::= '=' | '!=' | '<' | '<=' | '>' | '>=' | '<<' | '>>'
+                 | 'is' | 'isnot'
+    value      ::= STRING | NUMBER | functionCall | path | '(' expr ')'
+
+Paths inside predicates are relative to the context node even when they
+start with ``/`` or ``//`` (the convention the paper's Appendix A
+queries use).
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.xpath.ast import (
+    AXIS_NAMES,
+    AnyKindTest,
+    BooleanExpr,
+    Arithmetic,
+    Comparison,
+    Conditional,
+    Expr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NameTest,
+    NotExpr,
+    NumberLiteral,
+    RootContext,
+    RootDoc,
+    Quantified,
+    RootVariable,
+    Step,
+    TextTest,
+)
+from repro.xpath.lexer import (
+    EOF,
+    NAME,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    VARIABLE,
+    Token,
+    TokenCursor,
+    tokenize_query,
+)
+
+__all__ = ["parse_xpath", "parse_expr", "KNOWN_FUNCTIONS", "XPathParser"]
+
+#: Functions the evaluator implements.  ``text``/``node`` are node tests,
+#: not functions, and are excluded deliberately.
+KNOWN_FUNCTIONS = frozenset({
+    "position", "last", "count", "contains", "starts-with", "string-length",
+    "deep-equal", "empty", "exists", "string", "number", "name", "not",
+    "true", "false", "local-name", "normalize-space", "concat",
+    "sum", "avg", "min", "max", "floor", "ceiling", "round", "abs",
+    "substring", "substring-before", "substring-after", "translate",
+    "upper-case", "lower-case", "boolean", "distinct-values",
+})
+
+_COMPARISON_OPS = ("=", "!=", "<=", ">=", "<", ">", "<<", ">>")
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse a complete XPath string; raises ``QuerySyntaxError``."""
+    cursor = TokenCursor(tokenize_query(text), text)
+    parser = XPathParser(cursor)
+    path = parser.parse_path(top_level=True)
+    if not cursor.at_eof():
+        raise cursor.error(f"unexpected trailing input {cursor.current.value!r}")
+    return path
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a standalone boolean/value expression (e.g. a where clause)."""
+    cursor = TokenCursor(tokenize_query(text), text)
+    parser = XPathParser(cursor)
+    expr = parser.parse_or_expr()
+    if not cursor.at_eof():
+        raise cursor.error(f"unexpected trailing input {cursor.current.value!r}")
+    return expr
+
+
+class XPathParser:
+    """Parses XPath constructs from a shared :class:`TokenCursor`.
+
+    The FLWOR parser instantiates this class on its own cursor to parse
+    the path expressions embedded in for/let/where/order-by clauses.
+    """
+
+    def __init__(self, cursor: TokenCursor) -> None:
+        self.cursor = cursor
+
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
+
+    def parse_path(self, top_level: bool = False) -> LocationPath:
+        """Parse a location path.
+
+        ``top_level`` controls whether a leading slash makes the path
+        absolute (it stays "relative to context" inside predicates).
+        """
+        cur = self.cursor
+        steps: list[Step] = []
+        root = RootContext(absolute=False)
+
+        if cur.current.is_name("doc") and cur.peek().is_symbol("("):
+            cur.advance()
+            cur.expect_symbol("(")
+            uri = cur.expect_kind(STRING).value
+            cur.expect_symbol(")")
+            root = RootDoc(uri)
+            if not (cur.current.is_symbol("/") or cur.current.is_symbol("//")):
+                return LocationPath(root, ())
+            steps.extend(self._parse_rel_steps())
+            return LocationPath(root, tuple(steps))
+
+        if cur.current.kind == VARIABLE:
+            name = cur.advance().value
+            root = RootVariable(name)
+            if not (cur.current.is_symbol("/") or cur.current.is_symbol("//")):
+                return LocationPath(root, ())
+            steps.extend(self._parse_rel_steps())
+            return LocationPath(root, tuple(steps))
+
+        if cur.current.is_symbol("/") or cur.current.is_symbol("//"):
+            root = RootContext(absolute=top_level)
+            steps.extend(self._parse_rel_steps())
+            return LocationPath(root, tuple(steps))
+
+        # Plain relative path: step ('/' step)*
+        steps.append(self._parse_step())
+        steps.extend(self._parse_rel_steps(optional=True))
+        return LocationPath(root, tuple(steps))
+
+    def _parse_rel_steps(self, optional: bool = False) -> list[Step]:
+        """Parse ``(('/'|'//') step)*``; requires one step unless optional."""
+        cur = self.cursor
+        steps: list[Step] = []
+        first = True
+        while True:
+            if cur.accept_symbol("//"):
+                step = self._parse_step()
+                if step.axis == "child":
+                    step = Step("descendant", step.test, step.predicates)
+                elif step.axis == "self":
+                    step = Step("descendant-or-self", AnyKindTest(), step.predicates)
+                steps.append(step)
+            elif cur.accept_symbol("/"):
+                steps.append(self._parse_step())
+            else:
+                if first and not optional:
+                    raise cur.error("expected a path step")
+                return steps
+            first = False
+
+    def _parse_step(self) -> Step:
+        cur = self.cursor
+        token = cur.current
+
+        if token.is_symbol("."):
+            cur.advance()
+            return Step("self", AnyKindTest(), self._parse_predicates())
+        if token.is_symbol(".."):
+            cur.advance()
+            return Step("parent", AnyKindTest(), self._parse_predicates())
+        if token.is_symbol("@"):
+            cur.advance()
+            test = self._parse_name_or_star()
+            return Step("attribute", test, self._parse_predicates())
+        if token.is_symbol("*"):
+            cur.advance()
+            return Step("child", NameTest("*"), self._parse_predicates())
+
+        if token.kind != NAME:
+            raise cur.error(f"expected a step, got {token.value!r}")
+
+        # Explicit axis?
+        if cur.peek().is_symbol("::"):
+            axis = token.value
+            if axis not in AXIS_NAMES:
+                raise cur.error(f"unknown axis {axis!r}")
+            cur.advance()
+            cur.expect_symbol("::")
+            test = self._parse_node_test()
+            if axis == "attribute" and isinstance(test, (TextTest, AnyKindTest)):
+                raise cur.error("attribute axis requires a name test")
+            return Step(axis, test, self._parse_predicates())
+
+        test = self._parse_node_test()
+        return Step("child", test, self._parse_predicates())
+
+    def _parse_node_test(self):
+        cur = self.cursor
+        if cur.current.is_symbol("*"):
+            cur.advance()
+            return NameTest("*")
+        token = cur.expect_kind(NAME)
+        if token.value == "text" and cur.current.is_symbol("("):
+            cur.expect_symbol("(")
+            cur.expect_symbol(")")
+            return TextTest()
+        if token.value == "node" and cur.current.is_symbol("("):
+            cur.expect_symbol("(")
+            cur.expect_symbol(")")
+            return AnyKindTest()
+        return NameTest(token.value)
+
+    def _parse_name_or_star(self):
+        cur = self.cursor
+        if cur.current.is_symbol("*"):
+            cur.advance()
+            return NameTest("*")
+        return NameTest(cur.expect_kind(NAME).value)
+
+    def _parse_predicates(self) -> tuple[Expr, ...]:
+        cur = self.cursor
+        predicates: list[Expr] = []
+        while cur.accept_symbol("["):
+            predicates.append(self.parse_or_expr())
+            cur.expect_symbol("]")
+        return tuple(predicates)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def parse_or_expr(self) -> Expr:
+        cur = self.cursor
+        # Quantified and conditional expressions bind loosest.
+        if (cur.current.kind == NAME and cur.current.value in ("some", "every")
+                and cur.peek().kind == VARIABLE):
+            kind = cur.advance().value
+            var = cur.expect_kind(VARIABLE).value
+            cur.expect_name("in")
+            source = self.parse_path(top_level=False)
+            cur.expect_name("satisfies")
+            satisfies = self.parse_or_expr()
+            return Quantified(kind, var, source, satisfies)
+        if cur.current.is_name("if") and cur.peek().is_symbol("("):
+            cur.advance()
+            cur.expect_symbol("(")
+            condition = self.parse_or_expr()
+            cur.expect_symbol(")")
+            cur.expect_name("then")
+            then_branch = self.parse_or_expr()
+            cur.expect_name("else")
+            else_branch = self.parse_or_expr()
+            return Conditional(condition, then_branch, else_branch)
+        operands = [self.parse_and_expr()]
+        while self.cursor.current.is_name("or"):
+            self.cursor.advance()
+            operands.append(self.parse_and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("or", tuple(operands))
+
+    def parse_and_expr(self) -> Expr:
+        operands = [self.parse_comparison()]
+        while self.cursor.current.is_name("and"):
+            self.cursor.advance()
+            operands.append(self.parse_comparison())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("and", tuple(operands))
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        cur = self.cursor
+        for op in _COMPARISON_OPS:
+            if cur.current.is_symbol(op):
+                cur.advance()
+                return Comparison(op, left, self.parse_additive())
+        if cur.current.is_name("is"):
+            cur.advance()
+            return Comparison("is", left, self.parse_additive())
+        if cur.current.is_name("isnot"):
+            cur.advance()
+            return Comparison("isnot", left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        cur = self.cursor
+        while cur.current.is_symbol("+") or cur.current.is_symbol("-"):
+            op = cur.advance().value
+            left = Arithmetic(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_value()
+        cur = self.cursor
+        while (cur.current.is_symbol("*") and not self._star_is_name_test()) \
+                or cur.current.is_name("div") or cur.current.is_name("mod"):
+            op = cur.advance().value
+            left = Arithmetic(op, left, self.parse_value())
+        return left
+
+    def _star_is_name_test(self) -> bool:
+        """Heuristic: ``*`` right after ``/`` or ``[`` or at expression
+        start is a wildcard step, not multiplication.  Since paths are
+        parsed greedily by parse_value, a ``*`` seen *here* always
+        follows a complete operand and is multiplication."""
+        return False
+
+    def parse_value(self) -> Expr:
+        cur = self.cursor
+        token = cur.current
+
+        if token.kind == STRING:
+            cur.advance()
+            return Literal(token.value)
+        if token.kind == NUMBER:
+            cur.advance()
+            return NumberLiteral(float(token.value))
+        if token.is_symbol("("):
+            cur.advance()
+            inner = self.parse_or_expr()
+            cur.expect_symbol(")")
+            return inner
+        if token.is_name("not") and cur.peek().is_symbol("("):
+            cur.advance()
+            cur.expect_symbol("(")
+            inner = self.parse_or_expr()
+            cur.expect_symbol(")")
+            return NotExpr(inner)
+        if (token.kind == NAME and cur.peek().is_symbol("(")
+                and token.value in KNOWN_FUNCTIONS):
+            cur.advance()
+            cur.expect_symbol("(")
+            args: list[Expr] = []
+            if not cur.current.is_symbol(")"):
+                args.append(self.parse_or_expr())
+                while cur.accept_symbol(","):
+                    args.append(self.parse_or_expr())
+            cur.expect_symbol(")")
+            return FunctionCall(token.value, tuple(args))
+
+        # Otherwise it must be a (relative) path.
+        if (token.kind in (NAME, VARIABLE)
+                or token.kind == SYMBOL and token.value in ("/", "//", ".", "..", "@", "*")):
+            return self.parse_path(top_level=False)
+        raise cur.error(f"expected an expression, got {token.value!r}")

@@ -1,0 +1,30 @@
+"""XQuery FLWOR subset: AST and parser (paper Section 3.1 grammar)."""
+
+from repro.xquery.ast import (
+    ElementConstructor,
+    Enclosed,
+    FLWOR,
+    ForClause,
+    LetClause,
+    OrderSpec,
+    Sequence,
+    TextItem,
+)
+from repro.xquery.parser import parse_flwor, parse_query
+from repro.xquery.semantics import Correlation, StaticReport, analyze
+
+__all__ = [
+    "ElementConstructor",
+    "Enclosed",
+    "FLWOR",
+    "ForClause",
+    "LetClause",
+    "OrderSpec",
+    "Sequence",
+    "TextItem",
+    "Correlation",
+    "StaticReport",
+    "analyze",
+    "parse_flwor",
+    "parse_query",
+]

@@ -1,0 +1,142 @@
+"""Abstract syntax for the restricted FLWOR subset (paper Section 3.1).
+
+The grammar the paper evaluates::
+
+    FLWOR ::= ( 'for' Var 'in' Path | 'let' Var ':=' Path )+
+              ('where' Boolean)?
+              ('order by' Path)?
+              'return' Return
+
+We additionally support the constructs Example 1 needs: direct element
+constructors with enclosed expressions (``<tag>{ expr }</tag>``) in the
+return clause and around a whole FLWOR, and comma-separated sequences
+inside enclosed expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.xpath.ast import Expr, LocationPath
+
+__all__ = [
+    "ForClause",
+    "LetClause",
+    "OrderSpec",
+    "FLWOR",
+    "TextItem",
+    "Enclosed",
+    "ElementConstructor",
+    "Sequence",
+    "QueryExpr",
+    "iter_clause_paths",
+]
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """``for $var in <path>`` — iterates item by item (mode "f")."""
+
+    var: str
+    source: LocationPath
+
+    def __str__(self) -> str:
+        return f"for ${self.var} in {self.source}"
+
+
+@dataclass(frozen=True)
+class LetClause:
+    """``let $var := <path>`` — binds the whole sequence (mode "l")."""
+
+    var: str
+    source: LocationPath
+
+    def __str__(self) -> str:
+        return f"let ${self.var} := {self.source}"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ``order by`` key."""
+
+    key: Expr
+    descending: bool = False
+
+    def __str__(self) -> str:
+        suffix = " descending" if self.descending else ""
+        return f"{self.key}{suffix}"
+
+
+@dataclass(frozen=True)
+class TextItem:
+    """Literal character content inside an element constructor."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Enclosed:
+    """``{ expr, expr, ... }`` inside a constructor."""
+
+    exprs: tuple["QueryExpr", ...]
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """A direct element constructor.
+
+    ``attrs`` maps attribute names to literal strings (attribute value
+    templates with enclosed expressions are outside the paper's subset).
+    ``content`` is the ordered mix of text, nested constructors and
+    enclosed expressions.
+    """
+
+    tag: str
+    attrs: tuple[tuple[str, str], ...] = ()
+    content: tuple[Union[TextItem, "ElementConstructor", Enclosed], ...] = ()
+
+    def __str__(self) -> str:
+        attrs = "".join(f' {k}="{v}"' for k, v in self.attrs)
+        return f"<{self.tag}{attrs}>...</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """Comma-separated expression sequence."""
+
+    exprs: tuple["QueryExpr", ...]
+
+
+@dataclass(frozen=True)
+class FLWOR:
+    """A restricted FLWOR expression."""
+
+    clauses: tuple[Union[ForClause, LetClause], ...]
+    where: Optional[Expr] = None
+    order_by: tuple[OrderSpec, ...] = ()
+    return_expr: "QueryExpr" = None  # type: ignore[assignment]
+
+    def for_clauses(self) -> list[ForClause]:
+        return [c for c in self.clauses if isinstance(c, ForClause)]
+
+    def let_clauses(self) -> list[LetClause]:
+        return [c for c in self.clauses if isinstance(c, LetClause)]
+
+    def __str__(self) -> str:
+        parts = [str(c) for c in self.clauses]
+        if self.where is not None:
+            parts.append(f"where {self.where}")
+        if self.order_by:
+            parts.append("order by " + ", ".join(str(s) for s in self.order_by))
+        parts.append("return ...")
+        return "\n".join(parts)
+
+
+#: Anything that can appear where the XQuery grammar expects one expression.
+QueryExpr = Union[FLWOR, ElementConstructor, Sequence, Expr]
+
+
+def iter_clause_paths(flwor: FLWOR) -> list[tuple[str, LocationPath]]:
+    """All (variable, path) pairs bound by for/let clauses, in order."""
+    return [(c.var, c.source) for c in flwor.clauses]

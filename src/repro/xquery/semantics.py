@@ -1,0 +1,244 @@
+"""Static semantic analysis of FLWOR expressions.
+
+Catches, *before* any evaluation starts, the errors that would
+otherwise surface as mid-query execution failures:
+
+* references to unbound variables (in clause sources, where, order by
+  and return — including inside nested constructors and quantifiers);
+* duplicate variable bindings (the restricted grammar has no variable
+  shadowing);
+* correlation analysis: which variables each where-conjunct connects —
+  the same classification the BlossomTree builder uses to place
+  crossing edges, exposed here for tooling (``Engine.explain`` shows it).
+
+The analyzer is purely syntactic — no document needed — and returns a
+:class:`StaticReport`; callers may raise ``report.raise_errors()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StaticError
+from repro.xpath.ast import (
+    Arithmetic,
+    BooleanExpr,
+    Comparison,
+    Conditional,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    NotExpr,
+    NumberLiteral,
+    Quantified,
+    RootVariable,
+)
+from repro.xquery.ast import (
+    ElementConstructor,
+    Enclosed,
+    FLWOR,
+    ForClause,
+    LetClause,
+    QueryExpr,
+    Sequence,
+    TextItem,
+)
+
+__all__ = ["StaticReport", "Correlation", "analyze"]
+
+
+@dataclass(frozen=True)
+class Correlation:
+    """One where-conjunct's variable footprint."""
+
+    variables: tuple[str, ...]
+    relation: str       # "<<", "=", "deep-equal", "other", ...
+    description: str
+
+    @property
+    def is_join(self) -> bool:
+        """Connects two or more variables — a crossing-edge candidate."""
+        return len(self.variables) >= 2
+
+
+@dataclass
+class StaticReport:
+    """The analyzer's findings."""
+
+    errors: list[str] = field(default_factory=list)
+    bound_variables: list[str] = field(default_factory=list)
+    unused_variables: list[str] = field(default_factory=list)
+    correlations: list[Correlation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_errors(self) -> None:
+        if self.errors:
+            raise StaticError("; ".join(self.errors))
+
+
+def analyze(flwor: FLWOR) -> StaticReport:
+    """Statically analyze a FLWOR expression."""
+    report = StaticReport()
+    bound: list[str] = []
+    used: set[str] = set()
+
+    for clause in flwor.clauses:
+        _check_expr(clause.source, bound, used, report)
+        if clause.var in bound:
+            report.errors.append(f"variable ${clause.var} bound twice")
+        else:
+            bound.append(clause.var)
+
+    if flwor.where is not None:
+        _check_expr(flwor.where, bound, used, report)
+        for conjunct in _conjuncts(flwor.where):
+            report.correlations.append(_classify(conjunct))
+    for spec in flwor.order_by:
+        _check_expr(spec.key, bound, used, report)
+    _check_query_expr(flwor.return_expr, bound, used, report)
+
+    report.bound_variables = list(bound)
+    report.unused_variables = [v for v in bound if v not in used]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Traversal.
+# ----------------------------------------------------------------------
+
+def _check_query_expr(expr: QueryExpr, bound: list[str], used: set[str],
+                      report: StaticReport) -> None:
+    if isinstance(expr, FLWOR):
+        inner_bound = list(bound)
+        for clause in expr.clauses:
+            _check_expr(clause.source, inner_bound, used, report)
+            if clause.var in inner_bound:
+                report.errors.append(f"variable ${clause.var} bound twice")
+            else:
+                inner_bound.append(clause.var)
+        if expr.where is not None:
+            _check_expr(expr.where, inner_bound, used, report)
+        for spec in expr.order_by:
+            _check_expr(spec.key, inner_bound, used, report)
+        _check_query_expr(expr.return_expr, inner_bound, used, report)
+        return
+    if isinstance(expr, ElementConstructor):
+        for item in expr.content:
+            if isinstance(item, TextItem):
+                continue
+            if isinstance(item, Enclosed):
+                for sub in item.exprs:
+                    _check_query_expr(sub, bound, used, report)
+            else:
+                _check_query_expr(item, bound, used, report)
+        return
+    if isinstance(expr, Sequence):
+        for sub in expr.exprs:
+            _check_query_expr(sub, bound, used, report)
+        return
+    _check_expr(expr, bound, used, report)
+
+
+def _check_expr(expr: Expr, bound: list[str], used: set[str],
+                report: StaticReport) -> None:
+    if isinstance(expr, LocationPath):
+        if isinstance(expr.root, RootVariable):
+            name = expr.root.name
+            used.add(name)
+            if name not in bound:
+                report.errors.append(f"reference to unbound variable ${name}")
+        for step in expr.steps:
+            for predicate in step.predicates:
+                _check_expr(predicate, bound, used, report)
+        return
+    if isinstance(expr, (Comparison, Arithmetic)):
+        _check_expr(expr.left, bound, used, report)
+        _check_expr(expr.right, bound, used, report)
+        return
+    if isinstance(expr, (BooleanExpr,)):
+        for operand in expr.operands:
+            _check_expr(operand, bound, used, report)
+        return
+    if isinstance(expr, NotExpr):
+        _check_expr(expr.operand, bound, used, report)
+        return
+    if isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            _check_expr(arg, bound, used, report)
+        return
+    if isinstance(expr, Quantified):
+        _check_expr(expr.source, bound, used, report)
+        inner = bound + [expr.var]
+        _check_expr(expr.satisfies, inner, used, report)
+        return
+    if isinstance(expr, Conditional):
+        for sub in (expr.condition, expr.then_branch, expr.else_branch):
+            _check_expr(sub, bound, used, report)
+        return
+    # literals: nothing to check
+
+
+# ----------------------------------------------------------------------
+# Correlation classification.
+# ----------------------------------------------------------------------
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BooleanExpr) and expr.op == "and":
+        out: list[Expr] = []
+        for operand in expr.operands:
+            out.extend(_conjuncts(operand))
+        return out
+    return [expr]
+
+
+def _variables_of(expr: Expr) -> tuple[str, ...]:
+    found: list[str] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, LocationPath):
+            if isinstance(node.root, RootVariable) and \
+                    node.root.name not in found:
+                found.append(node.root.name)
+            for step in node.steps:
+                for predicate in step.predicates:
+                    visit(predicate)
+        elif isinstance(node, (Comparison, Arithmetic)):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, BooleanExpr):
+            for operand in node.operands:
+                visit(operand)
+        elif isinstance(node, NotExpr):
+            visit(node.operand)
+        elif isinstance(node, FunctionCall):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, Quantified):
+            visit(node.source)
+            visit(node.satisfies)
+        elif isinstance(node, Conditional):
+            visit(node.condition)
+            visit(node.then_branch)
+            visit(node.else_branch)
+
+    visit(expr)
+    return tuple(found)
+
+
+def _classify(conjunct: Expr) -> Correlation:
+    variables = _variables_of(conjunct)
+    inner = conjunct
+    while isinstance(inner, NotExpr):
+        inner = inner.operand
+    if isinstance(inner, FunctionCall) and inner.name == "not" and inner.args:
+        inner = inner.args[0]
+    if isinstance(inner, Comparison):
+        relation = inner.op
+    elif isinstance(inner, FunctionCall) and inner.name == "deep-equal":
+        relation = "deep-equal"
+    else:
+        relation = "other"
+    return Correlation(variables, relation, str(conjunct))

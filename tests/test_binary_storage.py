@@ -1,0 +1,77 @@
+"""Tests for the succinct binary storage format."""
+
+import pytest
+
+from hypothesis import given
+
+from repro.datagen import DATASETS
+from repro.engine import Engine
+from repro.xmlkit import parse, serialize
+from repro.xmlkit.binary import StorageError, dump, load
+
+from tests.test_property_based import COMMON_SETTINGS, xml_documents
+
+
+class TestRoundTrip:
+    def test_small_document(self, small_bib):
+        again = load(dump(small_bib))
+        assert serialize(again.root) == serialize(small_bib.root)
+
+    def test_labels_recomputed(self, small_bib):
+        again = load(dump(small_bib))
+        for a, b in zip(small_bib.nodes, again.nodes):
+            assert (a.nid, a.start, a.end, a.level) == \
+                (b.nid, b.start, b.end, b.level)
+            assert a.tag == b.tag
+
+    def test_attributes_and_text(self):
+        doc = parse('<a x="1" y="&lt;z&gt;">mixed <b/> text</a>')
+        assert serialize(load(dump(doc)).root) == serialize(doc.root)
+
+    @pytest.mark.parametrize("name", ["d2", "d4"])
+    def test_generated_corpora(self, name):
+        doc = DATASETS[name].generate(scale=0.05)
+        again = load(dump(doc))
+        assert serialize(again.root) == serialize(doc.root)
+
+    @COMMON_SETTINGS
+    @given(doc=xml_documents())
+    def test_random_documents(self, doc):
+        assert serialize(load(dump(doc)).root) == serialize(doc.root)
+
+    def test_queries_run_on_loaded_document(self, small_bib):
+        engine = Engine(load(dump(small_bib)))
+        result = engine.query("//book[author]/title")
+        assert len(result) == 2
+
+
+class TestCompactness:
+    def test_dictionary_encoding_beats_text_on_repetitive_data(self):
+        # Tag names are stored once: dblp-style data (many repeated
+        # records) must be substantially smaller than the XML text.
+        doc = DATASETS["d5"].generate(scale=0.1)
+        text_size = len(serialize(doc.root).encode("utf-8"))
+        binary_size = len(dump(doc))
+        assert binary_size < 0.8 * text_size
+
+    def test_deduplicates_repeated_strings(self):
+        doc = parse("<r>" + "<x>same</x>" * 100 + "</r>")
+        payload = dump(doc)
+        assert payload.count(b"same") == 1
+
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            load(b"NOPE" + b"\x00" * 10)
+
+    def test_truncated(self, small_bib):
+        payload = dump(small_bib)
+        with pytest.raises(StorageError):
+            load(payload[: len(payload) // 2])
+
+    def test_corrupted_opcode(self, small_bib):
+        payload = bytearray(dump(small_bib))
+        payload[-1] = 0x63  # garbage opcode / imbalance
+        with pytest.raises(StorageError):
+            load(bytes(payload))

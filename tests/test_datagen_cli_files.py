@@ -1,0 +1,47 @@
+"""File-level tests: the datagen CLI and parse_file round trips."""
+
+import pytest
+
+from repro.datagen import DATASETS
+from repro.datagen import __main__ as datagen_cli
+from repro.xmlkit import parse_file, serialize
+
+
+class TestDatagenCLI:
+    def test_writes_requested_datasets(self, tmp_path, capsys):
+        code = datagen_cli.main(["--out", str(tmp_path), "--scale", "0.02",
+                                 "--datasets", "d2,d5"])
+        assert code == 0
+        assert (tmp_path / "d2.xml").exists()
+        assert (tmp_path / "d5.xml").exists()
+        assert not (tmp_path / "d1.xml").exists()
+        manifest = (tmp_path / "MANIFEST.txt").read_text()
+        assert "d2:" in manifest and "non-recursive" in manifest
+
+    def test_unknown_dataset(self, tmp_path):
+        assert datagen_cli.main(["--out", str(tmp_path),
+                                 "--datasets", "nope"]) == 2
+
+    def test_seed_override_changes_content(self, tmp_path):
+        datagen_cli.main(["--out", str(tmp_path / "a"), "--scale", "0.02",
+                          "--datasets", "d5", "--seed", "1"])
+        datagen_cli.main(["--out", str(tmp_path / "b"), "--scale", "0.02",
+                          "--datasets", "d5", "--seed", "2"])
+        first = (tmp_path / "a" / "d5.xml").read_text()
+        second = (tmp_path / "b" / "d5.xml").read_text()
+        assert first != second
+
+    def test_files_parse_back_identically(self, tmp_path):
+        datagen_cli.main(["--out", str(tmp_path), "--scale", "0.02",
+                          "--datasets", "d3"])
+        doc = parse_file(tmp_path / "d3.xml")
+        direct = DATASETS["d3"].generate(scale=0.02)
+        assert serialize(doc.root) == serialize(direct.root)
+
+    def test_parse_file_runs_queries(self, tmp_path):
+        from repro.engine import Engine
+        datagen_cli.main(["--out", str(tmp_path), "--scale", "0.02",
+                          "--datasets", "d2"])
+        engine = Engine(parse_file(tmp_path / "d2.xml"))
+        result = engine.query("//address[//zip_code]")
+        assert len(result) > 0

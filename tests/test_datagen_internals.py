@@ -1,0 +1,68 @@
+"""Unit tests for the generator machinery itself."""
+
+import random
+
+import pytest
+
+from repro.datagen.core import GenContext, WeightedTags, sentence, word
+
+
+class TestWeightedTags:
+    def test_respects_weights_roughly(self):
+        chooser = WeightedTags([("common", 9.0), ("rare", 1.0)])
+        rng = random.Random(42)
+        draws = [chooser.choose(rng) for _ in range(2000)]
+        share = draws.count("common") / len(draws)
+        assert 0.85 < share < 0.95
+
+    def test_single_option(self):
+        chooser = WeightedTags([("only", 1.0)])
+        rng = random.Random(0)
+        assert all(chooser.choose(rng) == "only" for _ in range(10))
+
+    def test_deterministic_given_seed(self):
+        chooser = WeightedTags([("a", 1.0), ("b", 1.0), ("c", 2.0)])
+        first = [chooser.choose(random.Random(7)) for _ in range(1)]
+        second = [chooser.choose(random.Random(7)) for _ in range(1)]
+        assert first == second
+
+
+class TestGenContext:
+    def test_budget_tracking(self):
+        ctx = GenContext(seed=1, target_elements=3)
+        assert not ctx.exhausted()
+        ctx.start("r")
+        ctx.leaf("x")
+        ctx.leaf("y", "text")
+        assert ctx.exhausted()
+        ctx.end()
+        doc = ctx.finish()
+        assert doc.root.tag == "r"
+        assert len(list(doc.elements())) == 3
+
+    def test_leaf_with_attrs_and_text(self):
+        ctx = GenContext(seed=1, target_elements=10)
+        ctx.start("r")
+        ctx.leaf("item", "hello", {"k": "v"})
+        ctx.end()
+        doc = ctx.finish()
+        item = doc.elements_by_tag("item")[0]
+        assert item.attrs == {"k": "v"}
+        assert item.string_value() == "hello"
+
+    def test_unbalanced_rejected(self):
+        ctx = GenContext(seed=1, target_elements=5)
+        ctx.start("r")
+        ctx.start("x")
+        with pytest.raises(ValueError):
+            ctx.finish()
+
+
+class TestTextHelpers:
+    def test_word_from_alphabet(self):
+        rng = random.Random(3)
+        assert word(rng).isalpha()
+
+    def test_sentence_word_count(self):
+        rng = random.Random(3)
+        assert len(sentence(rng, 5).split()) == 5

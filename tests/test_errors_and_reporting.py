@@ -1,0 +1,78 @@
+"""Unit tests for the error hierarchy, bench reporting and the CLI."""
+
+import pytest
+
+from repro.bench.reporting import format_dict_table
+from repro.bench import __main__ as bench_cli
+from repro.errors import (
+    CompileError,
+    DNFError,
+    ExecutionError,
+    QuerySyntaxError,
+    ReproError,
+    StaticError,
+    XMLSyntaxError,
+)
+
+
+class TestErrorHierarchy:
+    def test_single_catchall_base(self):
+        for exc_type in (XMLSyntaxError, QuerySyntaxError, StaticError,
+                         CompileError, ExecutionError, DNFError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_dnf_is_execution_error(self):
+        assert issubclass(DNFError, ExecutionError)
+
+    def test_xml_error_position_formatting(self):
+        error = XMLSyntaxError("bad thing", line=3, column=7)
+        assert "line 3" in str(error) and error.column == 7
+
+    def test_query_error_caret(self):
+        error = QuerySyntaxError("oops", position=4, query="//a[[")
+        text = str(error)
+        assert "//a[[" in text and "^" in text
+
+    def test_dnf_budget_in_message(self):
+        error = DNFError(budget=1000)
+        assert "1000" in str(error)
+        assert error.budget == 1000
+
+
+class TestReporting:
+    def test_empty_table(self):
+        assert format_dict_table([]) == "(no rows)"
+
+    def test_alignment(self):
+        rows = [{"name": "x", "value": 1}, {"name": "longer", "value": 22}]
+        text = format_dict_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:3])
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_dict_table(rows)
+        assert "1" in text and "2" in text
+
+
+class TestBenchCLI:
+    def test_table1(self, capsys):
+        assert bench_cli.main(["table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "d1" in out and "recursive?" in out
+
+    def test_table2(self, capsys):
+        assert bench_cli.main(["table2", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "selectivity" in out
+
+    def test_table3_subset(self, capsys):
+        assert bench_cli.main(["table3", "--scale", "0.05", "--repeat", "1",
+                               "--datasets", "d2", "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "PL" in out and "XH" in out and "nodes scanned" in out
+
+    def test_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            bench_cli.main(["table9"])

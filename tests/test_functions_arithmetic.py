@@ -1,0 +1,119 @@
+"""Tests for the extended function library and arithmetic expressions."""
+
+import math
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import ExecutionError
+from repro.xmlkit import parse
+from repro.xpath import parse_expr
+from repro.xpath.evaluator import EvalContext, XPathEvaluator
+
+
+@pytest.fixture(scope="module")
+def prices_doc():
+    return parse("<r><p>10</p><p>25.5</p><p>20</p><p>20</p>"
+                 "<w>Hello World</w></r>")
+
+
+def ev(doc, text, variables=None):
+    context = EvalContext(doc.document_node, variables=dict(variables or {}),
+                          resolve_doc=lambda uri: doc)
+    return XPathEvaluator().evaluate(parse_expr(text), context)
+
+
+class TestAggregates:
+    def test_sum_avg_min_max(self, prices_doc):
+        assert ev(prices_doc, "sum(//p)") == 75.5
+        assert ev(prices_doc, "avg(//p)") == pytest.approx(18.875)
+        assert ev(prices_doc, "min(//p)") == 10.0
+        assert ev(prices_doc, "max(//p)") == 25.5
+
+    def test_sum_of_empty_is_zero(self, prices_doc):
+        assert ev(prices_doc, "sum(//nothing)") == 0.0
+
+    def test_min_of_empty_errors(self, prices_doc):
+        with pytest.raises(ExecutionError):
+            ev(prices_doc, "min(//nothing)")
+
+    def test_non_numeric_gives_nan(self, prices_doc):
+        assert math.isnan(ev(prices_doc, "sum(//w)"))
+
+    def test_distinct_values(self, prices_doc):
+        assert ev(prices_doc, "count(distinct-values(//p))") == 3.0
+        assert ev(prices_doc, "count(//p)") == 4.0
+
+
+class TestNumeric:
+    def test_rounding_family(self, prices_doc):
+        assert ev(prices_doc, "floor(2.8)") == 2.0
+        assert ev(prices_doc, "ceiling(2.2)") == 3.0
+        assert ev(prices_doc, "round(2.5)") == 3.0
+        assert ev(prices_doc, "round(2.4)") == 2.0
+        assert ev(prices_doc, "abs(2 - 10)") == 8.0
+
+
+class TestStrings:
+    def test_substring(self, prices_doc):
+        assert ev(prices_doc, "substring(//w, 7)") == "World"
+        assert ev(prices_doc, "substring(//w, 1, 5)") == "Hello"
+
+    def test_substring_before_after(self, prices_doc):
+        assert ev(prices_doc, 'substring-before(//w, " ")') == "Hello"
+        assert ev(prices_doc, 'substring-after(//w, " ")') == "World"
+        assert ev(prices_doc, 'substring-before(//w, "zz")') == ""
+
+    def test_translate(self, prices_doc):
+        assert ev(prices_doc, 'translate(//w, "lo", "01")') == "He001 W1r0d"
+        # removal: source chars without a destination are dropped.
+        assert ev(prices_doc, 'translate(//w, "lo", "")') == "He Wrd"
+
+    def test_case_functions(self, prices_doc):
+        assert ev(prices_doc, "upper-case(//w)") == "HELLO WORLD"
+        assert ev(prices_doc, "lower-case(//w)") == "hello world"
+
+    def test_boolean_function(self, prices_doc):
+        assert ev(prices_doc, "boolean(//p)") is True
+        assert ev(prices_doc, "boolean(//none)") is False
+
+
+class TestArithmetic:
+    def test_precedence(self, prices_doc):
+        assert ev(prices_doc, "1 + 2 * 3") == 7.0
+        assert ev(prices_doc, "10 - 2 - 3") == 5.0  # left associative
+        assert ev(prices_doc, "(1 + 2) * 3") == 9.0
+
+    def test_div_and_mod(self, prices_doc):
+        assert ev(prices_doc, "7 div 2") == 3.5
+        assert ev(prices_doc, "7 mod 2") == 1.0
+        assert ev(prices_doc, "1 div 0") == float("inf")
+        assert math.isnan(ev(prices_doc, "0 div 0"))
+
+    def test_node_operands_coerce(self, prices_doc):
+        assert ev(prices_doc, "sum(//p) div count(//p)") == pytest.approx(18.875)
+
+    def test_arithmetic_in_predicate(self, prices_doc):
+        nodes = ev(prices_doc, "//p[. > 10 + 5]")
+        assert [n.string_value() for n in nodes] == ["25.5", "20", "20"]
+
+    def test_arithmetic_in_where(self):
+        doc = parse("<r><i><q>2</q><c>5</c></i><i><q>4</q><c>1</c></i></r>")
+        engine = Engine(doc)
+        query = ("for $i in //i where $i/q * $i/c > 8 "
+                 "return <v>{ $i/q }</v>")
+        reference = engine.query(query, strategy="naive").serialize()
+        assert reference == "<v><q>2</q></v>"
+        for strategy in ("stack", "bnlj"):
+            assert engine.query(query, strategy=strategy).serialize() == \
+                reference
+
+    def test_aggregate_in_return(self, prices_doc):
+        engine = Engine(prices_doc)
+        result = engine.query(
+            "for $r in //r return <t>{ sum($r/p) }</t>")
+        assert result.nodes()[0].string_value() == "75.5"
+
+    def test_wildcard_star_still_works(self, prices_doc):
+        engine = Engine(prices_doc)
+        assert len(engine.query("/r/*")) == 5

@@ -1,0 +1,162 @@
+"""Unit tests for the structural join operators (Section 4.2 / 4.3).
+
+All join algorithms must produce identical adjacency on identical
+inputs; the pipelined merge additionally refuses nesting input, and the
+caching/stack variants report their memory in ``peak_buffered``.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.pattern import build_from_path, decompose
+from repro.physical import (
+    NoKMatcher,
+    bounded_nested_loop_join,
+    caching_desc_join,
+    left_projection,
+    naive_nested_loop_join,
+    nested_loop_pairs,
+    pipelined_desc_join,
+    stack_desc_join,
+    stack_join_pairs,
+)
+from repro.xmlkit import parse
+from repro.xmlkit.storage import ScanCounters
+from repro.xpath import parse_xpath
+
+
+def setup_join(doc, path_text):
+    """Decompose a two-NoK path and return everything a join needs."""
+    tree = build_from_path(parse_xpath(path_text))
+    dec = decompose(tree)
+    noks = {n.root.name: n for n in dec.noks}
+    edge = next(e for e in dec.inter_edges if e.parent.name != "#root")
+    left_nok = dec.noks[edge.nok_from]
+    right_nok = dec.noks[edge.nok_to]
+    left = NoKMatcher(left_nok, doc).matches()
+    right = NoKMatcher(right_nok, doc).matches()
+    projection = left_projection(left, edge)
+    return tree, dec, edge, projection, right, right_nok
+
+
+def adjacency_nids(result):
+    return {k: sorted(e.node.nid for e in v)
+            for k, v in result.adjacency.items()}
+
+
+@pytest.fixture
+def flat_doc():
+    return parse("<r><a><b/><c><b/></c></a><a><x/></a><a><b/></a></r>")
+
+
+@pytest.fixture
+def nested_doc():
+    # a's nest inside a's: the pipelined merge must refuse this.
+    return parse("<r><a><a><b/></a><b/></a><a><b/></a></r>")
+
+
+class TestAlgorithmAgreement:
+    def test_all_algorithms_agree_flat(self, flat_doc):
+        tree, dec, edge, proj, right, right_nok = setup_join(flat_doc, "//a//b")
+        results = {
+            "pl": pipelined_desc_join(proj, right, edge),
+            "cache": caching_desc_join(proj, right, edge),
+            "stack": stack_desc_join(proj, right, edge),
+            "bnlj": bounded_nested_loop_join(proj, right_nok, flat_doc, edge),
+            "naive": naive_nested_loop_join(proj, right_nok, flat_doc, edge),
+        }
+        reference = adjacency_nids(results["pl"])
+        assert reference  # non-empty join
+        for name, result in results.items():
+            assert adjacency_nids(result) == reference, name
+
+    def test_nesting_algorithms_agree_recursive(self, nested_doc):
+        tree, dec, edge, proj, right, right_nok = setup_join(nested_doc, "//a//b")
+        results = {
+            "cache": caching_desc_join(proj, right, edge),
+            "stack": stack_desc_join(proj, right, edge),
+            "bnlj": bounded_nested_loop_join(proj, right_nok, nested_doc, edge),
+            "naive": naive_nested_loop_join(proj, right_nok, nested_doc, edge),
+        }
+        reference = adjacency_nids(results["cache"])
+        for name, result in results.items():
+            assert adjacency_nids(result) == reference, name
+        # The inner b pairs with BOTH nested a ancestors.
+        inner_b = [nid for nid, partners in reference.items()
+                   if len(partners) >= 1]
+        assert len(inner_b) == 3
+
+    def test_pipelined_refuses_nesting_input(self, nested_doc):
+        tree, dec, edge, proj, right, right_nok = setup_join(nested_doc, "//a//b")
+        with pytest.raises(ExecutionError):
+            pipelined_desc_join(proj, right, edge)
+
+
+class TestMemoryAccounting:
+    def test_pipelined_is_constant_memory(self, flat_doc):
+        counters = ScanCounters()
+        tree, dec, edge, proj, right, _ = setup_join(flat_doc, "//a//b")
+        pipelined_desc_join(proj, right, edge, counters)
+        assert counters.peak_buffered <= 1
+
+    def test_caching_memory_tracks_recursion_degree(self):
+        # recursion degree 4: four nested a's.
+        doc = parse("<r><a><a><a><a><b/></a></a></a></a></r>")
+        tree, dec, edge, proj, right, _ = setup_join(doc, "//a//b")
+        counters = ScanCounters()
+        caching_desc_join(proj, right, edge, counters)
+        assert counters.peak_buffered == 4
+
+    def test_bnlj_scans_are_bounded_by_subtrees(self, flat_doc):
+        tree, dec, edge, proj, right, right_nok = setup_join(flat_doc, "//a//b")
+        bounded = ScanCounters()
+        bounded_nested_loop_join(proj, right_nok, flat_doc, edge, bounded)
+        naive = ScanCounters()
+        naive_nested_loop_join(proj, right_nok, flat_doc, edge, naive)
+        assert bounded.nodes_scanned < naive.nodes_scanned
+
+
+class TestPairJoins:
+    def test_nested_loop_pairs_cartesian_filter(self):
+        pairs = nested_loop_pairs([1, 2, 3], [2, 3], lambda a, b: a < b)
+        assert pairs == [(1, 2), (1, 3), (2, 3)]
+
+    def test_comparison_counting(self):
+        counters = ScanCounters()
+        nested_loop_pairs([1, 2], [1, 2, 3], lambda a, b: True, counters)
+        assert counters.comparisons == 6
+
+    def test_stack_join_pairs_payloads(self, flat_doc):
+        a_nodes = flat_doc.elements_by_tag("a")
+        b_nodes = [(n, f"payload{i}") for i, n in
+                   enumerate(flat_doc.elements_by_tag("b"))]
+        out = stack_join_pairs(a_nodes, b_nodes)
+        payloads = {p for _, (_, p) in out}
+        assert payloads == {"payload0", "payload1", "payload2"}
+
+
+class TestOrderPreservation:
+    def test_merge_join_output_ordered_by_left(self, flat_doc):
+        # Theorem 2: with document-ordered inputs on a non-recursive
+        # document, iterating adjacency in left-node order gives
+        # document-ordered right nodes overall.
+        tree, dec, edge, proj, right, _ = setup_join(flat_doc, "//a//b")
+        result = pipelined_desc_join(proj, right, edge)
+        flattened = []
+        for node in proj:
+            for entry in result.partners(node):
+                flattened.append(entry.node.nid)
+        assert flattened == sorted(flattened)
+
+    def test_example5_order_violation(self, paper_bib):
+        """Example 5: the <<-join is NOT order preserving.
+
+        Joining books b1..b4 pairwise with b_i << b_j and projecting the
+        second component yields [b2,b3,b4,b3,b4,b4] — not document
+        order, exactly the paper's counterexample."""
+        books = paper_bib.elements_by_tag("book")
+        pairs = nested_loop_pairs(books, books, lambda x, y: x.nid < y.nid)
+        projected = [y.nid for _, y in pairs]
+        assert projected != sorted(projected)
+        # the paper's sequence shape: strictly increasing runs per outer
+        assert len(pairs) == 6

@@ -1,0 +1,139 @@
+"""Unit tests for result construction, QueryResult and order keys."""
+
+import pytest
+
+from repro.engine.construct import DirectEvaluator, order_key
+from repro.engine.result import QueryResult, ResultBuilder, atom_text, copy_into
+from repro.errors import ExecutionError
+from repro.xmlkit import parse, serialize
+from repro.xmlkit.tree import DocumentBuilder
+from repro.xpath.evaluator import AttrNode
+
+
+class TestResultBuilder:
+    def test_simple_construction(self):
+        builder = ResultBuilder()
+        builder.start_element("out", {"k": "v"})
+        builder.text("hello")
+        builder.end_element()
+        node = builder.finish()
+        assert serialize(node) == '<out k="v">hello</out>'
+
+    def test_unbalanced_rejected(self):
+        builder = ResultBuilder()
+        builder.start_element("out")
+        with pytest.raises(ExecutionError):
+            builder.finish()
+        builder2 = ResultBuilder()
+        with pytest.raises(ExecutionError):
+            builder2.end_element()
+
+    def test_add_item_copies_nodes(self, small_bib):
+        title = small_bib.elements_by_tag("title")[0]
+        builder = ResultBuilder()
+        builder.start_element("wrap")
+        builder.add_item(title)
+        builder.end_element()
+        node = builder.finish()
+        inner = node.children[0]
+        assert inner.tag == "title"
+        assert inner is not title and inner.doc is not small_bib
+        assert inner.string_value() == title.string_value()
+
+    def test_add_items_space_separates_atoms(self):
+        builder = ResultBuilder()
+        builder.start_element("n")
+        builder.add_items([1.0, 2.0, "three"])
+        builder.end_element()
+        assert builder.finish().string_value() == "1 2 three"
+
+    def test_attr_node_item_becomes_text(self, small_bib):
+        builder = ResultBuilder()
+        builder.start_element("y")
+        builder.add_item(AttrNode(small_bib.root, "k", "1994"))
+        builder.end_element()
+        assert builder.finish().string_value() == "1994"
+
+    def test_copy_into_document_node(self, small_bib):
+        builder = DocumentBuilder()
+        builder.start_element("holder")
+        copy_into(builder, small_bib.document_node)
+        builder.end_element()
+        doc = builder.finish()
+        assert doc.root.children[0].tag == "bib"
+
+
+class TestQueryResult:
+    def test_serialize_mixes_nodes_and_atoms(self, small_bib):
+        title = small_bib.elements_by_tag("title")[0]
+        result = QueryResult([title, 1.0, 2.0, "x"])
+        assert result.serialize() == serialize(title) + "1 2 x"
+
+    def test_nodes_filters_atoms(self, small_bib):
+        result = QueryResult([small_bib.root, 3.0])
+        assert len(result.nodes()) == 1
+        assert len(result) == 2
+
+    def test_string_values(self, small_bib):
+        price = small_bib.elements_by_tag("price")[0]
+        result = QueryResult([price, True, 2.5])
+        assert result.string_values() == ["65.95", "true", "2.5"]
+
+    def test_pretty_contains_content(self, small_bib):
+        result = QueryResult([small_bib.elements_by_tag("author")[0]])
+        assert "Stevens" in result.pretty()
+
+    def test_iteration_and_indexing(self):
+        result = QueryResult(["a", "b"])
+        assert list(result) == ["a", "b"]
+        assert result[1] == "b"
+
+
+class TestAtomText:
+    def test_float_formatting(self):
+        assert atom_text(3.0) == "3"
+        assert atom_text(3.5) == "3.5"
+
+    def test_booleans(self):
+        assert atom_text(True) == "true"
+        assert atom_text(False) == "false"
+
+    def test_node_string_value(self, small_bib):
+        assert atom_text(small_bib.elements_by_tag("last")[0]) == "Stevens"
+
+
+class TestOrderKey:
+    def test_numeric_before_textual(self):
+        assert order_key("10", False) < order_key("banana", False)
+
+    def test_numeric_ordering(self):
+        assert order_key("2", False) < order_key("10", False)
+        assert order_key("10", True) < order_key("2", True)
+
+    def test_text_ordering(self):
+        assert order_key("apple", False) < order_key("banana", False)
+        assert order_key("banana", True) < order_key("apple", True)
+
+    def test_node_list_uses_first_string_value(self, small_bib):
+        lasts = small_bib.elements_by_tag("last")
+        assert order_key([lasts[1]], False) < order_key([lasts[0]], False)
+
+    def test_empty_sequence(self):
+        key = order_key([], False)
+        assert key == order_key("", False)
+
+
+class TestDirectEvaluatorUnits:
+    def test_check_where_none_is_true(self, small_bib):
+        evaluator = DirectEvaluator(small_bib)
+        assert evaluator.check_where(None, {}) is True
+
+    def test_order_tuples_stable(self, small_bib):
+        from repro.xquery.parser import parse_flwor
+        flwor = parse_flwor("for $b in //book order by $b/@year return $b")
+        evaluator = DirectEvaluator(small_bib)
+        books = small_bib.elements_by_tag("book")
+        tuples = [{"b": [b]} for b in books]
+        ordered = evaluator.order_tuples(flwor.order_by, tuples)
+        years = [t["b"][0].attrs["year"] for t in ordered]
+        assert years == ["1994", "1999", "2000"]

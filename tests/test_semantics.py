@@ -1,0 +1,95 @@
+"""Tests for static FLWOR analysis (repro.xquery.semantics)."""
+
+import pytest
+
+from repro.errors import StaticError
+from repro.xquery import parse_flwor
+from repro.xquery.semantics import analyze
+
+EXAMPLE1 = """
+for $b1 in doc("x")//book, $b2 in doc("x")//book
+let $a1 := $b1/author
+let $a2 := $b2/author
+where $b1 << $b2 and not($b1/title = $b2/title) and deep-equal($a1, $a2)
+return <p>{ $b1/title }{ $b2/title }</p>
+"""
+
+
+class TestBinding:
+    def test_clean_query(self):
+        report = analyze(parse_flwor(EXAMPLE1))
+        assert report.ok
+        assert report.bound_variables == ["b1", "b2", "a1", "a2"]
+        assert report.unused_variables == []
+
+    def test_unbound_in_clause(self):
+        report = analyze(parse_flwor("for $a in $ghost/x return $a"))
+        assert not report.ok
+        assert "unbound variable $ghost" in report.errors[0]
+
+    def test_unbound_in_where(self):
+        report = analyze(parse_flwor(
+            "for $a in //x where $boo/y = 1 return $a"))
+        assert any("$boo" in e for e in report.errors)
+
+    def test_unbound_in_return_constructor(self):
+        report = analyze(parse_flwor(
+            "for $a in //x return <r>{ $missing }</r>"))
+        assert any("$missing" in e for e in report.errors)
+
+    def test_duplicate_binding(self):
+        report = analyze(parse_flwor(
+            "for $a in //x, $a in //y return $a"))
+        assert any("bound twice" in e for e in report.errors)
+
+    def test_binding_order_matters(self):
+        # $b used before its binding clause.
+        report = analyze(parse_flwor(
+            "for $a in $b/x, $b in //y return $a"))
+        assert any("$b" in e for e in report.errors)
+
+    def test_unused_variable_detected(self):
+        report = analyze(parse_flwor(
+            "for $a in //x let $dead := $a/y return $a"))
+        assert report.unused_variables == ["dead"]
+
+    def test_quantifier_binds_its_variable(self):
+        report = analyze(parse_flwor(
+            "for $a in //x where some $q in $a/y satisfies $q/z return $a"))
+        assert report.ok
+
+    def test_quantifier_variable_not_visible_outside(self):
+        report = analyze(parse_flwor(
+            "for $a in //x where some $q in $a/y satisfies $q return $q"))
+        assert any("$q" in e for e in report.errors)
+
+    def test_nested_flwor_scoping(self):
+        report = analyze(parse_flwor(
+            "for $a in //x return <r>{ for $c in $a/y return $c }</r>"))
+        assert report.ok
+
+    def test_raise_errors(self):
+        report = analyze(parse_flwor("for $a in $nope/x return $a"))
+        with pytest.raises(StaticError):
+            report.raise_errors()
+
+
+class TestCorrelations:
+    def test_example1_correlations(self):
+        report = analyze(parse_flwor(EXAMPLE1))
+        relations = [(c.relation, c.variables) for c in report.correlations]
+        assert ("<<", ("b1", "b2")) in relations
+        assert ("=", ("b1", "b2")) in relations
+        assert ("deep-equal", ("a1", "a2")) in relations
+        assert all(c.is_join for c in report.correlations)
+
+    def test_single_variable_conjunct_is_not_join(self):
+        report = analyze(parse_flwor(
+            "for $a in //x where $a/p > 3 and $a/q = 1 return $a"))
+        assert len(report.correlations) == 2
+        assert not any(c.is_join for c in report.correlations)
+
+    def test_other_relation(self):
+        report = analyze(parse_flwor(
+            "for $a in //x where exists($a/y) return $a"))
+        assert report.correlations[0].relation == "other"

@@ -1,0 +1,118 @@
+"""Unit tests for the hand-written XML tokenizer."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlkit.tokenizer import CHARS, COMMENT, END, PI, START, tokenize
+
+
+def events(text):
+    return [(e.kind, e.value) for e in tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_single_element(self):
+        assert events("<a></a>") == [(START, ("a", {})), (END, "a")]
+
+    def test_self_closing(self):
+        assert events("<a/>") == [(START, ("a", {})), (END, "a")]
+
+    def test_text_content(self):
+        assert events("<a>hi</a>") == [
+            (START, ("a", {})), (CHARS, "hi"), (END, "a")]
+
+    def test_nested_elements(self):
+        kinds = [k for k, _ in events("<a><b/><c>x</c></a>")]
+        assert kinds == [START, START, END, START, CHARS, END, END]
+
+    def test_attributes_double_and_single_quotes(self):
+        [(_, (tag, attrs)), _] = events("<a x=\"1\" y='two'/>")
+        assert tag == "a"
+        assert attrs == {"x": "1", "y": "two"}
+
+    def test_attribute_whitespace_tolerance(self):
+        [(_, (_, attrs)), _] = events('<a  x = "1" />')
+        assert attrs == {"x": "1"}
+
+    def test_names_with_punctuation(self):
+        assert events("<street_address/>")[0][1][0] == "street_address"
+        assert events("<book-pair/>")[0][1][0] == "book-pair"
+        assert events("<ns:tag/>")[0][1][0] == "ns:tag"
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        assert events("<a>&lt;&gt;&amp;&quot;&apos;</a>")[1] == (CHARS, "<>&\"'")
+
+    def test_numeric_entities(self):
+        assert events("<a>&#65;&#x42;</a>")[1] == (CHARS, "AB")
+
+    def test_entities_in_attributes(self):
+        [(_, (_, attrs)), _] = events('<a x="&lt;5&gt;"/>')
+        assert attrs == {"x": "<5>"}
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<a>&nope;</a>")
+
+    def test_cdata_section(self):
+        assert events("<a><![CDATA[<raw> & stuff]]></a>")[1] == \
+            (CHARS, "<raw> & stuff")
+
+    def test_comment(self):
+        out = events("<a><!-- note --></a>")
+        assert out[1] == (COMMENT, " note ")
+
+    def test_double_dash_in_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<a><!-- a -- b --></a>")
+
+    def test_processing_instruction(self):
+        out = events("<a><?target some data?></a>")
+        assert out[1] == (PI, ("target", "some data"))
+
+    def test_xml_declaration_skipped(self):
+        assert events('<?xml version="1.0"?><a/>')[0][0] == START
+
+    def test_doctype_skipped(self):
+        text = '<!DOCTYPE bib [<!ELEMENT bib (book*)>]><bib/>'
+        assert [k for k, _ in events(text)] == [START, END]
+
+
+class TestErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<a><!-- oops</a>")
+
+    def test_unterminated_cdata(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<a><![CDATA[x</a>")
+
+    def test_unterminated_attribute(self):
+        with pytest.raises(XMLSyntaxError):
+            events('<a x="1/>')
+
+    def test_missing_equals(self):
+        with pytest.raises(XMLSyntaxError):
+            events('<a x "1"/>')
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<a x=1/>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XMLSyntaxError):
+            events('<a x="1" x="2"/>')
+
+    def test_bad_name_start(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<1a/>")
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            events("<a>\n  <2/></a>")
+        assert info.value.line == 2
+
+    def test_unterminated_entity(self):
+        with pytest.raises(XMLSyntaxError):
+            events("<a>&amp</a>")

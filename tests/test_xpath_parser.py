@@ -1,0 +1,199 @@
+"""Unit tests for the XPath lexer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xpath.ast import (
+    AnyKindTest,
+    BooleanExpr,
+    Comparison,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NameTest,
+    NotExpr,
+    NumberLiteral,
+    RootContext,
+    RootDoc,
+    RootVariable,
+    TextTest,
+)
+from repro.xpath.lexer import NAME, STRING, SYMBOL, VARIABLE, tokenize_query
+from repro.xpath.parser import parse_expr, parse_xpath
+
+
+class TestLexer:
+    def test_symbols_maximal_munch(self):
+        kinds = [(t.kind, t.value) for t in tokenize_query("a//b << c != d")]
+        values = [v for k, v in kinds if k == SYMBOL]
+        assert values == ["//", "<<", "!="]
+
+    def test_variable_token(self):
+        tokens = tokenize_query("$book1/title")
+        assert tokens[0].kind == VARIABLE and tokens[0].value == "book1"
+
+    def test_string_literals_both_quotes(self):
+        assert tokenize_query('"x"')[0].kind == STRING
+        assert tokenize_query("'x'")[0].kind == STRING
+
+    def test_hyphenated_names(self):
+        tokens = tokenize_query("deep-equal(following-sibling::a)")
+        assert tokens[0].value == "deep-equal"
+        assert tokens[2].value == "following-sibling"
+
+    def test_comment_skipped(self):
+        tokens = tokenize_query("a (: comment (: nested :) :) / b")
+        assert [t.value for t in tokens if t.kind == NAME] == ["a", "b"]
+
+    def test_number(self):
+        tokens = tokenize_query("3.25")
+        assert tokens[0].value == "3.25"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query('"oops')
+
+    def test_bad_dollar(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query("$ x")
+
+
+class TestPathParsing:
+    def test_descendant_steps(self):
+        path = parse_xpath("//a//b")
+        assert [s.axis for s in path.steps] == ["descendant", "descendant"]
+        assert path.is_absolute()
+
+    def test_child_steps(self):
+        path = parse_xpath("/a/b/c")
+        assert [s.axis for s in path.steps] == ["child"] * 3
+        assert [s.test.name for s in path.steps] == ["a", "b", "c"]
+
+    def test_doc_root(self):
+        path = parse_xpath('doc("bib.xml")//book')
+        assert isinstance(path.root, RootDoc)
+        assert path.root.uri == "bib.xml"
+
+    def test_variable_root(self):
+        path = parse_xpath("$b/author")
+        assert isinstance(path.root, RootVariable)
+        assert path.root.name == "b"
+
+    def test_bare_variable(self):
+        path = parse_xpath("$b")
+        assert isinstance(path.root, RootVariable) and not path.steps
+
+    def test_attribute_step(self):
+        path = parse_xpath("//book/@year")
+        assert path.steps[-1].axis == "attribute"
+        assert path.steps[-1].test.name == "year"
+
+    def test_explicit_axes(self):
+        path = parse_xpath("a/following-sibling::b/ancestor::c")
+        assert [s.axis for s in path.steps] == [
+            "child", "following-sibling", "ancestor"]
+
+    def test_star_and_kind_tests(self):
+        path = parse_xpath("//*/text()")
+        assert path.steps[0].test == NameTest("*")
+        assert isinstance(path.steps[1].test, TextTest)
+
+    def test_dot_dot(self):
+        path = parse_xpath("a/..")
+        assert path.steps[1].axis == "parent"
+        assert isinstance(path.steps[1].test, AnyKindTest)
+
+    def test_double_slash_dot(self):
+        path = parse_xpath("a//.")
+        assert path.steps[1].axis == "descendant-or-self"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("wrong::a")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("//a )")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("")
+
+
+class TestPredicates:
+    def test_existential_predicate_is_relative_path(self):
+        path = parse_xpath("//a[b/c]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, LocationPath)
+        assert isinstance(predicate.root, RootContext)
+        assert not predicate.root.absolute
+
+    def test_leading_slash_predicate_stays_relative(self):
+        # The paper's convention: //address[//zip] is "zip below address".
+        path = parse_xpath("//address[//zip]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, LocationPath)
+        assert not predicate.root.absolute
+
+    def test_multiple_predicates(self):
+        path = parse_xpath("//a[//b][//c][//d]")
+        assert len(path.steps[0].predicates) == 3
+
+    def test_comparison_predicate(self):
+        path = parse_xpath('//book[author/last = "Knuth"]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, Comparison) and predicate.op == "="
+        assert isinstance(predicate.right, Literal)
+
+    def test_numeric_positional_predicate(self):
+        path = parse_xpath("//book[2]")
+        assert path.steps[0].predicates[0] == NumberLiteral(2.0)
+
+    def test_boolean_connectives(self):
+        path = parse_xpath("//a[b and c or d]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, BooleanExpr) and predicate.op == "or"
+        assert isinstance(predicate.operands[0], BooleanExpr)
+
+    def test_not_expression(self):
+        path = parse_xpath("//a[not(b)]")
+        assert isinstance(path.steps[0].predicates[0], NotExpr)
+
+    def test_function_calls(self):
+        path = parse_xpath('//a[contains(., "x") and position() <= last()]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, BooleanExpr)
+        assert isinstance(predicate.operands[0], FunctionCall)
+
+    def test_nested_predicates(self):
+        path = parse_xpath("//a[b[c[d]]]")
+        inner = path.steps[0].predicates[0]
+        assert isinstance(inner, LocationPath)
+        assert inner.steps[0].predicates
+
+
+class TestExprParsing:
+    def test_standalone_comparison(self):
+        expr = parse_expr("$a << $b")
+        assert isinstance(expr, Comparison) and expr.op == "<<"
+
+    def test_deep_equal_call(self):
+        expr = parse_expr("deep-equal($x, $y)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "deep-equal" and len(expr.args) == 2
+
+    def test_parenthesized_grouping(self):
+        expr = parse_expr("(a or b) and c")
+        assert isinstance(expr, BooleanExpr) and expr.op == "and"
+
+    def test_comparison_chain_rejected(self):
+        # a = b = c is not in the grammar.
+        with pytest.raises(QuerySyntaxError):
+            parse_expr("a = b = c")
+
+    def test_str_round_trip_reparses(self):
+        for text in ["//a//b[c]", '//book[author/last = "x"]/title',
+                     "$b/title", 'doc("d.xml")//a[@k = "v"]']:
+            path = parse_xpath(text)
+            again = parse_xpath(str(path))
+            assert str(again) == str(path)

@@ -1,0 +1,179 @@
+"""Unit tests for the FLWOR parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xpath.ast import Comparison, FunctionCall, LocationPath, NotExpr
+from repro.xquery import (
+    ElementConstructor,
+    Enclosed,
+    FLWOR,
+    ForClause,
+    LetClause,
+    Sequence,
+    TextItem,
+    parse_flwor,
+    parse_query,
+)
+
+
+class TestClauses:
+    def test_single_for(self):
+        flwor = parse_flwor("for $b in //book return $b")
+        assert len(flwor.clauses) == 1
+        assert isinstance(flwor.clauses[0], ForClause)
+        assert flwor.clauses[0].var == "b"
+
+    def test_comma_separated_for_bindings(self):
+        flwor = parse_flwor("for $a in //x, $b in //y return $a")
+        assert [c.var for c in flwor.clauses] == ["a", "b"]
+        assert all(isinstance(c, ForClause) for c in flwor.clauses)
+
+    def test_let_clause(self):
+        flwor = parse_flwor("for $b in //book let $a := $b/author return $a")
+        assert isinstance(flwor.clauses[1], LetClause)
+        assert isinstance(flwor.clauses[1].source, LocationPath)
+
+    def test_interleaved_for_let(self):
+        flwor = parse_flwor(
+            "for $a in //x let $p := $a/b for $c in $p/d return $c")
+        kinds = [type(c).__name__ for c in flwor.clauses]
+        assert kinds == ["ForClause", "LetClause", "ForClause"]
+
+    def test_where_clause(self):
+        flwor = parse_flwor("for $b in //book where $b/price > 30 return $b")
+        assert isinstance(flwor.where, Comparison)
+
+    def test_where_with_node_comparison(self):
+        flwor = parse_flwor(
+            "for $a in //x, $b in //x where $a << $b return $a")
+        assert flwor.where.op == "<<"
+
+    def test_where_with_not_and_deep_equal(self):
+        flwor = parse_flwor(
+            "for $a in //x, $b in //y "
+            "where not($a/t = $b/t) and deep-equal($a, $b) return $a")
+        left, right = flwor.where.operands
+        assert isinstance(left, NotExpr)
+        assert isinstance(right, FunctionCall) and right.name == "deep-equal"
+
+    def test_order_by(self):
+        flwor = parse_flwor(
+            "for $b in //book order by $b/title descending return $b/title")
+        assert len(flwor.order_by) == 1
+        assert flwor.order_by[0].descending
+
+    def test_order_by_multiple_keys(self):
+        flwor = parse_flwor(
+            "for $b in //book order by $b/year, $b/title return $b")
+        assert len(flwor.order_by) == 2
+        assert not flwor.order_by[0].descending
+
+    def test_keywords_inside_names_not_split(self):
+        # 'information' contains 'for'; 'scores' contains 'or'.
+        flwor = parse_flwor(
+            "for $i in //contact_information return $i/scores")
+        assert flwor.clauses[0].source.steps[0].test.name == "contact_information"
+
+
+class TestConstructors:
+    def test_top_level_constructor_with_flwor(self):
+        expr = parse_query("<out>{ for $b in //x return $b }</out>")
+        assert isinstance(expr, ElementConstructor)
+        enclosed = expr.content[0]
+        assert isinstance(enclosed, Enclosed)
+        assert isinstance(enclosed.exprs[0], FLWOR)
+
+    def test_nested_constructors(self):
+        flwor = parse_flwor(
+            "for $b in //x return <a><b>text</b>{ $b }</a>")
+        ctor = flwor.return_expr
+        assert isinstance(ctor, ElementConstructor) and ctor.tag == "a"
+        inner = ctor.content[0]
+        assert isinstance(inner, ElementConstructor) and inner.tag == "b"
+        assert isinstance(inner.content[0], TextItem)
+
+    def test_constructor_attributes(self):
+        flwor = parse_flwor('for $b in //x return <a k="v" j="w"/>')
+        assert flwor.return_expr.attrs == (("k", "v"), ("j", "w"))
+
+    def test_multiple_enclosed_expressions(self):
+        flwor = parse_flwor(
+            "for $a in //x return <p>{ $a/t }{ $a/u }</p>")
+        enclosed = [c for c in flwor.return_expr.content
+                    if isinstance(c, Enclosed)]
+        assert len(enclosed) == 2
+
+    def test_comma_sequence_in_enclosed(self):
+        flwor = parse_flwor(
+            "for $a in //x return <p>{ $a/t, $a/u }</p>")
+        enclosed = flwor.return_expr.content[0]
+        assert len(enclosed.exprs) == 2
+
+    def test_mismatched_constructor_tags(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("for $a in //x return <p></q>")
+
+    def test_unterminated_constructor(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("for $a in //x return <p>")
+
+
+class TestQueryShapes:
+    def test_bare_path_query(self):
+        expr = parse_query("//a[//b]//c")
+        assert isinstance(expr, LocationPath)
+
+    def test_bare_expression_query(self):
+        expr = parse_query("count(//a)")
+        assert isinstance(expr, FunctionCall)
+
+    def test_parenthesized_sequence(self):
+        expr = parse_query("(//a, //b)")
+        assert isinstance(expr, Sequence) and len(expr.exprs) == 2
+
+    def test_empty_sequence(self):
+        expr = parse_query("()")
+        assert isinstance(expr, Sequence) and not expr.exprs
+
+    def test_parenthesized_boolean_is_not_sequence(self):
+        expr = parse_query("(//a = //b) and //c")
+        from repro.xpath.ast import BooleanExpr
+        assert isinstance(expr, BooleanExpr)
+
+    def test_parse_flwor_requires_flwor(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_flwor("//just/a/path")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("for $a in //x return $a extra")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("for $a in //x where $a")
+
+    def test_missing_in_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("for $a //x return $a")
+
+    def test_xquery_comment(self):
+        flwor = parse_flwor(
+            "for $a in //x (: pick every x :) return $a")
+        assert flwor.clauses[0].var == "a"
+
+    def test_paper_example1_full(self):
+        query = '''
+        <bib>{
+          for $b1 in doc("bib.xml")//book, $b2 in doc("bib.xml")//book
+          let $a1 := $b1/author
+          let $a2 := $b2/author
+          where $b1 << $b2 and not($b1/title = $b2/title)
+                and deep-equal($a1, $a2)
+          return <book-pair>{ $b1/title }{ $b2/title }</book-pair>
+        }</bib>
+        '''
+        flwor = parse_flwor(query)
+        assert len(flwor.for_clauses()) == 2
+        assert len(flwor.let_clauses()) == 2
+        assert flwor.return_expr.tag == "book-pair"
