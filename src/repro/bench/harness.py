@@ -29,6 +29,7 @@ from repro.errors import DNFError
 from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document
+from repro.bench.recording import record_run
 from repro.engine.session import Engine
 from repro.datagen.workload import DATASETS, DatasetSpec, measure_selectivity
 
@@ -140,9 +141,15 @@ def run_cell(prepared: PreparedDataset, query: str, system: str,
                                            counters=counters,
                                            work_budget=budget)
         except DNFError:
+            record_run(query, strategy, None, counters.snapshot(),
+                       dataset=prepared.spec.name, system=system, dnf=True)
             return CellResult(system, None, counters.snapshot())
         total += time.perf_counter() - started
         n_results = len(result)
+    wall_ms = total / repeat * 1000.0
+    record_run(query, strategy, wall_ms, counters.snapshot(),
+               dataset=prepared.spec.name, system=system, dnf=False,
+               n_results=n_results)
     return CellResult(system, total / repeat, counters.snapshot(), n_results)
 
 

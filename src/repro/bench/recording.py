@@ -1,0 +1,52 @@
+"""In-process recording of benchmark runs for machine-readable export.
+
+The harness appends one record per :func:`~repro.bench.harness.run_cell`
+execution; the benchmark suite's ``pytest_sessionfinish`` hook dumps
+everything to ``BENCH_PR1.json`` so a CI run leaves behind a queryable
+artifact (query text, strategy, wall time, counters snapshot) instead
+of only rendered tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["RECORDS", "record_run", "write_json", "clear"]
+
+#: All records accumulated in this process, in execution order.
+RECORDS: list[dict[str, object]] = []
+
+
+def record_run(query: str, strategy: str, wall_ms: Optional[float],
+               counters: dict[str, int], **extra: object) -> dict[str, object]:
+    """Append one benchmark measurement.
+
+    ``wall_ms`` is ``None`` for runs that did not finish (DNF).  Extra
+    keyword fields (dataset name, system label, result count, ...) are
+    stored verbatim.
+    """
+    record: dict[str, object] = {
+        "query": query,
+        "strategy": strategy,
+        "wall_ms": wall_ms,
+        "counters": dict(counters),
+    }
+    record.update(extra)
+    RECORDS.append(record)
+    return record
+
+
+def write_json(path: Union[str, Path],
+               meta: Optional[dict[str, object]] = None) -> Path:
+    """Write all accumulated records (plus optional metadata) as JSON."""
+    path = Path(path)
+    payload = {"meta": meta or {}, "runs": RECORDS}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def clear() -> None:
+    """Drop all accumulated records (tests use this for isolation)."""
+    RECORDS.clear()

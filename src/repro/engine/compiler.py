@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.errors import CompileError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pattern.blossom import BlossomTree
 from repro.pattern.build import build_blossom_tree, path_as_flwor
 from repro.xpath.ast import Expr, LocationPath, RootContext
@@ -40,30 +41,40 @@ class CompiledQuery:
         return self.flwor is not None and self.tree is not None
 
 
-def compile_query(text: Union[str, QueryExpr]) -> CompiledQuery:
-    """Parse and compile a query string (or pre-parsed expression)."""
-    source = text if isinstance(text, str) else str(text)
-    query = parse_query(text) if isinstance(text, str) else text
+def compile_query(text: Union[str, QueryExpr],
+                  tracer: Optional[Tracer] = None) -> CompiledQuery:
+    """Parse and compile a query string (or pre-parsed expression).
 
-    is_bare_path = isinstance(query, LocationPath)
-    if is_bare_path:
-        # A top-level path starting with '/' parses with a non-absolute
-        # root (predicate convention); at query top level the context
-        # item is the document node, so absolutizing is an identity.
-        query = _absolutize(query)
-        flwor: Optional[FLWOR] = path_as_flwor(query)
-        # The query to evaluate IS the synthetic wrapper.
-        query = flwor
-    else:
-        flwor = _locate_single_flwor(query)
+    ``tracer`` (optional) records a ``compile`` span covering parse and
+    BlossomTree construction, with the outcome as attributes.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("compile") as span:
+        source = text if isinstance(text, str) else str(text)
+        query = parse_query(text) if isinstance(text, str) else text
 
-    tree: Optional[BlossomTree] = None
-    error: Optional[str] = None
-    if flwor is not None:
-        try:
-            tree = build_blossom_tree(flwor)
-        except CompileError as exc:
-            error = str(exc)
+        is_bare_path = isinstance(query, LocationPath)
+        if is_bare_path:
+            # A top-level path starting with '/' parses with a non-absolute
+            # root (predicate convention); at query top level the context
+            # item is the document node, so absolutizing is an identity.
+            query = _absolutize(query)
+            flwor: Optional[FLWOR] = path_as_flwor(query)
+            # The query to evaluate IS the synthetic wrapper.
+            query = flwor
+        else:
+            flwor = _locate_single_flwor(query)
+
+        tree: Optional[BlossomTree] = None
+        error: Optional[str] = None
+        if flwor is not None:
+            try:
+                tree = build_blossom_tree(flwor)
+            except CompileError as exc:
+                error = str(exc)
+        span.set(bare_path=is_bare_path, optimizable=tree is not None)
+        if error:
+            span.set(compile_error=error)
     return CompiledQuery(source, query, flwor, is_bare_path, tree, error)
 
 

@@ -92,6 +92,52 @@ class CostModel:
         return self.rank(tree)[0]
 
     # ------------------------------------------------------------------
+    # Per-operator estimators (EXPLAIN ANALYZE's "estimated" column).
+    # ------------------------------------------------------------------
+
+    def cardinality(self, tag: str) -> int:
+        """Expected matches of a tag test (public for explain-analyze)."""
+        return self._cardinality(tag)
+
+    def scan_estimate(self) -> float:
+        """Expected nodes touched by one (merged) sequential scan."""
+        return float(self.n_nodes)
+
+    def nok_estimate(self, root_tag: str) -> tuple[float, float]:
+        """(expected nodes touched, expected output rows) of one NoK scan.
+
+        The scan touches every node (the access method is a full
+        sequential pass); the output cardinality estimate is the root
+        tag's index cardinality — predicates and mandatory children can
+        only filter below that.
+        """
+        return self.scan_estimate(), float(self._cardinality(root_tag))
+
+    def edge_estimate(self, parent_tag: str, child_tag: str,
+                      algorithm: str) -> tuple[float, float]:
+        """(expected nodes touched, expected output pairs) of one join.
+
+        Per-edge version of the whole-plan estimators above, in the same
+        currency, so EXPLAIN ANALYZE can put the model's prediction next
+        to each join's measured work.  Output pairs are estimated as the
+        child cardinality: on tree-shaped data most descendants have one
+        matching ancestor.
+        """
+        out_rows = float(self._cardinality(child_tag))
+        if parent_tag == "#root":
+            return 0.0, out_rows
+        if algorithm in ("pipelined", "caching", "stack"):
+            cost = float(self._cardinality(parent_tag)
+                         + self._cardinality(child_tag))
+        elif algorithm == "bnlj":
+            cost = self._cardinality(parent_tag) * self._avg_subtree(parent_tag)
+        elif algorithm == "nl":
+            cost = float(self._cardinality(parent_tag) * self.n_nodes)
+        else:  # vacuous / empty-input joins do no per-node work
+            cost = 0.0
+        return cost, out_rows
+
+    # ------------------------------------------------------------------
     # Per-strategy estimators.
     # ------------------------------------------------------------------
 

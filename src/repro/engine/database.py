@@ -21,12 +21,15 @@ for invalidation — the Section-2.1 maintenance story, wired in.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.obs.slowlog import SlowQueryLog
 from repro.xmlkit.binary import dump, load
 from repro.xmlkit.parser import parse
 from repro.xmlkit.stats import DocumentStats, compute_stats
+from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xmlkit.update import DocumentUpdater
 from repro.engine.result import QueryResult
@@ -36,12 +39,28 @@ __all__ = ["Database"]
 
 
 class Database:
-    """A stored document plus its engine, statistics and index."""
+    """A stored document plus its engine, statistics and index.
 
-    def __init__(self, doc: Document) -> None:
+    ``slow_query_ms`` (or a later :meth:`configure_slow_log` call)
+    enables the slow-query log: every query whose wall time crosses the
+    threshold is recorded with its text, strategy, chosen plan and the
+    run's work counters — see :class:`~repro.obs.slowlog.SlowQueryLog`.
+    """
+
+    def __init__(self, doc: Document,
+                 slow_query_ms: Optional[float] = None) -> None:
         self.doc = doc
         self.engine = Engine(doc)
         self._updater: Optional[DocumentUpdater] = None
+        self.slow_log: Optional[SlowQueryLog] = (
+            SlowQueryLog(slow_query_ms) if slow_query_ms is not None else None)
+
+    def configure_slow_log(self, threshold_ms: float = 100.0,
+                           path: Optional[Union[str, Path]] = None,
+                           max_entries: int = 1000) -> SlowQueryLog:
+        """Enable (or reconfigure) the slow-query log; returns it."""
+        self.slow_log = SlowQueryLog(threshold_ms, path, max_entries)
+        return self.slow_log
 
     # ------------------------------------------------------------------
     # Construction / persistence.
@@ -68,8 +87,31 @@ class Database:
     # ------------------------------------------------------------------
 
     def query(self, text: str, strategy: str = "auto", **kwargs) -> QueryResult:
-        """Evaluate a query (see :meth:`Engine.query` for options)."""
-        return self.engine.query(text, strategy=strategy, **kwargs)
+        """Evaluate a query (see :meth:`Engine.query` for options).
+
+        When the slow-query log is enabled the call is timed and,
+        past the threshold, recorded with plan and counters.
+        """
+        if self.slow_log is None:
+            return self.engine.query(text, strategy=strategy, **kwargs)
+        counters = kwargs.pop("counters", None)
+        counters = counters if counters is not None else ScanCounters()
+        before = counters.snapshot()
+        started = time.perf_counter_ns()
+        try:
+            result = self.engine.query(text, strategy=strategy,
+                                       counters=counters, **kwargs)
+        finally:
+            elapsed_ms = (time.perf_counter_ns() - started) / 1e6
+            snapshot = counters.snapshot()
+            delta = {k: snapshot[k] - before[k] for k in snapshot}
+            self.slow_log.observe(text, strategy, self.engine.last_plan or "?",
+                                  elapsed_ms, delta)
+        return result
+
+    def explain_analyze(self, text: str, strategy: str = "auto") -> str:
+        """Per-operator measured-vs-estimated rows (see Engine)."""
+        return self.engine.explain_analyze(text, strategy)
 
     def explain(self, text: str, strategy: str = "auto") -> str:
         return self.engine.explain(text, strategy)

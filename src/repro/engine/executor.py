@@ -28,9 +28,12 @@ Execution pipeline (Figure 2's data flow, made concrete):
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 from repro.errors import CompileError, ExecutionError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.pattern.blossom import MODE_MANDATORY, BlossomTree, BlossomVertex, TreeEdge
 from repro.pattern.build import RESULT_VAR, build_blossom_tree
 from repro.pattern.decompose import Decomposition, InterEdge, NoKTree, decompose
@@ -58,6 +61,10 @@ __all__ = ["FLWORExecutor", "JOIN_ALGORITHMS"]
 #: Join-algorithm names the optimizer / harness may request per edge.
 JOIN_ALGORITHMS = ("pipelined", "caching", "stack", "bnlj", "nl")
 
+_JOIN_SELECTED = REGISTRY.counter(
+    "repro_join_selected_total",
+    "Per-edge physical join algorithm selections")
+
 
 class FLWORExecutor:
     """Executes one FLWOR expression through the BlossomTree pipeline.
@@ -77,19 +84,26 @@ class FLWORExecutor:
     counters:
         Shared work counters (created if omitted; exposed as
         ``self.counters``).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When given, each of
+        the four pipeline phases opens a span, with one child span per
+        NoK scan and per inter-NoK join; defaults to the no-op tracer.
     """
 
     def __init__(self, doc: Document,
                  resolve_doc: Optional[Callable[[str], Document]] = None,
                  join_algorithm: str = "auto",
                  counters: Optional[ScanCounters] = None,
-                 recursive_hint: Optional[bool] = None) -> None:
+                 recursive_hint: Optional[bool] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         if join_algorithm != "auto" and join_algorithm not in JOIN_ALGORITHMS:
             raise ValueError(f"unknown join algorithm {join_algorithm!r}")
         self.join_algorithm = join_algorithm
         self.counters = counters if counters is not None else ScanCounters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer is not NULL_TRACER
         self._recursive_hint = recursive_hint
         self._direct = DirectEvaluator(doc, self.resolve_doc)
         #: (parent_vid, child_vid) -> JoinResult, filled during execute()
@@ -108,20 +122,30 @@ class FLWORExecutor:
         dec = decompose(tree)
         assign_dewey(tree)  # global Dewey IDs (Theorem 2 precondition)
 
-        matches = self._match_phase(dec)
-        matches = self._join_phase(dec, matches)
-        envs = self._bind_phase(flwor, tree, dec, matches)
+        with self.tracer.span("match-phase") as span:
+            matches = self._match_phase(dec)
+            span.set(noks=len(dec.noks),
+                     entries=sum(len(v) for v in matches.values()))
+        with self.tracer.span("join-phase") as span:
+            matches = self._join_phase(dec, matches)
+            span.set(edges=len(dec.inter_edges))
+        with self.tracer.span("bind-phase") as span:
+            envs = self._bind_phase(flwor, tree, dec, matches)
+            span.set(tuples=len(envs))
 
         # Finish: where re-verification, order by, return construction.
-        surviving: list[dict] = []
-        for env in envs:
-            self.counters.comparisons += 1
-            if self._direct.check_where(flwor.where, env.as_variables()):
-                surviving.append(env.as_variables())
-        surviving = self._direct.order_tuples(flwor.order_by, surviving)
-        items: list[Item] = []
-        for bindings in surviving:
-            items.extend(self._direct.eval_query_expr(flwor.return_expr, bindings))
+        with self.tracer.span("finish-phase") as span:
+            surviving: list[dict] = []
+            for env in envs:
+                self.counters.comparisons += 1
+                if self._direct.check_where(flwor.where, env.as_variables()):
+                    surviving.append(env.as_variables())
+            surviving = self._direct.order_tuples(flwor.order_by, surviving)
+            items: list[Item] = []
+            for bindings in surviving:
+                items.extend(self._direct.eval_query_expr(flwor.return_expr,
+                                                          bindings))
+            span.set(surviving=len(surviving), items=len(items))
         return items
 
     def execute_twigstack(self, flwor: FLWOR) -> list[Item]:
@@ -136,10 +160,18 @@ class FLWORExecutor:
             raise CompileError("TwigStack requires a single //-twig pattern")
         if set(tree.var_vertex) != {RESULT_VAR} or flwor.where or flwor.order_by:
             raise CompileError("TwigStack strategy only runs bare path queries")
-        operator = TwigStackOperator(tree, self._doc_for_root(tree.roots[0]),
-                                     counters=self.counters)
-        output = tree.var_vertex[RESULT_VAR]
-        return list(operator.matching_nodes(output))
+        with self.tracer.span("twigstack") as span:
+            before = self.counters.snapshot()
+            operator = TwigStackOperator(tree, self._doc_for_root(tree.roots[0]),
+                                         counters=self.counters)
+            output = tree.var_vertex[RESULT_VAR]
+            nodes = list(operator.matching_nodes(output))
+            span.set(matches=len(nodes),
+                     nodes_scanned=self.counters.nodes_scanned
+                     - before["nodes_scanned"],
+                     comparisons=self.counters.comparisons
+                     - before["comparisons"])
+        return nodes
 
     # ------------------------------------------------------------------
     # Phase 1: NoK matching (merged scans, Section 4.2 technique 1).
@@ -155,10 +187,49 @@ class FLWORExecutor:
             self.plan_notes.append(
                 f"merged scan: {len(noks)} NoK(s) in one pass over "
                 f"{len(doc.nodes)} nodes")
-            matches.update(merged_scan(noks, doc, self.counters))
+            with self.tracer.span("merged-scan", noks=len(noks),
+                                  doc_nodes=len(doc.nodes)) as scan_span:
+                before_nodes = self.counters.nodes_scanned
+                before_cmp = self.counters.comparisons
+                per_nok: Optional[dict[int, ScanCounters]] = (
+                    {} if self._tracing else None)
+                started = time.perf_counter_ns()
+                result = merged_scan(noks, doc, self.counters, per_nok)
+                wall_ms = (time.perf_counter_ns() - started) / 1e6
+                scan_nodes = self.counters.nodes_scanned - before_nodes
+                scan_span.set(
+                    nodes_scanned=scan_nodes,
+                    comparisons=self.counters.comparisons - before_cmp)
+                matches.update(result)
+                if self._tracing:
+                    self._trace_noks(noks, result, per_nok or {},
+                                     scan_nodes, wall_ms)
         for nok_id, entries in matches.items():
             self.counters.intermediate_results += len(entries)
         return matches
+
+    def _trace_noks(self, noks: list[NoKTree],
+                    result: dict[int, list[NLEntry]],
+                    per_nok: dict[int, ScanCounters],
+                    scan_nodes: int, wall_ms: float) -> None:
+        """One child span per NoK tree under the merged-scan span.
+
+        The driving scan is shared across the NoKs (that is the point of
+        merging), so each span reports the shared scan's node count and
+        wall time with ``shared_scan=True``, plus the per-NoK work
+        (comparisons, matches) attributed privately by ``merged_scan``.
+        """
+        for nok in noks:
+            entries = result.get(nok.nok_id, [])
+            private = per_nok.get(nok.nok_id)
+            with self.tracer.span("nok-scan") as span:
+                span.set(nok_id=nok.nok_id,
+                         root_tag=nok.root.name,
+                         matches=len(entries),
+                         nodes_scanned=scan_nodes,
+                         comparisons=private.comparisons if private else 0,
+                         shared_scan=True,
+                         wall_ms=round(wall_ms, 3))
 
     def _doc_for_nok(self, dec: Decomposition, nok: NoKTree) -> Document:
         return self._doc_for_root(dec.tree.pattern_root_of(nok.root))
@@ -183,7 +254,20 @@ class FLWORExecutor:
         for edge in edges:
             right = matches.get(edge.nok_to, [])
             left = matches.get(edge.nok_from, [])
-            result = self._run_join(dec, edge, left, right)
+            with self.tracer.span("inter-join",
+                                  parent_vid=edge.parent.vid,
+                                  child_vid=edge.child.vid,
+                                  parent_tag=edge.parent.name,
+                                  child_tag=edge.child.name,
+                                  axis=edge.axis) as span:
+                before_nodes = self.counters.nodes_scanned
+                before_cmp = self.counters.comparisons
+                result = self._run_join(dec, edge, left, right, span)
+                span.set(left=len(left), right=len(right),
+                         pairs=result.pair_count(),
+                         nodes_scanned=self.counters.nodes_scanned
+                         - before_nodes,
+                         comparisons=self.counters.comparisons - before_cmp)
             self._adjacency[(edge.parent.vid, edge.child.vid)] = result
             if edge.mode == MODE_MANDATORY:
                 adjacency = result.adjacency
@@ -192,11 +276,14 @@ class FLWORExecutor:
         return matches
 
     def _run_join(self, dec: Decomposition, edge: InterEdge,
-                  left: list[NLEntry], right: list[NLEntry]) -> JoinResult:
+                  left: list[NLEntry], right: list[NLEntry],
+                  span: Optional[Span] = None) -> JoinResult:
         if edge.axis != "descendant":
             raise CompileError(f"inter-NoK axis {edge.axis!r} has no join "
                                "operator (navigational fallback required)")
         if not left or not right:
+            if span is not None:
+                span.set(algorithm="empty-input")
             return JoinResult(edge)
 
         # Vacuous join: everything is a descendant of the document node.
@@ -208,11 +295,16 @@ class FLWORExecutor:
                 result.add(doc_node, entry)
             self.plan_notes.append(
                 f"join V{edge.parent.vid}->V{edge.child.vid}: vacuous (document root)")
+            if span is not None:
+                span.set(algorithm="vacuous")
             return result
 
         algorithm = self._pick_algorithm(dec, edge)
         self.plan_notes.append(
             f"join V{edge.parent.vid}->V{edge.child.vid}: {algorithm}")
+        _JOIN_SELECTED.inc(algorithm=algorithm)
+        if span is not None:
+            span.set(algorithm=algorithm)
         projection = left_projection(left, edge)
         if algorithm == "pipelined":
             return pipelined_desc_join(projection, right, edge, self.counters)

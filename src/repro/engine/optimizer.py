@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pattern.blossom import BlossomTree
 from repro.physical.twigstack import twig_supported
 from repro.xmlkit.stats import DocumentStats
@@ -42,7 +43,8 @@ class PlanChoice:
 
 
 def choose_strategy(stats: DocumentStats, tree: Optional[BlossomTree],
-                    is_bare_path: bool, has_index: bool) -> PlanChoice:
+                    is_bare_path: bool, has_index: bool,
+                    tracer: Optional[Tracer] = None) -> PlanChoice:
     """Pick the physical strategy for a compiled query.
 
     Parameters
@@ -57,7 +59,20 @@ def choose_strategy(stats: DocumentStats, tree: Optional[BlossomTree],
         applicable there).
     has_index:
         Whether a tag-name index is available (TwigStack requires one).
+    tracer:
+        Optional tracer; records an ``optimize`` span whose attributes
+        carry the decision and its reasoning.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("optimize") as span:
+        choice = _choose(stats, tree, is_bare_path, has_index)
+        span.set(strategy=choice.strategy, reason=choice.reason,
+                 recursive=stats.recursive)
+    return choice
+
+
+def _choose(stats: DocumentStats, tree: Optional[BlossomTree],
+            is_bare_path: bool, has_index: bool) -> PlanChoice:
     if tree is None:
         return PlanChoice("naive", "query outside the pattern-matching subset")
     if stats.recursive:

@@ -107,10 +107,17 @@ class QueryResult:
     Items are nodes (from the input document or freshly constructed) or
     atoms.  Provides canonical serializations used throughout the tests
     to compare engines.
+
+    When the query ran with ``trace=True``, ``trace`` holds the
+    finished :class:`~repro.obs.trace.QueryTrace`; ``counters`` holds
+    the run's :class:`~repro.xmlkit.storage.ScanCounters` whenever the
+    session had them (all non-naive paths).
     """
 
     def __init__(self, items: Sequence[Item]) -> None:
         self.items = list(items)
+        self.trace = None       # Optional[QueryTrace], set by the session
+        self.counters = None    # Optional[ScanCounters], set by the session
 
     def __len__(self) -> int:
         return len(self.items)

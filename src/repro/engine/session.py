@@ -31,9 +31,12 @@ with crossing edges) raise :class:`~repro.errors.CompileError`;
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
-from repro.errors import CompileError
+from repro.errors import CompileError, DNFError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import NULL_TRACER, QueryTrace, Tracer
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import ScanCounters
@@ -48,6 +51,22 @@ from repro.engine.result import Item, QueryResult
 __all__ = ["Engine"]
 
 _BLOSSOM_STRATEGIES = {"pipelined", "caching", "stack", "bnlj", "nl"}
+
+_QUERIES = REGISTRY.counter("repro_queries_total", "Queries executed")
+_LATENCY = REGISTRY.histogram("repro_query_latency_ms",
+                              "Query wall time in milliseconds")
+_DNF = REGISTRY.counter("repro_dnf_total",
+                        "Queries aborted by the work budget (DNF)")
+_NODES = REGISTRY.counter("repro_nodes_scanned_total",
+                          "Nodes delivered by sequential scans")
+_SCANS = REGISTRY.counter("repro_scans_total",
+                          "Sequential scans opened")
+_COMPARISONS = REGISTRY.counter("repro_comparisons_total",
+                                "Structural/value predicate evaluations")
+_INTERMEDIATE = REGISTRY.counter("repro_intermediate_results_total",
+                                 "NestedLists buffered between operators")
+_PEAK = REGISTRY.gauge("repro_peak_buffered",
+                       "Peak NestedLists held in memory (max over queries)")
 
 
 class _SubstitutingEvaluator(DirectEvaluator):
@@ -89,6 +108,11 @@ class Engine:
         self.index = TagIndex(doc)
         self._stats: Optional[DocumentStats] = None
         self.last_plan: Optional[str] = None
+        #: Trace of the most recent ``trace=True`` query (also populated
+        #: when the query aborted on a budget trip, so DNFs stay
+        #: diagnosable).
+        self.last_trace: Optional[QueryTrace] = None
+        self._last_strategy: str = "?"
 
     # ------------------------------------------------------------------
     # Public API.
@@ -96,30 +120,74 @@ class Engine:
 
     def query(self, text: Union[str, QueryExpr], strategy: str = "auto",
               counters: Optional[ScanCounters] = None,
-              work_budget: Optional[int] = None) -> QueryResult:
-        """Evaluate a query and return its result sequence."""
+              work_budget: Optional[int] = None,
+              trace: bool = False,
+              tracer: Optional[Tracer] = None) -> QueryResult:
+        """Evaluate a query and return its result sequence.
+
+        ``trace=True`` records a span tree over the whole pipeline
+        (compile → optimize → match/join/bind/finish, one child span
+        per NoK scan and per inter-NoK join) and attaches it to the
+        result as ``result.trace`` (also kept as ``self.last_trace``).
+        ``tracer`` supplies an external tracer instead.
+        """
         counters = counters if counters is not None else ScanCounters()
         budget = work_budget if work_budget is not None else self.work_budget
         if budget is not None:
             counters.budget = budget
 
-        compiled = compile_query(text)
+        tracer = tracer if tracer is not None else (
+            Tracer() if trace else NULL_TRACER)
+        tracing = tracer is not NULL_TRACER
+        self.last_trace = None
+        self._last_strategy = strategy
+        before = counters.snapshot()
+        started = time.perf_counter_ns()
+        try:
+            with tracer.span("query", strategy=strategy) as qspan:
+                if isinstance(text, str):
+                    qspan.set(source=" ".join(text.split())[:160])
+                try:
+                    result = self._run(text, strategy, counters, budget, tracer)
+                except DNFError as exc:
+                    qspan.set(budget_tripped=True, budget=exc.budget,
+                              nodes_scanned=counters.nodes_scanned)
+                    _DNF.inc(strategy=self._last_strategy)
+                    raise
+                qspan.set(plan=self.last_plan, items=len(result))
+        finally:
+            elapsed_ms = (time.perf_counter_ns() - started) / 1e6
+            self._publish_metrics(counters, before, elapsed_ms)
+            if tracing:
+                self.last_trace = tracer.finish()
+        result.trace = self.last_trace
+        result.counters = counters
+        return result
+
+    def _run(self, text: Union[str, QueryExpr], strategy: str,
+             counters: ScanCounters, budget: Optional[int],
+             tracer) -> QueryResult:
+        """The planning/execution pipeline behind :meth:`query`."""
+        compiled = compile_query(text, tracer=tracer)
         if compiled.flwor is not None and not compiled.is_bare_path:
             from repro.xquery.semantics import analyze
 
             analyze(compiled.flwor).raise_errors()
-        choice = self._resolve_strategy(compiled, strategy)
+        choice = self._resolve_strategy(compiled, strategy, tracer)
         self.last_plan = str(choice)
+        self._last_strategy = choice.strategy
 
         if choice.strategy == "naive":
-            evaluator = DirectEvaluator(self.doc, self._resolve_doc,
-                                        work_budget=budget)
-            return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
+            with tracer.span("execute", plan="naive"):
+                evaluator = DirectEvaluator(self.doc, self._resolve_doc,
+                                            work_budget=budget)
+                return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
         if choice.strategy == "xhive":
             from repro.baseline.xhive import XHiveSimulator
 
-            simulator = XHiveSimulator(self.doc, self._resolve_doc, counters)
-            return simulator.run(compiled.query)
+            with tracer.span("execute", plan="xhive"):
+                simulator = XHiveSimulator(self.doc, self._resolve_doc, counters)
+                return simulator.run(compiled.query)
 
         assert compiled.flwor is not None and compiled.tree is not None
         executor = FLWORExecutor(
@@ -127,28 +195,50 @@ class Engine:
             join_algorithm=("auto" if choice.strategy == "twigstack"
                             else choice.strategy),
             counters=counters,
-            recursive_hint=self.stats.recursive)
+            recursive_hint=self.stats.recursive,
+            tracer=tracer)
         try:
-            if choice.strategy == "twigstack":
-                items = executor.execute_twigstack(compiled.flwor)
-            else:
-                items = executor.execute(compiled.flwor)
+            with tracer.span("execute", plan=choice.strategy):
+                if choice.strategy == "twigstack":
+                    items = executor.execute_twigstack(compiled.flwor)
+                else:
+                    items = executor.execute(compiled.flwor)
         except CompileError:
             if strategy != "auto":
                 raise
             # Late compile failure under auto: fall back to direct
             # evaluation rather than surfacing an internal limitation.
-            evaluator = DirectEvaluator(self.doc, self._resolve_doc,
-                                        work_budget=budget)
-            self.last_plan = "naive (late fallback)"
-            return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
+            with tracer.span("execute", plan="naive (late fallback)"):
+                evaluator = DirectEvaluator(self.doc, self._resolve_doc,
+                                            work_budget=budget)
+                self.last_plan = "naive (late fallback)"
+                self._last_strategy = "naive"
+                return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
         self.last_plan = str(choice) + "; " + "; ".join(executor.plan_notes)
 
         if compiled.query is compiled.flwor:
             return QueryResult(items)
-        wrapper = _SubstitutingEvaluator(self.doc, self._resolve_doc,
-                                         compiled.flwor, items)
-        return QueryResult(wrapper.eval_query_expr(compiled.query, {}))
+        with tracer.span("construct-wrapper"):
+            wrapper = _SubstitutingEvaluator(self.doc, self._resolve_doc,
+                                             compiled.flwor, items)
+            return QueryResult(wrapper.eval_query_expr(compiled.query, {}))
+
+    def _publish_metrics(self, counters: ScanCounters,
+                         before: dict[str, int], elapsed_ms: float) -> None:
+        """Feed the registry with this run's counter deltas.
+
+        Deltas (not absolutes) because callers may reuse one
+        :class:`ScanCounters` across several queries.
+        """
+        strategy = self._last_strategy
+        _QUERIES.inc(strategy=strategy)
+        _LATENCY.observe(elapsed_ms, strategy=strategy)
+        _NODES.inc(counters.nodes_scanned - before["nodes_scanned"])
+        _SCANS.inc(counters.scans_started - before["scans_started"])
+        _COMPARISONS.inc(counters.comparisons - before["comparisons"])
+        _INTERMEDIATE.inc(counters.intermediate_results
+                          - before["intermediate_results"])
+        _PEAK.max(counters.peak_buffered)
 
     def explain(self, text: Union[str, QueryExpr], strategy: str = "auto") -> str:
         """Describe the plan that ``query`` would run (without running it)."""
@@ -182,6 +272,98 @@ class Engine:
             lines.append(f"fallback reason: {compiled.compile_error}")
         return "\n".join(lines)
 
+    def explain_analyze(self, text: Union[str, QueryExpr],
+                        strategy: str = "auto",
+                        work_budget: Optional[int] = None) -> str:
+        """Execute the query under tracing and render per-operator rows.
+
+        Each NoK scan and each inter-NoK join gets one row showing
+        measured wall time, nodes scanned, comparisons and output
+        cardinality next to the cost model's estimates (both in the
+        model's currency, expected nodes touched), so the optimizer's
+        predictions are directly auditable against the run.
+        """
+        from repro.engine.cost import CostModel
+        from repro.obs.export import format_table
+
+        counters = ScanCounters()
+        tracer = Tracer()
+        result = self.query(text, strategy=strategy, counters=counters,
+                            work_budget=work_budget, tracer=tracer)
+        trace = self.last_trace
+        assert trace is not None
+        model = CostModel(self.doc, self.stats, self.index)
+
+        rows: list[dict[str, object]] = []
+        for span in trace.find_all("nok-scan"):
+            attrs = span.attrs
+            est_nodes, est_rows = model.nok_estimate(
+                str(attrs.get("root_tag", "*")))
+            shared = " (shared scan)" if attrs.get("shared_scan") else ""
+            rows.append({
+                "operator": f"scan NoK#{attrs.get('nok_id')} "
+                            f"[{attrs.get('root_tag')}]{shared}",
+                "time ms": f"{attrs.get('wall_ms', span.duration_ms):.3f}",
+                "nodes": attrs.get("nodes_scanned", 0),
+                "est.nodes": f"{est_nodes:,.0f}",
+                "cmp": attrs.get("comparisons", 0),
+                "rows": attrs.get("matches", 0),
+                "est.rows": f"{est_rows:,.0f}",
+            })
+        for span in trace.find_all("inter-join"):
+            attrs = span.attrs
+            algorithm = str(attrs.get("algorithm", "?"))
+            est_nodes, est_rows = model.edge_estimate(
+                str(attrs.get("parent_tag", "*")),
+                str(attrs.get("child_tag", "*")), algorithm)
+            rows.append({
+                "operator": f"join V{attrs.get('parent_vid')}->"
+                            f"V{attrs.get('child_vid')} [{algorithm}]",
+                "time ms": f"{span.duration_ms:.3f}",
+                "nodes": attrs.get("nodes_scanned", 0),
+                "est.nodes": f"{est_nodes:,.0f}",
+                "cmp": attrs.get("comparisons", 0),
+                "rows": attrs.get("pairs", 0),
+                "est.rows": f"{est_rows:,.0f}",
+            })
+        for span in trace.find_all("twigstack"):
+            attrs = span.attrs
+            rows.append({
+                "operator": "twigstack (holistic)",
+                "time ms": f"{span.duration_ms:.3f}",
+                "nodes": attrs.get("nodes_scanned", 0),
+                "est.nodes": "-",
+                "cmp": attrs.get("comparisons", 0),
+                "rows": attrs.get("matches", 0),
+                "est.rows": "-",
+            })
+
+        lines = ["EXPLAIN ANALYZE"]
+        root = trace.root
+        if root is not None and "source" in root.attrs:
+            lines.append(f"query: {root.attrs['source']}")
+        lines.append(f"plan: {self.last_plan}")
+        lines.append(f"total: {trace.total_ms:.3f} ms, {len(result)} item(s)")
+        lines.append("")
+        if rows:
+            lines.append(format_table(
+                rows, right_align=("time ms", "nodes", "est.nodes", "cmp",
+                                   "rows", "est.rows")))
+        else:
+            lines.append("(no per-operator spans: plan ran outside the "
+                         "BlossomTree pipeline)")
+        phases = [s for name in ("match-phase", "join-phase", "bind-phase",
+                                 "finish-phase")
+                  for s in trace.find_all(name)]
+        if phases:
+            lines.append("")
+            lines.append("phases: " + "  ".join(
+                f"{s.name.removesuffix('-phase')}={s.duration_ms:.3f}ms"
+                for s in phases))
+        lines.append("counters: " + " ".join(
+            f"{k}={v}" for k, v in counters.snapshot().items()))
+        return "\n".join(lines)
+
     @property
     def stats(self) -> DocumentStats:
         """Statistics of the primary document (computed once)."""
@@ -196,10 +378,12 @@ class Engine:
     def _resolve_doc(self, uri: str) -> Document:
         return self.documents.get(uri, self.doc)
 
-    def _resolve_strategy(self, compiled: CompiledQuery, strategy: str) -> PlanChoice:
+    def _resolve_strategy(self, compiled: CompiledQuery, strategy: str,
+                          tracer: Optional[Tracer] = None) -> PlanChoice:
         if strategy == "auto":
             return choose_strategy(self.stats, compiled.tree,
-                                   compiled.is_bare_path, has_index=True)
+                                   compiled.is_bare_path, has_index=True,
+                                   tracer=tracer)
         if strategy == "cost":
             return self._cost_based_choice(compiled)
         if strategy in ("naive", "xhive"):

@@ -1,0 +1,156 @@
+"""Exporters: span-tree rendering, JSON-lines traces, Prometheus text.
+
+Three read-only views over the observability data:
+
+* :func:`render_span_tree` — human-oriented indented tree with
+  durations and attributes (what ``QueryTrace.pretty()`` prints);
+* :func:`trace_to_jsonl` — one JSON object per span, parent-linked by
+  id, for ingestion into external tooling;
+* :func:`prometheus_text` — the text exposition format
+  (``# HELP`` / ``# TYPE`` / samples) for a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Plus :func:`format_table`, the aligned-column renderer shared by
+``Engine.explain_analyze`` (kept here, not in :mod:`repro.bench`, so
+the engine does not import the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import QueryTrace, Span
+
+__all__ = ["render_span_tree", "trace_to_jsonl", "prometheus_text",
+           "format_table"]
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{key}={value}" for key, value in attrs.items()]
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_span_tree(trace: QueryTrace) -> str:
+    """Indented tree with per-span durations and attributes."""
+    lines: list[str] = []
+
+    def visit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            connector, child_prefix = "", ""
+        else:
+            connector = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(f"{connector}{span.name} ({span.duration_ms:.3f} ms)"
+                     f"{_format_attrs(span.attrs)}")
+        for index, child in enumerate(span.children):
+            visit(child, child_prefix, index == len(span.children) - 1, False)
+
+    for root in trace.roots:
+        visit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def trace_to_jsonl(trace: QueryTrace) -> str:
+    """One JSON object per span (pre-order), parent-linked by span id."""
+    lines: list[str] = []
+    ids: dict[int, int] = {}
+
+    def visit(span: Span, parent_id: int) -> None:
+        span_id = len(ids) + 1
+        ids[id(span)] = span_id
+        lines.append(json.dumps({
+            "id": span_id,
+            "parent": parent_id or None,
+            "name": span.name,
+            "start_ns": span.start_ns,
+            "duration_ns": span.duration_ns,
+            "attrs": _jsonable(span.attrs),
+        }, sort_keys=False))
+        for child in span.children:
+            visit(child, span_id)
+
+    for root in trace.roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def _jsonable(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def _labels_text(key) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every metric in the registry."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            cells = metric.cells()
+            if not cells:
+                lines.append(f"{metric.name} 0")
+                continue
+            for key in sorted(cells):
+                lines.append(f"{metric.name}{_labels_text(key)} "
+                             f"{_num(cells[key])}")
+        elif isinstance(metric, Histogram):
+            for key in sorted(metric.cells()):
+                counts, total, count = metric.cells()[key]
+                for bound, cumulative in zip(metric.buckets, counts):
+                    bucket_key = key + (("le", _num(bound)),)
+                    lines.append(f"{metric.name}_bucket{_labels_text(bucket_key)} "
+                                 f"{cumulative}")
+                inf_key = key + (("le", "+Inf"),)
+                lines.append(f"{metric.name}_bucket{_labels_text(inf_key)} {count}")
+                lines.append(f"{metric.name}_sum{_labels_text(key)} {_num(total)}")
+                lines.append(f"{metric.name}_count{_labels_text(key)} {count}")
+    return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_table(rows: Sequence[dict[str, object]],
+                 right_align: Sequence[str] = ()) -> str:
+    """Aligned text table over uniform dict rows (explain-analyze view)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    right = set(right_align)
+
+    def cell(column: str, text: object) -> str:
+        if column in right:
+            return str(text).rjust(widths[column])
+        return str(text).ljust(widths[column])
+
+    lines = [
+        "  ".join(cell(c, c) for c in columns).rstrip(),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell(c, row.get(c, "")) for c in columns).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Process-wide metrics: labeled counters, gauges, histograms.
+
+A tiny Prometheus-shaped metrics layer with no dependencies.  Metrics
+are registered (idempotently) on a :class:`MetricsRegistry` and carry
+free-form label sets::
+
+    from repro.obs.metrics import REGISTRY
+
+    QUERIES = REGISTRY.counter("repro_queries_total", "Queries executed")
+    QUERIES.inc(strategy="pipelined")
+
+The process-wide :data:`REGISTRY` is what the engine session, the
+physical operators and the slow-query log all write to; export it with
+:func:`repro.obs.export.prometheus_text`.
+
+The conventional metric families the engine feeds (all prefixed
+``repro_``):
+
+=============================================  =========  ==============================
+name                                           type       labels
+=============================================  =========  ==============================
+``repro_queries_total``                        counter    ``strategy``
+``repro_query_latency_ms``                     histogram  ``strategy``
+``repro_nodes_scanned_total``                  counter    —
+``repro_scans_total``                          counter    —
+``repro_comparisons_total``                    counter    —
+``repro_intermediate_results_total``           counter    —
+``repro_peak_buffered``                        gauge      —
+``repro_join_selected_total``                  counter    ``algorithm``
+``repro_operator_invocations_total``           counter    ``operator``
+``repro_operator_output_total``                counter    ``operator``
+``repro_budget_trips_total``                   counter    —
+``repro_dnf_total``                            counter    ``strategy``
+``repro_slow_queries_total``                   counter    —
+=============================================  =========  ==============================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+           "get_registry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default latency buckets (milliseconds).
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common storage: one value cell per distinct label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._cells: dict[LabelKey, float] = {}
+
+    def value(self, **labels: Any) -> float:
+        """Current value for one label set (0 if never touched)."""
+        return self._cells.get(_label_key(labels), 0.0)
+
+    def cells(self) -> dict[LabelKey, float]:
+        """All (label-set, value) cells, for exposition."""
+        return dict(self._cells)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cells.clear()
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._cells[key] = self._cells.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (e.g. peak buffer size)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._cells[_label_key(labels)] = float(value)
+
+    def max(self, value: float, **labels: Any) -> None:
+        """Keep the running maximum (handy for peak-style gauges)."""
+        key = _label_key(labels)
+        with self._lock:
+            if value > self._cells.get(key, float("-inf")):
+                self._cells[key] = float(value)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self.help = help_text
+        self.buckets = tuple(sorted(buckets if buckets is not None
+                                    else DEFAULT_BUCKETS))
+        self._lock = threading.Lock()
+        #: label key -> (per-bucket counts, sum, count)
+        self._cells: dict[LabelKey, tuple[list[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts, total, n = self._cells.get(
+                key, ([0] * len(self.buckets), 0.0, 0))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self._cells[key] = (counts, total + value, n + 1)
+
+    def count(self, **labels: Any) -> int:
+        cell = self._cells.get(_label_key(labels))
+        return cell[2] if cell else 0
+
+    def sum(self, **labels: Any) -> float:
+        cell = self._cells.get(_label_key(labels))
+        return cell[1] if cell else 0.0
+
+    def cells(self) -> dict[LabelKey, tuple[list[int], float, int]]:
+        return dict(self._cells)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cells.clear()
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics, in registration order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _register(self, name: str, factory, kind: str):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if getattr(existing, "kind", None) != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{getattr(existing, 'kind', '?')}, not {kind}")
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(name, lambda: Counter(name, help_text), "counter")
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(name, lambda: Gauge(name, help_text), "gauge")
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help_text, buckets), "histogram")
+
+    def get(self, name: str):
+        """A registered metric by name, or ``None``."""
+        return self._metrics.get(name)
+
+    def collect(self) -> list[object]:
+        """All metrics in registration order (for exposition)."""
+        return list(self._metrics.values())
+
+    def reset(self) -> None:
+        """Zero every metric's cells (registrations survive) — tests."""
+        for metric in self._metrics.values():
+            metric.clear()  # type: ignore[attr-defined]
+
+
+#: The process-wide registry every engine component writes to.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

@@ -1,0 +1,105 @@
+"""Slow-query log: record queries whose wall time crosses a threshold.
+
+Databases live and die by this instrument; ours records, per offending
+query, everything needed to reproduce and diagnose it offline: the
+query text, the strategy the caller asked for, the plan the optimizer
+chose, the elapsed wall time, and the full work-counter snapshot
+(nodes scanned, comparisons, buffering) of the run.
+
+The log is bounded (a ring of ``max_entries``) and can additionally
+stream JSON lines to a file for post-mortem analysis::
+
+    db = Database.from_xml(xml)
+    db.configure_slow_log(threshold_ms=50.0, path="slow.jsonl")
+    db.query("//a//b")          # recorded iff it took >= 50 ms
+    for record in db.slow_log.entries:
+        print(record.describe())
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["SlowQueryLog", "SlowQueryRecord"]
+
+_SLOW = REGISTRY.counter("repro_slow_queries_total",
+                         "Queries exceeding the slow-query threshold")
+
+
+@dataclass
+class SlowQueryRecord:
+    """One slow query: what ran, how it was planned, what it cost."""
+
+    query: str
+    strategy: str
+    plan: str
+    elapsed_ms: float
+    counters: dict[str, int] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "timestamp": self.timestamp,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "query": self.query,
+            "strategy": self.strategy,
+            "plan": self.plan,
+            "counters": self.counters,
+        })
+
+    def describe(self) -> str:
+        return (f"[{self.elapsed_ms:.1f} ms] strategy={self.strategy} "
+                f"plan={self.plan!r} counters={self.counters} "
+                f"query={self.query!r}")
+
+
+class SlowQueryLog:
+    """Bounded in-memory slow-query ring with optional JSONL streaming."""
+
+    def __init__(self, threshold_ms: float = 100.0,
+                 path: Optional[Union[str, Path]] = None,
+                 max_entries: int = 1000) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.threshold_ms = threshold_ms
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            # A misconfigured log directory must not break queries.
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.entries: list[SlowQueryRecord] = []
+
+    def observe(self, query: str, strategy: str, plan: str,
+                elapsed_ms: float,
+                counters: Optional[dict[str, int]] = None
+                ) -> Optional[SlowQueryRecord]:
+        """Record the query iff it crossed the threshold.
+
+        Returns the record when one was made, ``None`` otherwise.
+        """
+        if elapsed_ms < self.threshold_ms:
+            return None
+        record = SlowQueryRecord(query=query, strategy=strategy, plan=plan,
+                                 elapsed_ms=elapsed_ms,
+                                 counters=dict(counters or {}),
+                                 timestamp=time.time())
+        self.entries.append(record)
+        if len(self.entries) > self.max_entries:
+            del self.entries[:len(self.entries) - self.max_entries]
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        _SLOW.inc()
+        return record
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,240 @@
+"""Zero-dependency span tracer for per-query execution traces.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects via a
+context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("query", strategy="auto") as q:
+        with tracer.span("match-phase") as m:
+            ...
+            m.set(matches=12)
+    trace = tracer.finish()
+    print(trace.pretty())
+
+Timing uses :func:`time.perf_counter_ns`; attributes are free-form
+key/value pairs set at open time or any time before close.  The engine
+threads one tracer through session → compiler → optimizer → executor,
+so a finished :class:`QueryTrace` shows the full pipeline: compile,
+optimize, then the four executor phases with one child span per NoK
+scan and per inter-NoK join.
+
+When tracing is off the engine passes :data:`NULL_TRACER`, whose
+``span()`` returns a shared no-op context manager — the instrumented
+code pays one attribute lookup and one method call per span, nothing
+else, which keeps the untraced hot path essentially free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = ["Span", "Tracer", "QueryTrace", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed region of work with attributes and child spans."""
+
+    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children")
+
+    def __init__(self, name: str, attrs: Optional[dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.start_ns: int = 0
+        self.end_ns: int = 0
+        self.children: list[Span] = []
+
+    # -- attributes -----------------------------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+    # -- timing ---------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns and self.start_ns:
+            return self.end_ns - self.start_ns
+        return 0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    # -- traversal ------------------------------------------------------
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Yield (depth, span) pairs in pre-order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span (pre-order) with the given name, or ``None``."""
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every span (pre-order) with the given name."""
+        return [s for _, s in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Span {self.name!r} {self.duration_ms:.3f}ms {self.attrs}>"
+
+
+class _SpanContext:
+    """Context manager opening one span; closes it even on exceptions."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        tracer = self._tracer
+        parent = tracer._stack[-1] if tracer._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        span.start_ns = time.perf_counter_ns()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Builds one span tree; reusable only after :meth:`finish`."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a child span of the currently active span."""
+        return _SpanContext(self, Span(name, attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span (``None`` outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    def finish(self) -> "QueryTrace":
+        """Seal the tree into a :class:`QueryTrace` and reset the tracer."""
+        # Close any spans left open by an exception unwinding past them.
+        now = time.perf_counter_ns()
+        for span in self._stack:
+            if not span.end_ns:
+                span.end_ns = now
+        trace = QueryTrace(self.roots)
+        self.roots = []
+        self._stack = []
+        return trace
+
+
+class QueryTrace:
+    """A finished span tree attached to a query result."""
+
+    def __init__(self, roots: list[Span]) -> None:
+        self.roots = roots
+
+    @property
+    def root(self) -> Optional[Span]:
+        return self.roots[0] if self.roots else None
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name: str) -> list[Span]:
+        out: list[Span] = []
+        for root in self.roots:
+            out.extend(root.find_all(name))
+        return out
+
+    @property
+    def total_ms(self) -> float:
+        return sum(root.duration_ms for root in self.roots)
+
+    def pretty(self) -> str:
+        """Indented tree rendering (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import render_span_tree
+
+        return render_span_tree(self)
+
+    def to_jsonl(self) -> str:
+        """JSON-lines export (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import trace_to_jsonl
+
+        return trace_to_jsonl(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        n = sum(1 for _ in self.walk())
+        return f"<QueryTrace {n} spans, {self.total_ms:.3f}ms>"
+
+
+class _NullSpan:
+    """Accepts attribute writes and traversal calls, records nothing."""
+
+    __slots__ = ()
+
+    name = "null"
+    attrs: dict[str, Any] = {}
+    start_ns = 0
+    end_ns = 0
+    children: list[Span] = []
+    duration_ns = 0
+    duration_ms = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Drop-in tracer that records nothing (the untraced fast path)."""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    def finish(self) -> QueryTrace:
+        return QueryTrace([])
+
+
+#: Shared no-op tracer used whenever ``trace=False``.
+NULL_TRACER = NullTracer()

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, TypeVar
 
+from repro.obs.metrics import REGISTRY
 from repro.pattern.decompose import InterEdge, NoKTree
 from repro.physical.nok import NoKMatcher
 from repro.physical.structural import JoinResult, axis_test
@@ -40,6 +41,11 @@ __all__ = [
 
 L = TypeVar("L")
 R = TypeVar("R")
+
+_INVOCATIONS = REGISTRY.counter("repro_operator_invocations_total",
+                                "Physical operator invocations")
+_OUTPUT = REGISTRY.counter("repro_operator_output_total",
+                           "Items emitted by physical operators")
 
 
 def bounded_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
@@ -73,6 +79,8 @@ def bounded_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
             entry = _reconcile(entry, canonical)
             if entry is not None:
                 result.add(outer, entry)
+    _INVOCATIONS.inc(operator="bnlj")
+    _OUTPUT.inc(result.pair_count(), operator="bnlj")
     return result
 
 
@@ -101,6 +109,8 @@ def naive_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
             reconciled = _reconcile(entry, canonical)
             if reconciled is not None:
                 result.add(outer, reconciled)
+    _INVOCATIONS.inc(operator="nl")
+    _OUTPUT.inc(result.pair_count(), operator="nl")
     return result
 
 
@@ -131,4 +141,6 @@ def nested_loop_pairs(left_items: Iterable[L], right_items: Iterable[R],
             counters.comparisons += 1
             if predicate(litem, ritem):
                 out.append((litem, ritem))
+    _INVOCATIONS.inc(operator="nl_pairs")
+    _OUTPUT.inc(len(out), operator="nl_pairs")
     return out

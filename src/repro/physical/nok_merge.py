@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.metrics import REGISTRY
 from repro.pattern.decompose import NoKTree
 from repro.physical.nok import match_subtree
 from repro.xmlkit.storage import ScanCounters, SequentialScan
@@ -25,41 +26,70 @@ from repro.algebra.nested_list import NLEntry
 
 __all__ = ["merged_scan"]
 
+_INVOCATIONS = REGISTRY.counter("repro_operator_invocations_total",
+                                "Physical operator invocations")
+_OUTPUT = REGISTRY.counter("repro_operator_output_total",
+                           "Items emitted by physical operators")
+
 
 def merged_scan(noks: list[NoKTree], doc: Document,
-                counters: Optional[ScanCounters] = None) -> dict[int, list[NLEntry]]:
+                counters: Optional[ScanCounters] = None,
+                per_nok: Optional[dict[int, ScanCounters]] = None
+                ) -> dict[int, list[NLEntry]]:
     """Evaluate several NoK pattern trees over one document in one scan.
 
     Returns ``{nok_id: matches}`` with each match list in document order
     of its root nodes — the same order-preservation contract as the
     single-NoK scan, so downstream merge joins work unchanged.
+
+    ``per_nok`` optionally maps ``nok_id`` to a private
+    :class:`ScanCounters` charged with that NoK's match work
+    (comparisons), so the tracer can attribute work inside the shared
+    scan to individual pattern trees.  The private counters are folded
+    back into ``counters`` before returning, keeping the shared totals
+    identical either way.
     """
     if counters is None:
         counters = ScanCounters()
     evaluator = XPathEvaluator()
     results: dict[int, list[NLEntry]] = {nok.nok_id: [] for nok in noks}
 
+    def counters_for(nok: NoKTree) -> ScanCounters:
+        if per_nok is None:
+            return counters
+        return per_nok.setdefault(nok.nok_id, ScanCounters())
+
     # Pattern-tree-root NoKs match the document node directly; they do
     # not need the element scan at all.
     scannable: list[NoKTree] = []
     for nok in noks:
         if nok.root.name == "#root":
-            entry = match_subtree(nok.root, doc.document_node, counters, evaluator)
+            entry = match_subtree(nok.root, doc.document_node,
+                                  counters_for(nok), evaluator)
             if entry is not None:
                 results[nok.nok_id].append(entry)
         else:
             scannable.append(nok)
 
-    if not scannable:
-        return results
+    try:
+        if scannable:
+            scan = SequentialScan(doc, counters)
+            for node in scan:
+                for nok in scannable:
+                    root = nok.root
+                    if not root.matches_tag(node.tag):
+                        continue
+                    entry = match_subtree(root, node, counters_for(nok),
+                                          evaluator)
+                    if entry is not None:
+                        results[nok.nok_id].append(entry)
+    finally:
+        # Fold private per-NoK work back into the shared totals even when
+        # the scan aborts on a budget trip (DNF).
+        if per_nok is not None:
+            for private in per_nok.values():
+                counters.merge(private)
 
-    scan = SequentialScan(doc, counters)
-    for node in scan:
-        for nok in scannable:
-            root = nok.root
-            if not root.matches_tag(node.tag):
-                continue
-            entry = match_subtree(root, node, counters, evaluator)
-            if entry is not None:
-                results[nok.nok_id].append(entry)
+    _INVOCATIONS.inc(operator="merged_scan")
+    _OUTPUT.inc(sum(len(v) for v in results.values()), operator="merged_scan")
     return results

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import REGISTRY
 from repro.pattern.blossom import BlossomTree, BlossomVertex
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.storage import ScanCounters
@@ -27,6 +28,11 @@ from repro.physical.twigstack import twig_supported
 __all__ = ["PathStackOperator", "chain_supported"]
 
 _INF = float("inf")
+
+_INVOCATIONS = REGISTRY.counter("repro_operator_invocations_total",
+                                "Physical operator invocations")
+_OUTPUT = REGISTRY.counter("repro_operator_output_total",
+                           "Items emitted by physical operators")
 
 
 def chain_supported(tree: BlossomTree) -> bool:
@@ -181,4 +187,6 @@ class PathStackOperator:
         for entry in stacks[level]:
             if entry[2]:
                 results.add(entry[0].nid)
+        _INVOCATIONS.inc(operator="pathstack")
+        _OUTPUT.inc(len(results), operator="pathstack")
         return [self.doc.nodes[nid] for nid in sorted(results)]

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import REGISTRY
 from repro.pattern.decompose import InterEdge
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Node
@@ -31,6 +32,11 @@ from repro.algebra.nested_list import NLEntry
 from repro.physical.structural import JoinResult
 
 __all__ = ["pipelined_desc_join", "caching_desc_join"]
+
+_INVOCATIONS = REGISTRY.counter("repro_operator_invocations_total",
+                                "Physical operator invocations")
+_OUTPUT = REGISTRY.counter("repro_operator_output_total",
+                           "Items emitted by physical operators")
 
 
 def pipelined_desc_join(left_nodes: Iterable[Node],
@@ -72,6 +78,8 @@ def pipelined_desc_join(left_nodes: Iterable[Node],
         # else: node precedes the current candidate; skip it (the
         # n << m branch — advance the right side).
     counters.note_buffer(1)
+    _INVOCATIONS.inc(operator="pipelined_join")
+    _OUTPUT.inc(result.pair_count(), operator="pipelined_join")
     return result
 
 
@@ -112,4 +120,6 @@ def caching_desc_join(left_nodes: Iterable[Node],
             counters.comparisons += 1
             if ancestor.start < node.start and node.end < ancestor.end:
                 result.add(ancestor, entry)
+    _INVOCATIONS.inc(operator="caching_join")
+    _OUTPUT.inc(result.pair_count(), operator="caching_join")
     return result

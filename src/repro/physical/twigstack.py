@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import REGISTRY
 from repro.pattern.blossom import BlossomTree, BlossomVertex
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.storage import ScanCounters
@@ -38,6 +39,11 @@ from repro.xpath.evaluator import EvalContext, XPathEvaluator, boolean_value
 __all__ = ["TwigStackOperator", "twig_supported"]
 
 _INF = float("inf")
+
+_INVOCATIONS = REGISTRY.counter("repro_operator_invocations_total",
+                                "Physical operator invocations")
+_OUTPUT = REGISTRY.counter("repro_operator_output_total",
+                           "Items emitted by physical operators")
 
 
 def twig_supported(tree: BlossomTree) -> bool:
@@ -283,6 +289,8 @@ class TwigStackOperator:
         reachable = self._top_down_reachable(valid)
         nids = reachable.get(output.vid, set())
         nodes = [self.doc.nodes[nid] for nid in sorted(nids)]
+        _INVOCATIONS.inc(operator="twigstack")
+        _OUTPUT.inc(len(nodes), operator="twigstack")
         return nodes
 
     def _bottom_up_valid(self) -> dict[int, set[int]]:

@@ -15,13 +15,18 @@ experiments equate one scan with one pass over the file on disk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Iterator, Optional
 
 from repro.errors import DNFError
+from repro.obs.metrics import REGISTRY
 from repro.xmlkit.tree import ELEMENT, Document, Node
 
 __all__ = ["ScanCounters", "SequentialScan"]
+
+_BUDGET_TRIPS = REGISTRY.counter(
+    "repro_budget_trips_total",
+    "Sequential scans aborted by the work budget (DNF emulation)")
 
 
 @dataclass
@@ -32,6 +37,11 @@ class ScanCounters:
     :class:`~repro.errors.DNFError` once the cap is exceeded, which is
     how the benchmark harness reproduces the paper's "DNF" entries
     deterministically instead of waiting out wall-clock timeouts.
+
+    ``reset``/``snapshot``/``merge`` are driven by the dataclass field
+    set (everything except the ``budget`` configuration), so adding a
+    counter field automatically keeps all three in sync — the contract
+    ``tests/test_counters_contract.py`` pins down.
     """
 
     nodes_scanned: int = 0       # nodes delivered by sequential scans
@@ -39,14 +49,12 @@ class ScanCounters:
     comparisons: int = 0         # structural/value predicate evaluations
     intermediate_results: int = 0  # NestedLists buffered between operators
     peak_buffered: int = 0       # max NestedLists held in memory at once
+    budget_trips: int = 0        # scans aborted by the budget (DNF)
     budget: Optional[int] = None  # DNF threshold on nodes_scanned
 
     def reset(self) -> None:
-        self.nodes_scanned = 0
-        self.scans_started = 0
-        self.comparisons = 0
-        self.intermediate_results = 0
-        self.peak_buffered = 0
+        for name in counter_fields():
+            setattr(self, name, 0)
 
     def note_buffer(self, size: int) -> None:
         """Record the current buffered-result count, tracking the peak."""
@@ -54,13 +62,25 @@ class ScanCounters:
             self.peak_buffered = size
 
     def snapshot(self) -> dict[str, int]:
-        return {
-            "nodes_scanned": self.nodes_scanned,
-            "scans_started": self.scans_started,
-            "comparisons": self.comparisons,
-            "intermediate_results": self.intermediate_results,
-            "peak_buffered": self.peak_buffered,
-        }
+        return {name: getattr(self, name) for name in counter_fields()}
+
+    def merge(self, other: "ScanCounters") -> None:
+        """Fold another counter set into this one (peaks take the max)."""
+        for name in counter_fields():
+            if name == "peak_buffered":
+                self.note_buffer(other.peak_buffered)
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def trip_budget(self) -> None:
+        """Record a budget violation (metric + counter) before raising."""
+        self.budget_trips += 1
+        _BUDGET_TRIPS.inc()
+
+
+def counter_fields() -> tuple[str, ...]:
+    """The counter field names (``budget`` is configuration, not work)."""
+    return tuple(f.name for f in fields(ScanCounters) if f.name != "budget")
 
 
 class SequentialScan:
@@ -96,6 +116,7 @@ class SequentialScan:
             node = nodes[nid]
             counters.nodes_scanned += 1
             if budget is not None and counters.nodes_scanned > budget:
+                counters.trip_budget()
                 raise DNFError("sequential scan exceeded the work budget",
                                budget=budget)
             if node.kind == ELEMENT:
@@ -110,6 +131,7 @@ class SequentialScan:
         for nid in range(self.start_nid, min(self.stop_nid, len(nodes))):
             counters.nodes_scanned += 1
             if budget is not None and counters.nodes_scanned > budget:
+                counters.trip_budget()
                 raise DNFError("sequential scan exceeded the work budget",
                                budget=budget)
             yield nodes[nid]

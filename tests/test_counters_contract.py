@@ -1,0 +1,68 @@
+"""The ScanCounters field contract.
+
+``reset``/``snapshot``/``merge`` are driven by the dataclass field set
+(:func:`repro.xmlkit.storage.counter_fields`), so they cannot drift
+when a counter is added — this suite pins that contract down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.xmlkit.storage import ScanCounters, counter_fields
+
+
+def test_counter_fields_is_every_field_except_budget():
+    names = {f.name for f in dataclasses.fields(ScanCounters)}
+    assert set(counter_fields()) == names - {"budget"}
+    assert "budget" in names
+
+
+def test_snapshot_covers_exactly_the_counter_fields():
+    counters = ScanCounters()
+    assert set(counters.snapshot()) == set(counter_fields())
+    # A fresh instance snapshots to all-zero.
+    assert all(v == 0 for v in counters.snapshot().values())
+
+
+def test_reset_zeroes_every_counter_but_keeps_the_budget():
+    counters = ScanCounters(budget=7)
+    for name in counter_fields():
+        setattr(counters, name, 5)
+    counters.reset()
+    assert all(v == 0 for v in counters.snapshot().values())
+    assert counters.budget == 7
+
+
+def test_snapshot_is_a_copy_not_a_view():
+    counters = ScanCounters()
+    snap = counters.snapshot()
+    counters.nodes_scanned = 99
+    assert snap["nodes_scanned"] == 0
+
+
+def test_merge_sums_counters_and_maxes_the_peak():
+    a = ScanCounters()
+    b = ScanCounters()
+    for name in counter_fields():
+        setattr(a, name, 2)
+        setattr(b, name, 3)
+    a.peak_buffered, b.peak_buffered = 10, 4
+    a.merge(b)
+    for name in counter_fields():
+        if name == "peak_buffered":
+            assert a.peak_buffered == 10    # max, not sum
+        else:
+            assert getattr(a, name) == 5, name
+
+
+def test_trip_budget_increments_field_and_metric():
+    from repro.obs.metrics import REGISTRY
+
+    trips = REGISTRY.get("repro_budget_trips_total")
+    before = trips.value()
+    counters = ScanCounters()
+    counters.trip_budget()
+    assert counters.budget_trips == 1
+    assert counters.snapshot()["budget_trips"] == 1
+    assert trips.value() == before + 1
