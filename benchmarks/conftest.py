@@ -20,7 +20,7 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 
 #: Machine-readable dump of every run_cell measurement made by the
 #: benchmark session (query, strategy, wall ms, counters snapshot).
-BENCH_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+BENCH_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
 
 @pytest.fixture(scope="session")
@@ -33,7 +33,7 @@ def dataset(name: str) -> PreparedDataset:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Dump the session's benchmark records to ``BENCH_PR1.json``.
+    """Dump the session's benchmark records to ``BENCH_PR2.json``.
 
     pytest-benchmark replays each cell many times while timing; only
     the latest record per (dataset, query, strategy, system) cell is
@@ -42,7 +42,8 @@ def pytest_sessionfinish(session, exitstatus):
     if not recording.RECORDS:
         return
     total = len(recording.RECORDS)
-    cells = {(r.get("dataset"), r["query"], r["strategy"], r.get("system")): r
+    cells = {(r.get("dataset"), r["query"], r["strategy"], r.get("system"),
+              r.get("mode")): r
              for r in recording.RECORDS}
     recording.RECORDS[:] = list(cells.values())
     recording.write_json(BENCH_RECORD_PATH, meta={

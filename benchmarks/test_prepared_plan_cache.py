@@ -1,0 +1,118 @@
+"""Warm-vs-cold serving benchmark: the plan cache and prepared queries.
+
+The serving-path claim behind PR 2: for repeated traffic, per-call
+compilation (parse → BlossomTree → NoK decomposition → optimizer) is
+pure overhead — a warm plan cache or a prepared query removes it.
+This suite measures one table2 workload query (d3 Q2, the
+high-selectivity branching twig over the catalog dataset) three ways:
+
+* **cold** — the cache is invalidated before every call, so each call
+  pays the full compile pipeline (the pre-PR2 behaviour);
+* **warm** — repeated ``query(text)`` hits the plan cache;
+* **prepared** — ``prepare()`` once, ``execute()`` in the loop.
+
+Recorded to ``BENCH_PR2.json`` with mode labels; the acceptance
+criterion (warm ≥ 2× faster than cold) is asserted directly.  The
+document is deliberately small: the criterion is about serving-path
+*overhead*, which is scale-independent in absolute terms and dominates
+exactly in the high-QPS / modest-document regime the ROADMAP targets.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import prepare_dataset
+from repro.bench.recording import record_run
+from repro.engine.session import Engine
+from repro.xmlkit.storage import ScanCounters
+
+#: d3 Q2 (Table 2 "hb"): a branching twig with two predicates.
+DATASET = "d3"
+QUERY = "//item[attributes//length][//subtitle]//isbn"
+#: Small scale: the compile/execute ratio of a serving workload whose
+#: documents are modest but whose query rate is high.
+SCALE = 0.01
+ROUNDS = 80
+REPEATS = 5
+
+
+def _time_calls(call, rounds: int) -> float:
+    """Best-of-REPEATS total wall seconds for ``rounds`` calls."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            call()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_warm_cache_at_least_2x_faster_than_cold():
+    prepared_ds = prepare_dataset(DATASET, SCALE)
+    engine = Engine(prepared_ds.doc)
+    engine.index.build()
+    engine.stats_fingerprint()     # pre-compute stats outside the loops
+
+    def cold_call():
+        engine.plan_cache.invalidate("manual")
+        engine.query(QUERY)
+
+    def warm_call():
+        engine.query(QUERY)
+
+    prepared = engine.prepare(QUERY)
+
+    def prepared_call():
+        prepared.execute()
+
+    warm_call()                    # populate the cache before timing
+    cold_s = _time_calls(cold_call, ROUNDS)
+    warm_s = _time_calls(warm_call, ROUNDS)
+    prepared_s = _time_calls(prepared_call, ROUNDS)
+
+    counters = ScanCounters()
+    engine.query(QUERY, counters=counters)
+    snapshot = counters.snapshot()
+    per_call = lambda total: total / ROUNDS * 1e3  # noqa: E731
+
+    speedup = cold_s / warm_s
+    record_run(QUERY, "auto", per_call(cold_s), snapshot,
+               dataset=DATASET, system="PL", mode="cold",
+               rounds=ROUNDS, scale=SCALE)
+    record_run(QUERY, "auto", per_call(warm_s), snapshot,
+               dataset=DATASET, system="PL", mode="warm",
+               rounds=ROUNDS, scale=SCALE, speedup_vs_cold=round(speedup, 2))
+    record_run(QUERY, "auto", per_call(prepared_s), snapshot,
+               dataset=DATASET, system="PL", mode="prepared",
+               rounds=ROUNDS, scale=SCALE,
+               speedup_vs_cold=round(cold_s / prepared_s, 2))
+
+    assert speedup >= 2.0, (
+        f"warm cache {per_call(warm_s):.3f} ms/call vs cold "
+        f"{per_call(cold_s):.3f} ms/call — only {speedup:.2f}x")
+    # Prepared execution skips even the cache probe; it must not be
+    # slower than the warm path by more than noise.
+    assert prepared_s <= warm_s * 1.25
+
+
+def test_parameterized_prepared_matches_and_amortizes():
+    """A FLWOR with an external $parameter: one compile, many bindings."""
+    prepared_ds = prepare_dataset("d2", SCALE)
+    engine = Engine(prepared_ds.doc)
+    flwor = ("for $a in //address where $a//zip_code/text() != $zip "
+             "return $a//name_of_city")
+    plan = engine.prepare(flwor)
+    assert plan.parameters == {"zip"}
+
+    started = time.perf_counter()
+    sizes = [len(plan.execute(bindings={"zip": str(z)}))
+             for z in ("10000", "99999")]
+    elapsed_ms = (time.perf_counter() - started) * 1e3 / len(sizes)
+    # Different bindings reuse one plan; results match fresh compiles.
+    for z, size in zip(("10000", "99999"), sizes):
+        inlined = flwor.replace("$zip", f"'{z}'")
+        assert size == len(Engine(prepared_ds.doc).query(inlined))
+    record_run(flwor, "auto", elapsed_ms, {},
+               dataset="d2", system="PL", mode="prepared-bindings",
+               scale=SCALE)

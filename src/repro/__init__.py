@@ -11,40 +11,70 @@ convenient import is::
 
     engine = Engine(parse(xml_text))
     result = engine.query('//book[author]/title')
+
+For repeated traffic, compile once and execute many times::
+
+    plan = engine.prepare('for $b in //book where $b/price < $max '
+                          'return $b/title')
+    plan.execute(bindings={"max": 20.0})
+
+``__all__`` below is the supported public surface; everything else is
+internal and may change between releases.
 """
 
 __version__ = "1.0.0"
 
 from repro.errors import (
+    BindingError,
     CompileError,
     DNFError,
     ExecutionError,
     QuerySyntaxError,
     ReproError,
     StaticError,
+    UpdateError,
+    UsageError,
     XMLSyntaxError,
 )
 from repro.xmlkit import parse, parse_file, serialize
 
 __all__ = [
+    # errors (the complete hierarchy, rooted at ReproError)
+    "BindingError",
     "CompileError",
     "DNFError",
-    "Engine",
     "ExecutionError",
     "QuerySyntaxError",
     "ReproError",
     "StaticError",
+    "UpdateError",
+    "UsageError",
     "XMLSyntaxError",
+    # engine facades
+    "Database",
+    "Engine",
+    "PreparedQuery",
+    "QueryResult",
+    # xml toolkit
     "parse",
     "parse_file",
     "serialize",
 ]
 
+#: Facade classes imported lazily (see ``__getattr__``) to keep
+#: ``import repro`` cheap and free of subpackage import cycles.
+_LAZY = {
+    "Engine": ("repro.engine.session", "Engine"),
+    "Database": ("repro.engine.database", "Database"),
+    "PreparedQuery": ("repro.engine.prepared", "PreparedQuery"),
+    "QueryResult": ("repro.engine.result", "QueryResult"),
+}
+
 
 def __getattr__(name):
-    # Engine is imported lazily to keep `import repro` cheap and to avoid
-    # import cycles while the subpackages load each other.
-    if name == "Engine":
-        from repro.engine.session import Engine
-        return Engine
+    target = _LAZY.get(name)
+    if target is not None:
+        from importlib import import_module
+
+        return getattr(import_module(target[0]), target[1])
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

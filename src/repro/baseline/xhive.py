@@ -53,15 +53,19 @@ class XHiveSimulator:
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         self.counters = counters if counters is not None else ScanCounters()
 
-    def run(self, query: Union[str, QueryExpr]) -> QueryResult:
-        """Evaluate a query navigationally (paths and FLWOR alike)."""
+    def run(self, query: Union[str, QueryExpr],
+            bindings: Optional[dict] = None) -> QueryResult:
+        """Evaluate a query navigationally (paths and FLWOR alike).
+
+        ``bindings`` supplies values for external ``$parameters``.
+        """
         expr = parse_query(query) if isinstance(query, str) else query
         evaluator = DirectEvaluator(self.doc, self.resolve_doc)
         # Swap in a counting XPath evaluator: every candidate node a
         # step examines is charged, which models the materialize-and-
         # filter execution of a navigational engine.
         evaluator.xpath = XPathEvaluator(count_work=self._charge)
-        return QueryResult(evaluator.eval_query_expr(expr, {}))
+        return QueryResult(evaluator.eval_query_expr(expr, dict(bindings or {})))
 
     def _charge(self, candidates: int) -> None:
         counters = self.counters

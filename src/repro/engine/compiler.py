@@ -21,6 +21,7 @@ from repro.pattern.build import build_blossom_tree, path_as_flwor
 from repro.xpath.ast import Expr, LocationPath, RootContext
 from repro.xquery.ast import ElementConstructor, Enclosed, FLWOR, QueryExpr
 from repro.xquery.parser import parse_query
+from repro.xquery.semantics import free_variables
 
 __all__ = ["CompiledQuery", "compile_query"]
 
@@ -35,6 +36,9 @@ class CompiledQuery:
     is_bare_path: bool                 # query was a single path expression
     tree: Optional[BlossomTree]        # None when compilation failed
     compile_error: Optional[str]       # reason for fallback, if any
+    #: External ``$parameters`` — variables the query references but never
+    #: binds; execution requires a binding for each (prepared queries).
+    parameters: frozenset[str] = frozenset()
 
     @property
     def optimizable(self) -> bool:
@@ -44,6 +48,11 @@ class CompiledQuery:
 def compile_query(text: Union[str, QueryExpr],
                   tracer: Optional[Tracer] = None) -> CompiledQuery:
     """Parse and compile a query string (or pre-parsed expression).
+
+    Free variables are detected and recorded as the query's external
+    ``parameters`` — the BlossomTree builder routes conjuncts that
+    mention them to the residual where clause, so the compiled plan has
+    execution-time slots instead of baked-in values.
 
     ``tracer`` (optional) records a ``compile`` span covering parse and
     BlossomTree construction, with the outcome as attributes.
@@ -65,17 +74,21 @@ def compile_query(text: Union[str, QueryExpr],
         else:
             flwor = _locate_single_flwor(query)
 
+        parameters = free_variables(query)
         tree: Optional[BlossomTree] = None
         error: Optional[str] = None
         if flwor is not None:
             try:
-                tree = build_blossom_tree(flwor)
+                tree = build_blossom_tree(flwor, external=parameters)
             except CompileError as exc:
                 error = str(exc)
         span.set(bare_path=is_bare_path, optimizable=tree is not None)
+        if parameters:
+            span.set(parameters=",".join(sorted(parameters)))
         if error:
             span.set(compile_error=error)
-    return CompiledQuery(source, query, flwor, is_bare_path, tree, error)
+    return CompiledQuery(source, query, flwor, is_bare_path, tree, error,
+                         parameters)
 
 
 def _absolutize(path: LocationPath) -> LocationPath:

@@ -16,7 +16,10 @@ Typical use::
     db.query("//book[author]//title")
 
 Updates go through :meth:`updater`, which keeps the index registered
-for invalidation — the Section-2.1 maintenance story, wired in.
+for invalidation — the Section-2.1 maintenance story, wired in — and
+the engine's plan cache subscribed: every structural update drops all
+cached plans and bumps the document version, so repeated queries never
+run against a stale strategy choice.
 """
 
 from __future__ import annotations
@@ -26,12 +29,14 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer
 from repro.xmlkit.binary import dump, load
 from repro.xmlkit.parser import parse
 from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xmlkit.update import DocumentUpdater
+from repro.engine.prepared import PreparedQuery
 from repro.engine.result import QueryResult
 from repro.engine.session import Engine
 
@@ -73,8 +78,16 @@ class Database:
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "Database":
-        """Open a database stored with :meth:`save`."""
-        return cls(load(Path(path).read_bytes()))
+        """Open a database stored with :meth:`save`.
+
+        The new instance's plan cache starts empty — compiled plans
+        never survive a save/open round-trip (only the document is
+        persisted); the explicit ``reopen`` invalidation records the
+        boundary in the cache counters.
+        """
+        db = cls(load(Path(path).read_bytes()))
+        db.engine.plan_cache.invalidate("reopen")
+        return db
 
     def save(self, path: Union[str, Path]) -> int:
         """Persist to the succinct binary format; returns bytes written."""
@@ -86,21 +99,30 @@ class Database:
     # Queries and updates.
     # ------------------------------------------------------------------
 
-    def query(self, text: str, strategy: str = "auto", **kwargs) -> QueryResult:
-        """Evaluate a query (see :meth:`Engine.query` for options).
+    def query(self, text: str, strategy: str = "auto",
+              counters: Optional[ScanCounters] = None,
+              work_budget: Optional[int] = None,
+              trace: bool = False,
+              tracer: Optional[Tracer] = None) -> QueryResult:
+        """Evaluate a query (see :meth:`Engine.query` for the options —
+        the signatures are identical).
 
         When the slow-query log is enabled the call is timed and,
         past the threshold, recorded with plan and counters.
         """
         if self.slow_log is None:
-            return self.engine.query(text, strategy=strategy, **kwargs)
-        counters = kwargs.pop("counters", None)
+            return self.engine.query(text, strategy=strategy,
+                                     counters=counters,
+                                     work_budget=work_budget,
+                                     trace=trace, tracer=tracer)
         counters = counters if counters is not None else ScanCounters()
         before = counters.snapshot()
         started = time.perf_counter_ns()
         try:
             result = self.engine.query(text, strategy=strategy,
-                                       counters=counters, **kwargs)
+                                       counters=counters,
+                                       work_budget=work_budget,
+                                       trace=trace, tracer=tracer)
         finally:
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
             snapshot = counters.snapshot()
@@ -109,9 +131,15 @@ class Database:
                                   elapsed_ms, delta)
         return result
 
-    def explain_analyze(self, text: str, strategy: str = "auto") -> str:
+    def prepare(self, text: str, strategy: str = "auto") -> PreparedQuery:
+        """Compile once for repeated execution (see :meth:`Engine.prepare`)."""
+        return self.engine.prepare(text, strategy=strategy)
+
+    def explain_analyze(self, text: str, strategy: str = "auto",
+                        work_budget: Optional[int] = None) -> str:
         """Per-operator measured-vs-estimated rows (see Engine)."""
-        return self.engine.explain_analyze(text, strategy)
+        return self.engine.explain_analyze(text, strategy,
+                                           work_budget=work_budget)
 
     def explain(self, text: str, strategy: str = "auto") -> str:
         return self.engine.explain(text, strategy)
@@ -121,12 +149,15 @@ class Database:
         return self.engine.stats
 
     def updater(self) -> DocumentUpdater:
-        """The document updater, with the engine's index registered so
-        structural updates invalidate it (rebuilt lazily on the next
-        join-based query)."""
+        """The document updater, wired for cache coherence: structural
+        updates invalidate the engine's tag index (rebuilt lazily on
+        the next join-based query) and its plan cache (stale statistics
+        must not steer strategy choice)."""
         if self._updater is None:
             self._updater = DocumentUpdater(self.doc)
             self._updater.register_index(self.engine.index)
+            self._updater.register_listener(
+                lambda report: self.engine.notify_update(report))
         return self._updater
 
     def refresh_stats(self) -> DocumentStats:

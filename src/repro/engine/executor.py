@@ -31,13 +31,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
-from repro.errors import CompileError, ExecutionError
+from repro.errors import CompileError, ExecutionError, UsageError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import NULL_TRACER, Span, Tracer
+from repro.pattern.artifact import PatternArtifacts, prepare_artifacts
 from repro.pattern.blossom import MODE_MANDATORY, BlossomTree, BlossomVertex, TreeEdge
 from repro.pattern.build import RESULT_VAR, build_blossom_tree
-from repro.pattern.decompose import Decomposition, InterEdge, NoKTree, decompose
-from repro.pattern.dewey import assign_dewey
+from repro.pattern.decompose import Decomposition, InterEdge, NoKTree
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document, Node
 from repro.xquery.ast import FLWOR, ForClause, LetClause
@@ -99,7 +99,7 @@ class FLWORExecutor:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         if join_algorithm != "auto" and join_algorithm not in JOIN_ALGORITHMS:
-            raise ValueError(f"unknown join algorithm {join_algorithm!r}")
+            raise UsageError(f"unknown join algorithm {join_algorithm!r}")
         self.join_algorithm = join_algorithm
         self.counters = counters if counters is not None else ScanCounters()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -115,12 +115,29 @@ class FLWORExecutor:
     # Entry point.
     # ------------------------------------------------------------------
 
-    def execute(self, flwor: FLWOR) -> list[Item]:
+    def execute(self, flwor: FLWOR,
+                artifacts: Optional[PatternArtifacts] = None,
+                bindings: Optional[dict] = None) -> list[Item]:
         """Run the full pipeline; raises CompileError for unsupported
-        constructs (callers fall back to direct evaluation)."""
-        tree = build_blossom_tree(flwor)
-        dec = decompose(tree)
-        assign_dewey(tree)  # global Dewey IDs (Theorem 2 precondition)
+        constructs (callers fall back to direct evaluation).
+
+        ``artifacts`` replays a precomputed pattern compilation (tree +
+        NoK decomposition + Dewey IDs) instead of rebuilding it — the
+        prepared-query / plan-cache hot path.  ``bindings`` supplies
+        values for the query's external ``$parameters``; they are merged
+        under every tuple's own bindings for where re-verification,
+        order by and return construction (query variables shadow
+        externals, matching static scoping).
+        """
+        if artifacts is None:
+            external = frozenset(bindings) if bindings else frozenset()
+            tree = build_blossom_tree(flwor, external=external)
+            # Dewey IDs are global (Theorem 2 precondition); prepare_
+            # artifacts assigns them alongside the decomposition.
+            artifacts = prepare_artifacts(tree)
+        tree = artifacts.tree
+        dec = artifacts.decomposition
+        base = dict(bindings) if bindings else {}
 
         with self.tracer.span("match-phase") as span:
             matches = self._match_phase(dec)
@@ -138,8 +155,10 @@ class FLWORExecutor:
             surviving: list[dict] = []
             for env in envs:
                 self.counters.comparisons += 1
-                if self._direct.check_where(flwor.where, env.as_variables()):
-                    surviving.append(env.as_variables())
+                merged = {**base, **env.as_variables()} if base \
+                    else env.as_variables()
+                if self._direct.check_where(flwor.where, merged):
+                    surviving.append(merged)
             surviving = self._direct.order_tuples(flwor.order_by, surviving)
             items: list[Item] = []
             for bindings in surviving:
@@ -148,14 +167,17 @@ class FLWORExecutor:
             span.set(surviving=len(surviving), items=len(items))
         return items
 
-    def execute_twigstack(self, flwor: FLWOR) -> list[Item]:
+    def execute_twigstack(self, flwor: FLWOR,
+                          artifacts: Optional[PatternArtifacts] = None,
+                          ) -> list[Item]:
         """Evaluate a bare-path FLWOR holistically with TwigStack.
 
         Only applicable when the BlossomTree is a single twig and the
         query is the synthetic ``for $#result in path return $#result``
         wrapper (Table 3's TS column runs path queries).
         """
-        tree = build_blossom_tree(flwor)
+        tree = artifacts.tree if artifacts is not None \
+            else build_blossom_tree(flwor)
         if not twig_supported(tree):
             raise CompileError("TwigStack requires a single //-twig pattern")
         if set(tree.var_vertex) != {RESULT_VAR} or flwor.where or flwor.order_by:

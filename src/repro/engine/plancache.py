@@ -1,0 +1,133 @@
+"""LRU plan cache: compiled-query reuse across repeated ``query()`` calls.
+
+The serving-path observation behind prepared queries applies equally to
+ad-hoc traffic: the same query text arriving twice should not be
+re-parsed, re-built and re-optimized.  :class:`PlanCache` memoizes the
+full compile pipeline keyed on
+
+``(normalized query text, strategy, document-statistics fingerprint)``
+
+where *normalized* collapses whitespace (so reformatted copies of one
+query share an entry) and the fingerprint ties a plan to the document
+version whose statistics the optimizer consulted — a structural update
+changes the fingerprint, so stale plans are never even looked up, and
+:meth:`PlanCache.invalidate` additionally drops them eagerly.
+
+Counters (all exported through ``repro.obs``):
+
+=========================================  ==============================
+``repro_plan_cache_hits_total``            lookups served from cache
+``repro_plan_cache_misses_total``          lookups that compiled fresh
+``repro_plan_cache_evictions_total``       LRU evictions at capacity
+``repro_plan_cache_invalidations_total``   entries dropped by
+                                           invalidation (label:
+                                           ``reason``)
+=========================================  ==============================
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro.errors import UsageError
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["PlanCache", "normalize_query_text",
+           "CACHE_HITS", "CACHE_MISSES", "CACHE_EVICTIONS",
+           "CACHE_INVALIDATIONS"]
+
+CACHE_HITS = REGISTRY.counter(
+    "repro_plan_cache_hits_total", "Plan-cache lookups served from cache")
+CACHE_MISSES = REGISTRY.counter(
+    "repro_plan_cache_misses_total", "Plan-cache lookups that compiled fresh")
+CACHE_EVICTIONS = REGISTRY.counter(
+    "repro_plan_cache_evictions_total", "Plans evicted by LRU at capacity")
+CACHE_INVALIDATIONS = REGISTRY.counter(
+    "repro_plan_cache_invalidations_total",
+    "Plans dropped by explicit invalidation")
+
+DEFAULT_CAPACITY = 128
+
+
+def normalize_query_text(text: str) -> str:
+    """Collapse whitespace so trivially reformatted queries share plans."""
+    return " ".join(text.split())
+
+
+class PlanCache:
+    """A thread-safe LRU mapping cache keys to compiled plans.
+
+    The cache stores whatever value object the engine hands it (the
+    session layer uses :class:`~repro.engine.prepared.CachedPlan`); it
+    owns only the replacement policy and the counters.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise UsageError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # Local counters mirror the process-wide metrics so one engine's
+        # cache behaviour is inspectable even with other engines running.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached plan for ``key``, refreshing its recency; None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                CACHE_MISSES.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            CACHE_HITS.inc()
+            return entry
+
+    def put(self, key: Hashable, plan: Any) -> None:
+        """Insert (or refresh) a plan, evicting the LRU entry at capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = plan
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                CACHE_EVICTIONS.inc()
+            self._entries[key] = plan
+
+    def invalidate(self, reason: str = "update") -> int:
+        """Drop every entry; returns how many were dropped.
+
+        ``reason`` labels the invalidation counter (``update`` for
+        document mutations, ``reopen`` for Database open/save
+        round-trips, ``manual`` for explicit clears).
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        if dropped:
+            self.invalidations += dropped
+            CACHE_INVALIDATIONS.inc(dropped, reason=reason)
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        """This cache's counters, for ``explain``-style introspection."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

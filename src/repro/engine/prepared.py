@@ -1,0 +1,143 @@
+"""Prepared queries: the compile-once / execute-many serving path.
+
+``engine.prepare(text)`` runs the full compile pipeline once — parse →
+BlossomTree → NoK decomposition (Algorithm 1) → Dewey assignment →
+strategy choice — and hands back a :class:`PreparedQuery` whose
+``execute(bindings=None)`` replays the compiled plan any number of
+times.  External ``$parameters`` (variables the query references but
+never binds) get their values from ``bindings`` at execution time; the
+compiled plan carries slots for them (residual where-conjuncts), so no
+recompilation happens between executions.
+
+A prepared query pins the document-statistics fingerprint it was
+planned against.  If the document mutates underneath it, the next
+``execute()`` transparently re-plans (through the engine's plan cache)
+instead of running a choice the optimizer would no longer make —
+execution results were never at risk (plans are document-independent),
+but the *strategy* could have gone stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.errors import BindingError
+from repro.engine.compiler import CompiledQuery
+from repro.engine.optimizer import PlanChoice
+from repro.pattern.artifact import PatternArtifacts
+from repro.xmlkit.tree import Node
+from repro.xpath.evaluator import AttrNode
+
+__all__ = ["CachedPlan", "PreparedQuery", "normalize_bindings"]
+
+
+@dataclass
+class CachedPlan:
+    """Everything one execution needs, compiled once.
+
+    This is the plan cache's value type: the compiled query (AST +
+    BlossomTree + parameters), the optimizer's choice, and the reusable
+    pattern artifacts (``None`` when the plan runs outside the
+    BlossomTree pipeline — naive, xhive, or a static query).
+    """
+
+    compiled: CompiledQuery
+    choice: PlanChoice
+    artifacts: Optional[PatternArtifacts]
+    #: The strategy the caller asked for (``auto`` enables the late
+    #: naive fallback; explicit strategies surface CompileError).
+    requested: str
+
+
+def normalize_bindings(parameters: frozenset[str],
+                       bindings: Optional[dict]) -> dict[str, Any]:
+    """Validate and normalize execution-time parameter bindings.
+
+    Every declared parameter must be bound, every binding must name a
+    declared parameter, and every value must live in the XPath value
+    model: a string, a number (int is widened to float), a boolean, a
+    node, or a sequence (list/tuple) of nodes.  Raises
+    :class:`~repro.errors.BindingError` otherwise.
+    """
+    supplied = dict(bindings or {})
+    missing = sorted(parameters - supplied.keys())
+    if missing:
+        names = ", ".join(f"${name}" for name in missing)
+        raise BindingError(f"missing binding for external parameter {names}")
+    unknown = sorted(supplied.keys() - parameters)
+    if unknown:
+        names = ", ".join(f"${name}" for name in unknown)
+        raise BindingError(f"binding for unknown parameter {names} "
+                           "(the query never references it)")
+    normalized: dict[str, Any] = {}
+    for name, value in supplied.items():
+        normalized[name] = _normalize_value(name, value)
+    return normalized
+
+
+def _normalize_value(name: str, value: Any) -> Any:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (Node, AttrNode)):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        items = list(value)
+        for item in items:
+            if not isinstance(item, (Node, AttrNode)):
+                raise BindingError(
+                    f"binding ${name}: sequences may only contain nodes, "
+                    f"got {type(item).__name__}")
+        return items
+    raise BindingError(
+        f"binding ${name}: {type(value).__name__} is outside the XPath "
+        "value model (expected str, number, bool, node or node sequence)")
+
+
+class PreparedQuery:
+    """A query compiled once, executable many times.
+
+    Obtained from :meth:`Engine.prepare` / :meth:`Database.prepare`;
+    not constructed directly.
+    """
+
+    def __init__(self, engine, source: str, strategy: str,
+                 plan: CachedPlan, fingerprint: tuple) -> None:
+        self._engine = engine
+        self.source = source
+        self.strategy = strategy
+        self._plan = plan
+        self._fingerprint = fingerprint
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        """The external ``$parameters`` execute() must bind."""
+        return self._plan.compiled.parameters
+
+    @property
+    def plan_description(self) -> str:
+        """The optimizer's current choice, for introspection."""
+        return str(self._plan.choice)
+
+    def execute(self, bindings: Optional[dict] = None,
+                counters=None, work_budget: Optional[int] = None,
+                trace: bool = False, tracer=None):
+        """Run the prepared plan; see :meth:`Engine.query` for the
+        tracing/budget knobs.  ``bindings`` maps parameter names
+        (without ``$``) to values."""
+        return self._engine._execute_prepared(
+            self, bindings=bindings, counters=counters,
+            work_budget=work_budget, trace=trace, tracer=tracer)
+
+    def explain(self) -> str:
+        """Describe the plan this prepared query runs."""
+        return self._engine.explain(self.source, strategy=self.strategy)
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"${p}" for p in sorted(self.parameters))
+        return (f"PreparedQuery({self.source!r}, strategy={self.strategy!r}"
+                + (f", parameters=[{params}]" if params else "") + ")")

@@ -8,6 +8,22 @@ Typical use::
     result = engine.query('//book[author]/title')
     print(result.pretty())
 
+Repeated traffic is served without recompilation two ways:
+
+* transparently — every ``query(text)`` goes through an LRU plan cache
+  keyed on (normalized text, strategy, document-statistics
+  fingerprint), so the second arrival of the same query skips parse,
+  BlossomTree construction, NoK decomposition and the optimizer;
+* explicitly — ``prepare(text)`` returns a
+  :class:`~repro.engine.prepared.PreparedQuery` that pins the compiled
+  plan and executes it many times, with external ``$parameter``
+  bindings substituted per call.
+
+Document mutations (via :meth:`Database.updater`, or any caller of
+:meth:`Engine.notify_update`) invalidate the cache; a changed
+statistics fingerprint also keys stale plans out even without explicit
+invalidation.
+
 ``Engine.query`` accepts bare path expressions, FLWOR expressions, and
 constructor-wrapped FLWORs; ``strategy`` selects the physical plan:
 
@@ -34,9 +50,10 @@ from __future__ import annotations
 import time
 from typing import Optional, Union
 
-from repro.errors import CompileError, DNFError
+from repro.errors import CompileError, DNFError, UsageError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import NULL_TRACER, QueryTrace, Tracer
+from repro.pattern.artifact import prepare_artifacts
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import ScanCounters
@@ -46,6 +63,12 @@ from repro.engine.compiler import CompiledQuery, compile_query
 from repro.engine.construct import DirectEvaluator
 from repro.engine.executor import FLWORExecutor
 from repro.engine.optimizer import PlanChoice, choose_strategy
+from repro.engine.plancache import PlanCache, normalize_query_text
+from repro.engine.prepared import (
+    CachedPlan,
+    PreparedQuery,
+    normalize_bindings,
+)
 from repro.engine.result import Item, QueryResult
 
 __all__ = ["Engine"]
@@ -101,7 +124,8 @@ class Engine:
 
     def __init__(self, doc: Document,
                  documents: Optional[dict[str, Document]] = None,
-                 work_budget: Optional[int] = None) -> None:
+                 work_budget: Optional[int] = None,
+                 plan_cache_capacity: int = 128) -> None:
         self.doc = doc
         self.documents = dict(documents or {})
         self.work_budget = work_budget
@@ -113,6 +137,13 @@ class Engine:
         #: diagnosable).
         self.last_trace: Optional[QueryTrace] = None
         self._last_strategy: str = "?"
+        #: LRU of compiled plans; keys include the statistics
+        #: fingerprint, so a mutated document never matches old entries.
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        #: Monotonic mutation counter; part of the fingerprint so two
+        #: document versions never alias even if their summary
+        #: statistics happen to coincide.
+        self._doc_version = 0
 
     # ------------------------------------------------------------------
     # Public API.
@@ -130,6 +161,64 @@ class Engine:
         per NoK scan and per inter-NoK join) and attaches it to the
         result as ``result.trace`` (also kept as ``self.last_trace``).
         ``tracer`` supplies an external tracer instead.
+
+        Plans are served from :attr:`plan_cache` when an identical
+        (normalized) query was compiled before against the same
+        document version; the ``query`` span's ``plan-cache`` attribute
+        says whether this call ``hit``, ``miss``-ed, or ``bypass``-ed
+        the cache (pre-parsed expressions are never cached).
+        """
+        return self._shell(
+            lambda tr: self._plan_for(text, strategy, tr),
+            text, strategy, counters, work_budget, trace, tracer)
+
+    def prepare(self, text: Union[str, QueryExpr],
+                strategy: str = "auto") -> PreparedQuery:
+        """Compile ``text`` once for repeated execution.
+
+        The full pipeline (parse → BlossomTree → NoK decomposition →
+        Dewey assignment → strategy choice) runs now; the returned
+        :class:`~repro.engine.prepared.PreparedQuery` replays the plan
+        on every ``execute(bindings=...)``.  Free ``$variables`` in the
+        query become external parameters that ``execute`` must bind.
+        """
+        plan, _status = self._plan_for(text, strategy, NULL_TRACER)
+        return PreparedQuery(self, text, strategy, plan,
+                             self.stats_fingerprint())
+
+    def notify_update(self, report: object = None) -> None:
+        """Invalidate derived state after a document mutation.
+
+        :meth:`Database.updater` wires this into the
+        :class:`~repro.xmlkit.update.DocumentUpdater` listener hook;
+        call it directly when mutating the document through other
+        means.  Drops cached statistics and every cached plan, and
+        bumps the document version so fingerprints of old plans can
+        never match again.
+        """
+        self._doc_version += 1
+        self._stats = None
+        self.index.invalidate()
+        self.plan_cache.invalidate("update")
+
+    def stats_fingerprint(self) -> tuple:
+        """The plan-cache key component tied to the document state."""
+        return (self._doc_version,) + self.stats.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Serving shell (shared by query() and PreparedQuery.execute()).
+    # ------------------------------------------------------------------
+
+    def _shell(self, plan_source, source, strategy: str,
+               counters: Optional[ScanCounters],
+               work_budget: Optional[int], trace: bool,
+               tracer: Optional[Tracer],
+               bindings: Optional[dict] = None) -> QueryResult:
+        """Counters/budget/tracing/metrics shell around one execution.
+
+        ``plan_source(tracer) -> (CachedPlan, cache_status)`` supplies
+        the plan — from the cache, a fresh compile, or a prepared
+        query's pinned plan.
         """
         counters = counters if counters is not None else ScanCounters()
         budget = work_budget if work_budget is not None else self.work_budget
@@ -145,10 +234,13 @@ class Engine:
         started = time.perf_counter_ns()
         try:
             with tracer.span("query", strategy=strategy) as qspan:
-                if isinstance(text, str):
-                    qspan.set(source=" ".join(text.split())[:160])
+                if isinstance(source, str):
+                    qspan.set(source=" ".join(source.split())[:160])
+                plan, cache_status = plan_source(tracer)
+                qspan.set(**{"plan-cache": cache_status})
                 try:
-                    result = self._run(text, strategy, counters, budget, tracer)
+                    result = self._execute_plan(plan, counters, budget,
+                                                tracer, bindings)
                 except DNFError as exc:
                     qspan.set(budget_tripped=True, budget=exc.budget,
                               nodes_scanned=counters.nodes_scanned)
@@ -164,30 +256,92 @@ class Engine:
         result.counters = counters
         return result
 
-    def _run(self, text: Union[str, QueryExpr], strategy: str,
-             counters: ScanCounters, budget: Optional[int],
-             tracer) -> QueryResult:
-        """The planning/execution pipeline behind :meth:`query`."""
+    def _execute_prepared(self, prepared: PreparedQuery,
+                          bindings: Optional[dict],
+                          counters: Optional[ScanCounters],
+                          work_budget: Optional[int], trace: bool,
+                          tracer: Optional[Tracer]) -> QueryResult:
+        """Run a prepared query, re-planning only if the document moved."""
+        def plan_source(tr):
+            fingerprint = self.stats_fingerprint()
+            if prepared._fingerprint == fingerprint:
+                return prepared._plan, "prepared"
+            # The document mutated since prepare(): the pinned plan is
+            # still *correct* (plans are document-independent) but its
+            # strategy choice may be stale — re-plan through the cache.
+            plan, status = self._plan_for(prepared.source,
+                                          prepared.strategy, tr)
+            prepared._plan = plan
+            prepared._fingerprint = fingerprint
+            return plan, f"prepared-{status}"
+
+        return self._shell(plan_source, prepared.source, prepared.strategy,
+                           counters, work_budget, trace, tracer,
+                           bindings=bindings)
+
+    # ------------------------------------------------------------------
+    # Planning.
+    # ------------------------------------------------------------------
+
+    def _plan_for(self, text: Union[str, QueryExpr], strategy: str,
+                  tracer) -> tuple[CachedPlan, str]:
+        """Get a plan from the cache or compile one; returns
+        ``(plan, "hit" | "miss" | "bypass")``."""
+        if not isinstance(text, str):
+            return self._build_plan(text, strategy, tracer), "bypass"
+        key = (normalize_query_text(text), strategy,
+               self.stats_fingerprint())
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            return plan, "hit"
+        plan = self._build_plan(text, strategy, tracer)
+        self.plan_cache.put(key, plan)
+        return plan, "miss"
+
+    def _build_plan(self, text: Union[str, QueryExpr], strategy: str,
+                    tracer) -> CachedPlan:
+        """The full compile pipeline: parse → analyze → BlossomTree →
+        strategy choice → reusable pattern artifacts."""
         compiled = compile_query(text, tracer=tracer)
         if compiled.flwor is not None and not compiled.is_bare_path:
             from repro.xquery.semantics import analyze
 
-            analyze(compiled.flwor).raise_errors()
+            analyze(compiled.flwor,
+                    external=compiled.parameters).raise_errors(compiled.source)
         choice = self._resolve_strategy(compiled, strategy, tracer)
+        artifacts = None
+        if compiled.tree is not None \
+                and choice.strategy not in ("naive", "xhive"):
+            with tracer.span("prepare-artifacts") as span:
+                artifacts = prepare_artifacts(compiled.tree)
+                span.set(noks=len(artifacts.decomposition.noks))
+        return CachedPlan(compiled, choice, artifacts, strategy)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def _execute_plan(self, plan: CachedPlan, counters: ScanCounters,
+                      budget: Optional[int], tracer,
+                      bindings: Optional[dict]) -> QueryResult:
+        """Run one compiled plan (the execution half of the pipeline)."""
+        compiled, choice = plan.compiled, plan.choice
         self.last_plan = str(choice)
         self._last_strategy = choice.strategy
+        values = normalize_bindings(compiled.parameters, bindings)
 
         if choice.strategy == "naive":
             with tracer.span("execute", plan="naive"):
                 evaluator = DirectEvaluator(self.doc, self._resolve_doc,
                                             work_budget=budget)
-                return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
+                return QueryResult(
+                    evaluator.eval_query_expr(compiled.query, dict(values)))
         if choice.strategy == "xhive":
             from repro.baseline.xhive import XHiveSimulator
 
             with tracer.span("execute", plan="xhive"):
                 simulator = XHiveSimulator(self.doc, self._resolve_doc, counters)
-                return simulator.run(compiled.query)
+                return simulator.run(compiled.query, values)
 
         assert compiled.flwor is not None and compiled.tree is not None
         executor = FLWORExecutor(
@@ -200,11 +354,13 @@ class Engine:
         try:
             with tracer.span("execute", plan=choice.strategy):
                 if choice.strategy == "twigstack":
-                    items = executor.execute_twigstack(compiled.flwor)
+                    items = executor.execute_twigstack(compiled.flwor,
+                                                       plan.artifacts)
                 else:
-                    items = executor.execute(compiled.flwor)
+                    items = executor.execute(compiled.flwor, plan.artifacts,
+                                             values)
         except CompileError:
-            if strategy != "auto":
+            if plan.requested != "auto":
                 raise
             # Late compile failure under auto: fall back to direct
             # evaluation rather than surfacing an internal limitation.
@@ -213,7 +369,8 @@ class Engine:
                                             work_budget=budget)
                 self.last_plan = "naive (late fallback)"
                 self._last_strategy = "naive"
-                return QueryResult(evaluator.eval_query_expr(compiled.query, {}))
+                return QueryResult(
+                    evaluator.eval_query_expr(compiled.query, dict(values)))
         self.last_plan = str(choice) + "; " + "; ".join(executor.plan_notes)
 
         if compiled.query is compiled.flwor:
@@ -221,7 +378,8 @@ class Engine:
         with tracer.span("construct-wrapper"):
             wrapper = _SubstitutingEvaluator(self.doc, self._resolve_doc,
                                              compiled.flwor, items)
-            return QueryResult(wrapper.eval_query_expr(compiled.query, {}))
+            return QueryResult(
+                wrapper.eval_query_expr(compiled.query, dict(values)))
 
     def _publish_metrics(self, counters: ScanCounters,
                          before: dict[str, int], elapsed_ms: float) -> None:
@@ -399,7 +557,7 @@ class Engine:
                     f"{strategy} strategy unavailable: "
                     f"{compiled.compile_error or 'no FLWOR core'}")
             return PlanChoice(strategy, "explicitly requested")
-        raise ValueError(f"unknown strategy {strategy!r}")
+        raise UsageError(f"unknown strategy {strategy!r}")
 
     def _cost_based_choice(self, compiled: CompiledQuery) -> PlanChoice:
         """Pick by the Section-6 cost model (expected nodes touched)."""

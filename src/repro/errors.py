@@ -5,6 +5,10 @@ callers can catch a single type at the API boundary.  More specific
 subclasses identify the failing layer (XML parsing, query parsing,
 compilation, execution), which keeps error handling explicit without
 forcing callers to know internal module structure.
+
+Parse- and compile-time errors carry the offending query text and
+position when the raising layer knows them, so API users can render a
+caret without re-threading context through every call site.
 """
 
 from __future__ import annotations
@@ -49,9 +53,46 @@ class StaticError(ReproError):
     no pattern tree.
     """
 
+    def __init__(self, message: str, query: str = ""):
+        self.query = query
+        if query:
+            message = f"{message}\n  in query: {query}"
+        super().__init__(message)
+
+
+class BindingError(StaticError):
+    """Raised when a query's external ``$parameters`` and the bindings
+    supplied at execution time do not line up (missing parameter, or a
+    binding value outside the XPath value model)."""
+
 
 class CompileError(ReproError):
-    """Raised when a BlossomTree cannot be translated to a physical plan."""
+    """Raised when a BlossomTree cannot be translated to a physical plan.
+
+    ``query`` and ``position`` are filled in when the compiling layer
+    knows them (the pattern builder itself sees only ASTs).
+    """
+
+    def __init__(self, message: str, query: str = "", position: int = -1):
+        self.query = query
+        self.position = position
+        if query:
+            message = f"{message}\n  in query: {query}"
+        super().__init__(message)
+
+
+class UsageError(ReproError, ValueError):
+    """Raised for invalid arguments to the public API (unknown strategy
+    or join-algorithm names, bad cache capacity, ...).
+
+    Also a :class:`ValueError`, because these are argument errors first
+    and foremost — ``except ReproError`` and ``except ValueError`` both
+    work at the boundary.
+    """
+
+
+class UpdateError(ReproError):
+    """Raised for structurally invalid document-update requests."""
 
 
 class ExecutionError(ReproError):

@@ -32,7 +32,16 @@ name                                           type       labels
 ``repro_budget_trips_total``                   counter    —
 ``repro_dnf_total``                            counter    ``strategy``
 ``repro_slow_queries_total``                   counter    —
+``repro_plan_cache_hits_total``                counter    —
+``repro_plan_cache_misses_total``              counter    —
+``repro_plan_cache_evictions_total``           counter    —
+``repro_plan_cache_invalidations_total``       counter    ``reason``
 =============================================  =========  ==============================
+
+The plan-cache family is registered by :mod:`repro.engine.plancache`
+(imported with the engine), and the ``query`` span carries a
+``plan-cache`` attribute (``hit`` / ``miss`` / ``bypass`` /
+``prepared``) tying individual traces to the counters.
 """
 
 from __future__ import annotations
@@ -50,6 +59,8 @@ DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
 
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
+    if not labels:          # unlabeled metrics dominate the hot path
+        return ()
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 

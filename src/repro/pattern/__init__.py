@@ -8,6 +8,7 @@ from repro.pattern.blossom import (
     CrossingEdge,
     TreeEdge,
 )
+from repro.pattern.artifact import PatternArtifacts, prepare_artifacts
 from repro.pattern.build import build_blossom_tree, build_from_path, path_as_flwor
 from repro.pattern.decompose import Decomposition, InterEdge, NoKTree, decompose
 from repro.pattern.dewey import DeweyAssignment, assign_dewey
@@ -22,10 +23,12 @@ __all__ = [
     "DeweyAssignment",
     "InterEdge",
     "NoKTree",
+    "PatternArtifacts",
     "TreeEdge",
     "assign_dewey",
     "build_blossom_tree",
     "build_from_path",
     "decompose",
     "path_as_flwor",
+    "prepare_artifacts",
 ]

@@ -1,0 +1,40 @@
+"""Reusable pattern-compilation artifacts.
+
+Building a BlossomTree, decomposing it into NoK pattern trees
+(Algorithm 1) and assigning Dewey IDs are pure functions of the query —
+no document is consulted — so their outputs can be computed once at
+``prepare()`` time and replayed across executions.  This module bundles
+them into one value object, :class:`PatternArtifacts`, which the plan
+cache stores and the executor accepts in place of rebuilding.
+
+Reuse safety: the executor's match phase only *reads* the pattern tree
+(``select`` filters produce copies, merged scans allocate fresh entry
+lists per run), so one ``PatternArtifacts`` instance can back any
+number of concurrent or sequential executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pattern.blossom import BlossomTree
+from repro.pattern.decompose import Decomposition, decompose
+from repro.pattern.dewey import DeweyAssignment, assign_dewey
+
+__all__ = ["PatternArtifacts", "prepare_artifacts"]
+
+
+@dataclass(frozen=True)
+class PatternArtifacts:
+    """Everything the pattern layer derives from one query."""
+
+    tree: BlossomTree
+    decomposition: Decomposition
+    dewey: DeweyAssignment
+
+
+def prepare_artifacts(tree: BlossomTree) -> PatternArtifacts:
+    """Run decomposition and Dewey assignment once, for replay."""
+    return PatternArtifacts(tree=tree,
+                            decomposition=decompose(tree),
+                            dewey=assign_dewey(tree))

@@ -79,14 +79,24 @@ def build_from_path(path: LocationPath) -> BlossomTree:
     return build_blossom_tree(path_as_flwor(path))
 
 
-def build_blossom_tree(flwor: FLWOR) -> BlossomTree:
+def build_blossom_tree(flwor: FLWOR,
+                       external: frozenset[str] = frozenset()) -> BlossomTree:
     """Translate a FLWOR expression into a BlossomTree.
+
+    ``external`` names the query's external ``$parameters`` (values
+    supplied at execution time, unknown at compile time).  Where-clause
+    conjuncts that mention them cannot become crossing edges or pruning
+    chains — their values do not exist yet — so they are routed to
+    ``residual_where``, which the executor re-verifies per tuple with
+    the actual bindings merged in.  A *clause* rooted at an external
+    parameter has no pattern-tree anchor at all and raises
+    :class:`~repro.errors.CompileError` (navigational fallback).
 
     Raises :class:`~repro.errors.CompileError` when the expression uses
     constructs outside the pattern-matching subset (the engine catches
     this and falls back to navigational evaluation).
     """
-    builder = _Builder()
+    builder = _Builder(external)
     for clause in flwor.clauses:
         if isinstance(clause, ForClause):
             builder.add_clause_path(clause.var, clause.source, "for")
@@ -100,8 +110,9 @@ def build_blossom_tree(flwor: FLWOR) -> BlossomTree:
 
 
 class _Builder:
-    def __init__(self) -> None:
+    def __init__(self, external: frozenset[str] = frozenset()) -> None:
         self.tree = BlossomTree()
+        self._external = external
         #: document uri -> its #root vertex (shared so all absolute paths
         #: over one document form a single interconnected pattern tree,
         #: enabling the merged-scan optimization of Section 4.2).
@@ -128,6 +139,11 @@ class _Builder:
         if isinstance(root, RootVariable):
             vertex = self.tree.var_vertex.get(root.name)
             if vertex is None:
+                if root.name in self._external:
+                    raise CompileError(
+                        f"clause rooted at external parameter ${root.name} "
+                        "has no pattern-tree anchor (navigational fallback "
+                        "required)")
                 raise CompileError(f"path references unbound variable ${root.name}")
             return vertex
         assert isinstance(root, RootContext)
@@ -319,6 +335,8 @@ class _Builder:
             return None
         anchor = self.tree.var_vertex.get(expr.root.name)
         if anchor is None:
+            if expr.root.name in self._external:
+                return None    # value unknown until execute(): residual
             raise CompileError(f"where references unbound variable ${expr.root.name}")
         if not expr.steps:
             return anchor
@@ -339,6 +357,8 @@ class _Builder:
             return False
         anchor = self.tree.var_vertex.get(path.root.name)
         if anchor is None:
+            if path.root.name in self._external:
+                return False   # value unknown until execute(): residual
             raise CompileError(f"where references unbound variable ${path.root.name}")
         if anchor.var_kinds.get(path.root.name) != "for":
             return False  # pruning a let-bound sequence would change it

@@ -71,15 +71,30 @@ def merged_scan(noks: list[NoKTree], doc: Document,
         else:
             scannable.append(nok)
 
+    # Dispatch table: plain-name roots are looked up by the scanned
+    # node's tag instead of testing every NoK against every node;
+    # wildcard roots must still see each element.  Same matches, same
+    # counters (the tag test never touched ScanCounters), fewer inner
+    # loop iterations — this scan runs once per warm-path execution.
+    by_tag: dict[str, list[NoKTree]] = {}
+    wildcard: list[NoKTree] = []
+    for nok in scannable:
+        if nok.root.name == "*":
+            wildcard.append(nok)
+        else:
+            by_tag.setdefault(nok.root.name, []).append(nok)
+
     try:
         if scannable:
             scan = SequentialScan(doc, counters)
             for node in scan:
-                for nok in scannable:
-                    root = nok.root
-                    if not root.matches_tag(node.tag):
-                        continue
-                    entry = match_subtree(root, node, counters_for(nok),
+                named = by_tag.get(node.tag)
+                candidates = (named + wildcard if named and wildcard
+                              else named or wildcard)
+                if not candidates:
+                    continue
+                for nok in candidates:
+                    entry = match_subtree(nok.root, node, counters_for(nok),
                                           evaluator)
                     if entry is not None:
                         results[nok.nok_id].append(entry)

@@ -43,6 +43,18 @@ class DocumentStats:
         """Mean subtree size of a tag (whole document for unknown tags)."""
         return self.tag_subtree_avg.get(tag, float(max(1, self.n_nodes)))
 
+    def fingerprint(self) -> tuple[int, int, int, int, int]:
+        """A cheap structural summary for plan-cache keys.
+
+        Two documents (or two versions of one document) with different
+        fingerprints never share cached plans; the optimizer's decisions
+        depend exactly on these quantities, so matching fingerprints
+        mean the cached :class:`~repro.engine.optimizer.PlanChoice` is
+        still the choice the optimizer would make today.
+        """
+        return (self.n_nodes, self.n_elements, self.n_distinct_tags,
+                self.max_depth, self.recursion_degree)
+
     def table1_row(self, name: str) -> dict[str, object]:
         """Render this summary in the shape of a Table 1 row."""
         return {

@@ -27,17 +27,13 @@ while navigational evaluation needs no maintenance at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.errors import ReproError
+from repro.errors import UpdateError
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.tree import DOCUMENT, ELEMENT, TEXT, Document, Node
 
-__all__ = ["UpdateReport", "DocumentUpdater"]
-
-
-class UpdateError(ReproError):
-    """Raised for structurally invalid update requests."""
+__all__ = ["UpdateReport", "DocumentUpdater", "UpdateError"]
 
 
 @dataclass
@@ -64,10 +60,21 @@ class DocumentUpdater:
     def __init__(self, doc: Document) -> None:
         self.doc = doc
         self._indexes: list[TagIndex] = []
+        self._listeners: list[Callable[[UpdateReport], None]] = []
 
     def register_index(self, index: TagIndex) -> None:
         """Track an index that must be invalidated on updates."""
         self._indexes.append(index)
+
+    def register_listener(self, callback: Callable[[UpdateReport], None]) -> None:
+        """Register a callback fired after every structural update.
+
+        The engine layer uses this to invalidate derived state that the
+        updater cannot know about (cached document statistics, the plan
+        cache); the callback receives the operation's
+        :class:`UpdateReport`.
+        """
+        self._listeners.append(callback)
 
     # ------------------------------------------------------------------
     # Operations.
@@ -158,6 +165,8 @@ class DocumentUpdater:
         for index in self._indexes:
             index.invalidate()
             report.indexes_invalidated += 1
+        for listener in self._listeners:
+            listener(report)
 
 
 def _copy_detached(source: Node) -> Node:

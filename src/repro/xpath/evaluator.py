@@ -134,6 +134,13 @@ class XPathEvaluator:
     def evaluate(self, expr: Expr, context: EvalContext) -> Value:
         """Evaluate any expression to its value."""
         if isinstance(expr, LocationPath):
+            # A bare ``$v`` bound to an atomic (string/number/boolean —
+            # e.g. an external query parameter) is the atomic itself;
+            # only step application requires a node sequence.
+            if not expr.steps and isinstance(expr.root, RootVariable):
+                value = context.variables.get(expr.root.name)
+                if value is not None and not isinstance(value, list):
+                    return value
             return self.evaluate_path(expr, context)
         if isinstance(expr, Literal):
             return expr.value

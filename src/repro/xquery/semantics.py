@@ -44,7 +44,7 @@ from repro.xquery.ast import (
     TextItem,
 )
 
-__all__ = ["StaticReport", "Correlation", "analyze"]
+__all__ = ["StaticReport", "Correlation", "analyze", "free_variables"]
 
 
 @dataclass(frozen=True)
@@ -74,35 +74,57 @@ class StaticReport:
     def ok(self) -> bool:
         return not self.errors
 
-    def raise_errors(self) -> None:
+    def raise_errors(self, query: str = "") -> None:
         if self.errors:
-            raise StaticError("; ".join(self.errors))
+            raise StaticError("; ".join(self.errors), query=query)
 
 
-def analyze(flwor: FLWOR) -> StaticReport:
-    """Statically analyze a FLWOR expression."""
+def analyze(flwor: FLWOR,
+            external: frozenset[str] = frozenset()) -> StaticReport:
+    """Statically analyze a FLWOR expression.
+
+    ``external`` names variables bound outside the query — the external
+    ``$parameters`` of a prepared query.  References to them are legal
+    everywhere a bound variable is; everything else about the analysis
+    (duplicate bindings, correlations) is unchanged.
+    """
     report = StaticReport()
     bound: list[str] = []
     used: set[str] = set()
 
     for clause in flwor.clauses:
-        _check_expr(clause.source, bound, used, report)
+        _check_expr(clause.source, bound, used, report, external)
         if clause.var in bound:
             report.errors.append(f"variable ${clause.var} bound twice")
         else:
             bound.append(clause.var)
 
     if flwor.where is not None:
-        _check_expr(flwor.where, bound, used, report)
+        _check_expr(flwor.where, bound, used, report, external)
         for conjunct in _conjuncts(flwor.where):
             report.correlations.append(_classify(conjunct))
     for spec in flwor.order_by:
-        _check_expr(spec.key, bound, used, report)
-    _check_query_expr(flwor.return_expr, bound, used, report)
+        _check_expr(spec.key, bound, used, report, external)
+    _check_query_expr(flwor.return_expr, bound, used, report, external)
 
     report.bound_variables = list(bound)
     report.unused_variables = [v for v in bound if v not in used]
     return report
+
+
+def free_variables(expr: QueryExpr) -> frozenset[str]:
+    """All variables an expression references but does not bind.
+
+    These are a query's external ``$parameters``: the names a caller
+    must supply bindings for at execution time.  FLWOR clauses and
+    quantifiers bind their own variables; everything else just refers.
+    """
+    report = StaticReport()
+    used: set[str] = set()
+    _check_query_expr(expr, [], used, report, frozenset())
+    prefix = "reference to unbound variable $"
+    return frozenset(e[len(prefix):] for e in report.errors
+                     if e.startswith(prefix))
 
 
 # ----------------------------------------------------------------------
@@ -110,20 +132,21 @@ def analyze(flwor: FLWOR) -> StaticReport:
 # ----------------------------------------------------------------------
 
 def _check_query_expr(expr: QueryExpr, bound: list[str], used: set[str],
-                      report: StaticReport) -> None:
+                      report: StaticReport,
+                      external: frozenset[str] = frozenset()) -> None:
     if isinstance(expr, FLWOR):
         inner_bound = list(bound)
         for clause in expr.clauses:
-            _check_expr(clause.source, inner_bound, used, report)
+            _check_expr(clause.source, inner_bound, used, report, external)
             if clause.var in inner_bound:
                 report.errors.append(f"variable ${clause.var} bound twice")
             else:
                 inner_bound.append(clause.var)
         if expr.where is not None:
-            _check_expr(expr.where, inner_bound, used, report)
+            _check_expr(expr.where, inner_bound, used, report, external)
         for spec in expr.order_by:
-            _check_expr(spec.key, inner_bound, used, report)
-        _check_query_expr(expr.return_expr, inner_bound, used, report)
+            _check_expr(spec.key, inner_bound, used, report, external)
+        _check_query_expr(expr.return_expr, inner_bound, used, report, external)
         return
     if isinstance(expr, ElementConstructor):
         for item in expr.content:
@@ -131,52 +154,53 @@ def _check_query_expr(expr: QueryExpr, bound: list[str], used: set[str],
                 continue
             if isinstance(item, Enclosed):
                 for sub in item.exprs:
-                    _check_query_expr(sub, bound, used, report)
+                    _check_query_expr(sub, bound, used, report, external)
             else:
-                _check_query_expr(item, bound, used, report)
+                _check_query_expr(item, bound, used, report, external)
         return
     if isinstance(expr, Sequence):
         for sub in expr.exprs:
-            _check_query_expr(sub, bound, used, report)
+            _check_query_expr(sub, bound, used, report, external)
         return
-    _check_expr(expr, bound, used, report)
+    _check_expr(expr, bound, used, report, external)
 
 
 def _check_expr(expr: Expr, bound: list[str], used: set[str],
-                report: StaticReport) -> None:
+                report: StaticReport,
+                external: frozenset[str] = frozenset()) -> None:
     if isinstance(expr, LocationPath):
         if isinstance(expr.root, RootVariable):
             name = expr.root.name
             used.add(name)
-            if name not in bound:
+            if name not in bound and name not in external:
                 report.errors.append(f"reference to unbound variable ${name}")
         for step in expr.steps:
             for predicate in step.predicates:
-                _check_expr(predicate, bound, used, report)
+                _check_expr(predicate, bound, used, report, external)
         return
     if isinstance(expr, (Comparison, Arithmetic)):
-        _check_expr(expr.left, bound, used, report)
-        _check_expr(expr.right, bound, used, report)
+        _check_expr(expr.left, bound, used, report, external)
+        _check_expr(expr.right, bound, used, report, external)
         return
     if isinstance(expr, (BooleanExpr,)):
         for operand in expr.operands:
-            _check_expr(operand, bound, used, report)
+            _check_expr(operand, bound, used, report, external)
         return
     if isinstance(expr, NotExpr):
-        _check_expr(expr.operand, bound, used, report)
+        _check_expr(expr.operand, bound, used, report, external)
         return
     if isinstance(expr, FunctionCall):
         for arg in expr.args:
-            _check_expr(arg, bound, used, report)
+            _check_expr(arg, bound, used, report, external)
         return
     if isinstance(expr, Quantified):
-        _check_expr(expr.source, bound, used, report)
+        _check_expr(expr.source, bound, used, report, external)
         inner = bound + [expr.var]
-        _check_expr(expr.satisfies, inner, used, report)
+        _check_expr(expr.satisfies, inner, used, report, external)
         return
     if isinstance(expr, Conditional):
         for sub in (expr.condition, expr.then_branch, expr.else_branch):
-            _check_expr(sub, bound, used, report)
+            _check_expr(sub, bound, used, report, external)
         return
     # literals: nothing to check
 
