@@ -1,0 +1,155 @@
+"""CLI: lint compiled query plans.
+
+Usage::
+
+    python -m repro.analysis query.xq [more.xq ...]
+    python -m repro.analysis --examples --workloads
+    python -m repro.analysis --examples --json report.json
+    python -m repro.analysis --rules
+
+Each query is compiled (parse → BlossomTree → NoK decomposition →
+Dewey assignment) and every analyzer pass runs over the artifacts.
+Findings print lint style (``source:RULE: severity: message``); the
+process exits non-zero when any error-severity finding fired, so the
+command slots directly into CI.  Queries outside the pattern-matching
+subset compile to no artifacts and are reported as skipped — that is
+the engine's navigational fallback, not a defect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.analyzer import analyze_artifacts
+from repro.analysis.corpus import EXAMPLE_QUERIES
+from repro.analysis.passes import ast_pass
+from repro.analysis.report import AnalysisReport
+from repro.analysis.rules import rule_table
+from repro.errors import QuerySyntaxError
+
+__all__ = ["main", "analyze_query_text"]
+
+
+def analyze_query_text(text: str,
+                       source: str = "<query>") -> AnalysisReport | None:
+    """Compile one query and analyze its artifacts.
+
+    Returns ``None`` when the query falls outside the pattern-matching
+    subset (navigational fallback: nothing to verify).  Raises
+    :class:`~repro.errors.QuerySyntaxError` for unparseable input.
+    """
+    from repro.engine.compiler import compile_query
+    from repro.pattern.artifact import prepare_artifacts
+
+    compiled = compile_query(text)
+    if compiled.tree is None:
+        return None
+    report = AnalysisReport(source=source)
+    if compiled.flwor is not None:
+        ast_pass(compiled.flwor, report, external=compiled.parameters)
+    report.extend(analyze_artifacts(prepare_artifacts(compiled.tree),
+                                    source=source))
+    return report
+
+
+def _workload_queries() -> dict[str, str]:
+    from repro.datagen.workload import DATASETS
+
+    queries: dict[str, str] = {}
+    for name, dataset in DATASETS.items():
+        for spec in dataset.queries:
+            queries[f"{name}:{spec.qid}"] = spec.text
+    return queries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant analysis of compiled query plans.")
+    parser.add_argument("files", nargs="*", metavar="QUERY_FILE",
+                        help="files containing one query each")
+    parser.add_argument("--examples", action="store_true",
+                        help="analyze the built-in examples corpus")
+    parser.add_argument("--workloads", action="store_true",
+                        help="analyze the datagen benchmark workloads (d1-d5)")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write a machine-readable JSON report")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print findings and the final summary")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        print(rule_table())
+        return 0
+    if not (args.files or args.examples or args.workloads):
+        parser.error("nothing to analyze: pass query files, --examples "
+                     "and/or --workloads")
+
+    queries: dict[str, str] = {}
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                queries[path] = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.examples:
+        queries.update(EXAMPLE_QUERIES)
+    if args.workloads:
+        queries.update(_workload_queries())
+
+    reports: list[AnalysisReport] = []
+    skipped: dict[str, str] = {}
+    parse_failures = 0
+    for source, text in queries.items():
+        try:
+            report = analyze_query_text(text, source=source)
+        except QuerySyntaxError as exc:
+            parse_failures += 1
+            print(f"{source}: parse error: {exc}", file=sys.stderr)
+            continue
+        if report is None:
+            skipped[source] = "navigational fallback (no pattern artifacts)"
+            if not args.quiet:
+                print(f"{source}: skipped (outside the pattern-matching "
+                      "subset)")
+            continue
+        reports.append(report)
+        for finding in report.findings:
+            print(finding.format(source))
+        if not args.quiet and report.clean:
+            print(f"{source}: ok ({', '.join(report.passes_run)})")
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    print(f"analyzed {len(reports)} quer{'y' if len(reports) == 1 else 'ies'}"
+          f" ({len(skipped)} skipped): {errors} error(s), "
+          f"{warnings} warning(s)")
+
+    if args.json:
+        payload = {
+            "tool": "repro.analysis",
+            "queries_analyzed": len(reports),
+            "queries_skipped": len(skipped),
+            "parse_failures": parse_failures,
+            "errors": errors,
+            "warnings": warnings,
+            "skipped": skipped,
+            "reports": [report.to_dict() for report in reports],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        if not args.quiet:
+            print(f"wrote JSON report to {args.json}")
+
+    if parse_failures:
+        return 2
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

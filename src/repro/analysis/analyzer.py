@@ -1,0 +1,220 @@
+"""Analyzer entry points: compose the passes over compiled artifacts.
+
+Three granularities, matching what callers hold:
+
+* :func:`analyze_tree` — just a BlossomTree (the compiler's
+  validate-on-compile hook, before decomposition exists);
+* :func:`analyze_artifacts` — a full :class:`PatternArtifacts` bundle
+  (tree + NoK decomposition + Dewey assignment), the executor/CLI view;
+* :func:`analyze_plan` — a cached plan (compiled query + strategy
+  choice + artifacts), the engine/plan-cache view, which also runs the
+  AST pass and the strategy checks.
+
+The ``verify_*`` variants are the enforcement gates: they run the
+corresponding analysis, feed the ``repro_plan_verify_*`` counters, and
+raise :class:`~repro.errors.PlanInvariantError` when any error-severity
+finding fired.  Warnings never block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.passes import (
+    artifacts_quick_clean,
+    ast_pass,
+    blossom_pass,
+    decomposition_pass,
+    dewey_pass,
+    plan_pass,
+    tree_quick_clean,
+)
+from repro.analysis.report import AnalysisReport
+from repro.errors import PlanInvariantError
+from repro.obs.metrics import REGISTRY
+from repro.pattern.blossom import BlossomTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> analysis)
+    from repro.engine.prepared import CachedPlan
+    from repro.pattern.artifact import PatternArtifacts
+    from repro.xquery.ast import FLWOR
+
+__all__ = [
+    "analyze_tree",
+    "analyze_artifacts",
+    "analyze_plan",
+    "verify_tree",
+    "verify_artifacts",
+    "verify_plan",
+]
+
+#: Strategies that execute through the BlossomTree pipeline and
+#: therefore need pattern artifacts in their cached plan.
+_ARTIFACT_STRATEGIES = ("pipelined", "caching", "stack", "bnlj", "nl",
+                        "twigstack")
+
+VERIFY_RUNS = REGISTRY.counter(
+    "repro_plan_verify_total",
+    "Plan-verification runs, labeled by outcome (ok/warning/error)")
+VERIFY_FINDINGS = REGISTRY.counter(
+    "repro_plan_verify_findings_total",
+    "Individual analyzer findings, labeled by rule ID")
+
+
+def analyze_tree(tree: BlossomTree, source: str = "<query>",
+                 flwor: FLWOR | None = None,
+                 external: frozenset[str] = frozenset()) -> AnalysisReport:
+    """Run the AST (when a FLWOR is supplied) and BlossomTree passes."""
+    report = AnalysisReport(source=source)
+    if flwor is not None:
+        ast_pass(flwor, report, external=external)
+    blossom_pass(tree, report)
+    return report
+
+
+def analyze_artifacts(artifacts: PatternArtifacts,
+                      source: str = "<query>",
+                      strategy: str | None = None,
+                      recursive_document: bool | None = None,
+                      tree_verified: bool = False) -> AnalysisReport:
+    """Run every pattern-stage pass over one artifacts bundle.
+
+    ``tree_verified`` skips the BlossomTree pass: the engine sets it on
+    its hot path because :func:`verify_tree` already ran over the same
+    tree object at compile time and the tree is not mutated in between.
+    External callers (CLI, fixtures) leave it off for full coverage.
+    """
+    report = AnalysisReport(source=source)
+    if not tree_verified:
+        blossom_pass(artifacts.tree, report)
+    decomposition_pass(artifacts.decomposition, report)
+    dewey_pass(artifacts.tree, artifacts.dewey, report)
+    plan_pass(artifacts.tree, artifacts.decomposition, artifacts.dewey,
+              report, strategy=strategy,
+              recursive_document=recursive_document)
+    return report
+
+
+def analyze_plan(plan: CachedPlan, source: str | None = None,
+                 recursive_document: bool | None = None,
+                 tree_verified: bool = False) -> AnalysisReport:
+    """Analyze a cached plan end to end (AST through strategy choice).
+
+    ``tree_verified`` skips the AST and BlossomTree passes, which
+    :func:`verify_tree` already ran at compile time (see
+    :func:`analyze_artifacts`).
+    """
+    compiled = plan.compiled
+    name = source if source is not None else compiled.source
+    report = AnalysisReport(source=name)
+    if compiled.flwor is not None and not tree_verified:
+        ast_pass(compiled.flwor, report, external=compiled.parameters)
+    strategy = plan.choice.strategy
+    if plan.artifacts is not None:
+        sub = analyze_artifacts(plan.artifacts, source=name,
+                                strategy=strategy,
+                                recursive_document=recursive_document,
+                                tree_verified=tree_verified)
+        report.extend(sub)
+    elif strategy in _ARTIFACT_STRATEGIES:
+        report.passes_run.append("plan")
+        report.add("PL002", "plan",
+                   f"strategy {strategy!r} executes through the BlossomTree "
+                   "pipeline but the plan carries no pattern artifacts")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Enforcement gates (metrics + raise-on-error).
+# ----------------------------------------------------------------------
+
+def _enforce(report: AnalysisReport) -> AnalysisReport:
+    for finding in report.findings:
+        VERIFY_FINDINGS.inc(rule=finding.rule_id)
+    if report.errors:
+        VERIFY_RUNS.inc(outcome="error")
+        raise PlanInvariantError(report)
+    VERIFY_RUNS.inc(outcome="warning" if report.warnings else "ok")
+    return report
+
+
+_VERIFY_OK_INC = VERIFY_RUNS.bound(outcome="ok")
+
+
+def _quick_ok(source: str, passes: list[str]) -> AnalysisReport:
+    """The clean-verdict report of a fast-path verification."""
+    _VERIFY_OK_INC()
+    report = AnalysisReport(source=source)
+    report.passes_run.extend(passes)
+    return report
+
+
+def _ast_clean(flwor: FLWOR, external: frozenset[str]) -> bool:
+    from repro.xquery.semantics import analyze
+
+    return not analyze(flwor, external=external).errors
+
+
+def verify_tree(tree: BlossomTree, source: str = "<query>",
+                flwor: FLWOR | None = None,
+                external: frozenset[str] = frozenset()) -> AnalysisReport:
+    """Gate form of :func:`analyze_tree`; raises on error findings.
+
+    The clean case takes a fused fast path
+    (:func:`~repro.analysis.passes.tree_quick_clean`); the full
+    reporting passes run only when something is dirty.
+    """
+    if tree_quick_clean(tree) \
+            and (flwor is None or _ast_clean(flwor, external)):
+        return _quick_ok(source, ["ast", "blossom"] if flwor is not None
+                         else ["blossom"])
+    return _enforce(analyze_tree(tree, source=source, flwor=flwor,
+                                 external=external))
+
+
+def verify_artifacts(artifacts: PatternArtifacts,
+                     source: str = "<query>",
+                     strategy: str | None = None,
+                     recursive_document: bool | None = None,
+                     tree_verified: bool = False) -> AnalysisReport:
+    """Gate form of :func:`analyze_artifacts`; raises on error findings."""
+    if artifacts_quick_clean(artifacts, strategy=strategy,
+                             recursive_document=recursive_document) \
+            and (tree_verified or tree_quick_clean(artifacts.tree)):
+        passes = ["decomposition", "dewey", "plan"]
+        if not tree_verified:
+            passes.insert(0, "blossom")
+        return _quick_ok(source, passes)
+    return _enforce(analyze_artifacts(
+        artifacts, source=source, strategy=strategy,
+        recursive_document=recursive_document, tree_verified=tree_verified))
+
+
+def verify_plan(plan: CachedPlan, source: str | None = None,
+                recursive_document: bool | None = None,
+                tree_verified: bool = False) -> AnalysisReport:
+    """Gate form of :func:`analyze_plan`; raises on error findings."""
+    compiled = plan.compiled
+    name = source if source is not None else compiled.source
+    strategy = plan.choice.strategy
+    if plan.artifacts is not None:
+        quick = artifacts_quick_clean(plan.artifacts, strategy=strategy,
+                                      recursive_document=recursive_document) \
+            and (tree_verified or tree_quick_clean(plan.artifacts.tree))
+    else:
+        quick = strategy not in _ARTIFACT_STRATEGIES
+    if quick and not tree_verified and compiled.flwor is not None:
+        quick = _ast_clean(compiled.flwor, compiled.parameters)
+    if quick:
+        passes = []
+        if not tree_verified:
+            if compiled.flwor is not None:
+                passes.append("ast")
+            if plan.artifacts is not None:
+                passes.append("blossom")
+        if plan.artifacts is not None:
+            passes.extend(["decomposition", "dewey", "plan"])
+        return _quick_ok(name, passes)
+    return _enforce(analyze_plan(plan, source=source,
+                                 recursive_document=recursive_document,
+                                 tree_verified=tree_verified))

@@ -1,0 +1,116 @@
+"""Findings and reports produced by the plan invariant analyzer.
+
+A :class:`Finding` is one violated (or suspicious) invariant: the rule
+that fired, its severity, where in the compiled plan it anchors, a
+human-readable message and a remediation hint inherited from the rule
+catalogue.  An :class:`AnalysisReport` collects the findings of one
+analyzer run over one query's compiled artifacts and renders them in
+lint style (``source:RULE: severity: message``) or as JSON for CI
+artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.rules import RULES, Rule, Severity
+
+__all__ = ["Finding", "AnalysisReport"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation discovered by an analyzer pass."""
+
+    rule_id: str
+    severity: Severity
+    location: str        # plan anchor, e.g. "blossom:V3", "nok:2", "plan"
+    message: str
+    hint: str = ""
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    def format(self, source: str = "<query>") -> str:
+        """Render lint style: ``source:RULE: severity: message``."""
+        text = (f"{source}:{self.rule_id}: {self.severity.value}: "
+                f"[{self.location}] {self.message}")
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run, plus which passes executed."""
+
+    source: str = "<query>"
+    findings: list[Finding] = field(default_factory=list)
+    passes_run: list[str] = field(default_factory=list)
+
+    def add(self, rule_id: str, location: str, message: str) -> None:
+        """Record one finding; severity and hint come from the catalogue."""
+        rule = RULES[rule_id]
+        self.findings.append(Finding(rule_id, rule.severity, location,
+                                     message, rule.remediation))
+
+    def extend(self, other: AnalysisReport) -> None:
+        self.findings.extend(other.findings)
+        self.passes_run.extend(p for p in other.passes_run
+                               if p not in self.passes_run)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity finding fired (warnings pass)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing fired at all."""
+        return not self.findings
+
+    def rule_ids(self) -> list[str]:
+        """Distinct rule IDs that fired, in firing order."""
+        seen: list[str] = []
+        for finding in self.findings:
+            if finding.rule_id not in seen:
+                seen.append(finding.rule_id)
+        return seen
+
+    def format(self) -> str:
+        """Multi-line lint-style rendering with a summary tail line."""
+        lines = [finding.format(self.source) for finding in self.findings]
+        lines.append(
+            f"{self.source}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) "
+            f"[{len(self.passes_run)} pass(es): {', '.join(self.passes_run)}]")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "ok": self.ok,
+            "passes": list(self.passes_run),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }

@@ -1,0 +1,171 @@
+"""The invariant rule catalogue.
+
+Every check the analyzer performs has a stable rule ID here, grouped by
+the compilation stage it inspects:
+
+========  ==========================================================
+prefix    stage
+========  ==========================================================
+``AST``   the parsed FLWOR expression (variable scoping)
+``BT``    the BlossomTree (Definition 1 well-formedness)
+``NK``    the NoK decomposition (Algorithm 1 postconditions)
+``DW``    the Dewey returning-node assignment (Theorems 1 and 2)
+``PL``    the physical plan (operator/strategy applicability)
+========  ==========================================================
+
+Severities: an ``error`` means the artifact violates a correctness
+precondition — executing it may return wrong results, so
+validate-on-compile refuses the plan.  A ``warning`` flags a plan that
+is legal but deserves attention (e.g. an order-preservation
+precondition that depends on runtime document properties).
+
+The catalogue is data, not code: passes reference rules by ID and the
+CLI renders this table, so IDs must stay stable once published.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Rule", "RULES", "rule_table"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogued invariant with a stable ID."""
+
+    rule_id: str
+    severity: Severity
+    stage: str           # "ast" | "blossom" | "decomposition" | "dewey" | "plan"
+    title: str
+    description: str
+    remediation: str
+
+
+_CATALOGUE: tuple[Rule, ...] = (
+    Rule("AST001", Severity.ERROR, "ast", "unbound variable",
+         "Every variable the FLWOR references must be bound by a for/let "
+         "clause (or declared as an external $parameter) before use.",
+         "bind the variable in a clause or pass it as an external binding"),
+    Rule("AST002", Severity.ERROR, "ast", "duplicate binding",
+         "No variable may be bound by two clauses: the restricted grammar "
+         "has no shadowing, so a re-binding silently aliases tuples.",
+         "rename one of the clauses' variables"),
+    Rule("BT001", Severity.ERROR, "blossom", "blossom binding bijection",
+         "Every blossom variable is bound to exactly one vertex, that "
+         "vertex lists the variable with a for/let kind, and the tree's "
+         "var->vertex map agrees with the vertices' own variable lists.",
+         "rebuild the tree via build_blossom_tree; never mutate "
+         "variables/var_kinds/var_vertex independently"),
+    Rule("BT002", Severity.ERROR, "blossom", "edge mode/axis legality",
+         "Tree-edge matching modes must be 'f' (mandatory) or 'l' "
+         "(optional) and axes must stay inside the pattern-matching "
+         "subset; a following-sibling rewrite must reference a sibling "
+         "vertex under the same parent.",
+         "use MODE_MANDATORY/MODE_OPTIONAL and the supported axis set"),
+    Rule("BT003", Severity.ERROR, "blossom", "tree shape consistency",
+         "Parent/child bookkeeping must be mutually consistent (each "
+         "non-root vertex has exactly one parent edge listed by its "
+         "parent), vertex ids dense, and every vertex reachable from "
+         "exactly one pattern root — no cycles, no orphans.",
+         "construct vertices/edges only through BlossomTree.new_vertex/"
+         "new_root/add_edge"),
+    Rule("BT004", Severity.ERROR, "blossom", "crossing edge endpoints",
+         "Crossing edges must connect two returning vertices of this "
+         "tree with a legal relation (<<, >>, is, isnot, =, !=, <, <=, "
+         ">, >=, deep-equal).",
+         "add crossings via BlossomTree.add_crossing, which marks both "
+         "endpoints returning"),
+    Rule("BT005", Severity.ERROR, "blossom", "returning upward closure",
+         "Returning-ness must be upward closed: a vertex with a returning "
+         "descendant must itself be returning, or document-order "
+         "projection (Theorem 1) cannot navigate to the descendant.",
+         "run the builder's finalize() / decompose()'s re-propagation "
+         "after changing returning flags"),
+    Rule("BT006", Severity.ERROR, "blossom", "inert optional subtree",
+         "An optional ('l'-mode) leaf vertex that binds no variable, "
+         "carries no value predicate and is not returning constrains "
+         "nothing and projects nothing — it is dead weight, typically "
+         "left behind by a partially-built and abandoned chain.",
+         "roll back partially built chains when translation of a "
+         "where-conjunct fails (BlossomTree.checkpoint/rollback)"),
+    Rule("NK001", Severity.ERROR, "decomposition", "cut-edge coverage",
+         "Algorithm 1 must cut exactly the global-axis edges: every "
+         "inter-NoK edge carries a global axis (descendant), and every "
+         "edge kept inside a NoK fragment uses only local axes (child, "
+         "self, attribute, following-sibling) so the fragment is "
+         "navigation-free.",
+         "re-run decompose(); do not flip edge.cut flags by hand"),
+    Rule("NK002", Severity.ERROR, "decomposition", "NoK partition",
+         "The NoK trees must partition the vertex set: every vertex "
+         "belongs to exactly one NoK, is reachable from its NoK root via "
+         "uncut edges, and the vertex->NoK map agrees with the member "
+         "lists.",
+         "re-run decompose() after any change to the BlossomTree"),
+    Rule("NK003", Severity.ERROR, "decomposition", "inter-edge forest",
+         "Inter-NoK edges must form a forest rooted at the pattern-root "
+         "NoKs: endpoints' NoK ids must match the owning fragments, the "
+         "child endpoint must be its NoK's root, and every non-root NoK "
+         "must be reachable (no cycles, no unreachable fragments).",
+         "re-run decompose(); check for manual edits to inter_edges"),
+    Rule("DW001", Severity.ERROR, "dewey", "global Dewey order",
+         "Theorem 1/2 precondition: Dewey IDs are assigned globally over "
+         "the returning tree — every returning vertex has an ID, the "
+         "closest returning ancestor's ID is the immediate prefix, "
+         "sibling ordinals are dense starting at 1, and pattern roots "
+         "are numbered (1, i) in declaration order.  Without this, "
+         "document-order projection and order-preserving //-joins are "
+         "not guaranteed.",
+         "re-run assign_dewey() after decompose() (decomposition marks "
+         "join endpoints returning)"),
+    Rule("DW002", Severity.ERROR, "dewey", "Dewey map staleness",
+         "The vertex->Dewey and Dewey->vertex maps must be mutually "
+         "inverse and reference only live vertices of this tree — a "
+         "stale assignment (e.g. replayed after the tree changed) maps "
+         "IDs to vertices that no longer exist or are no longer "
+         "returning.",
+         "invalidate cached PatternArtifacts when the query's tree is "
+         "rebuilt; never mix artifacts across compilations"),
+    Rule("PL001", Severity.ERROR, "plan", "join Dewey schema agreement",
+         "Each inter-NoK join's operands must agree on the returning-node "
+         "Dewey schema: the parent endpoint carries a Dewey ID, and a "
+         "returning child endpoint's ID extends the parent's by exactly "
+         "one component (the join merges their NestedLists under that "
+         "prefix).",
+         "assign Dewey IDs globally (assign_dewey) after decomposition"),
+    Rule("PL002", Severity.ERROR, "plan", "strategy applicability",
+         "The chosen strategy must exist and be executable for this "
+         "artifact: BlossomTree strategies need a tree and pattern "
+         "artifacts; twigstack needs a single //-twig.",
+         "let choose_strategy() pick, or request a strategy the query "
+         "shape supports"),
+    Rule("PL003", Severity.WARNING, "plan", "order-preservation runtime precondition",
+         "A pipelined merge join claims ordered output only when distinct "
+         "matches of the ancestor pattern do not contain one another "
+         "(Theorem 2 / Example 5); on a recursive document that "
+         "precondition can fail and the stack merge join should run "
+         "instead.",
+         "use strategy='auto' (the optimizer picks stack merge on "
+         "recursive documents)"),
+)
+
+#: rule id -> Rule, in catalogue order.
+RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _CATALOGUE}
+
+
+def rule_table() -> str:
+    """The catalogue as an aligned text table (CLI ``--rules``)."""
+    rows = [(rule.rule_id, rule.severity.value, rule.stage, rule.title)
+            for rule in _CATALOGUE]
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for rule_id, severity, stage, title in rows:
+        lines.append(f"{rule_id:<{widths[0]}}  {severity:<{widths[1]}}  "
+                     f"{stage:<{widths[2]}}  {title}")
+    return "\n".join(lines)

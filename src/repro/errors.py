@@ -13,7 +13,6 @@ caret without re-threading context through every call site.
 
 from __future__ import annotations
 
-
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
@@ -79,6 +78,35 @@ class CompileError(ReproError):
         if query:
             message = f"{message}\n  in query: {query}"
         super().__init__(message)
+
+
+class PlanInvariantError(ReproError):
+    """Raised when the plan invariant analyzer rejects a compiled artifact.
+
+    Carries the offending :class:`~repro.analysis.report.AnalysisReport`
+    (as ``report``) so callers can inspect individual findings — rule
+    IDs, locations, remediation hints — instead of parsing the message.
+    A plan that trips this is *malformed*: executing it could silently
+    violate the paper's ordering/duplicate guarantees, so the engine
+    refuses to cache or run it.
+    """
+
+    def __init__(self, report: object = None, message: str = ""):
+        self.report = report
+        if not message:
+            if report is not None and hasattr(report, "format"):
+                message = "compiled plan failed invariant verification:\n" \
+                    + report.format()
+            else:
+                message = "compiled plan failed invariant verification"
+        super().__init__(message)
+
+    @property
+    def rule_ids(self) -> list[str]:
+        """Distinct rule IDs that fired, when a report is attached."""
+        if self.report is not None and hasattr(self.report, "rule_ids"):
+            return self.report.rule_ids()
+        return []
 
 
 class UsageError(ReproError, ValueError):

@@ -36,18 +36,24 @@ name                                           type       labels
 ``repro_plan_cache_misses_total``              counter    —
 ``repro_plan_cache_evictions_total``           counter    —
 ``repro_plan_cache_invalidations_total``       counter    ``reason``
+``repro_plan_verify_total``                    counter    ``outcome``
+``repro_plan_verify_findings_total``           counter    ``rule``
 =============================================  =========  ==============================
 
 The plan-cache family is registered by :mod:`repro.engine.plancache`
 (imported with the engine), and the ``query`` span carries a
 ``plan-cache`` attribute (``hit`` / ``miss`` / ``bypass`` /
-``prepared``) tying individual traces to the counters.
+``prepared``) tying individual traces to the counters.  The
+plan-verify family is registered by :mod:`repro.analysis.analyzer`;
+each compile opens a ``verify-plan`` span whose ``findings``/``rules``
+attributes tie a trace to the analyzer's counters.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
            "get_registry"]
@@ -100,6 +106,23 @@ class Counter(_Metric):
         with self._lock:
             self._cells[key] = self._cells.get(key, 0.0) + amount
 
+    def bound(self, **labels: Any):
+        """A zero-argument incrementer with the label key precomputed.
+
+        ``inc(**labels)`` rebuilds and sorts the label key on every
+        call; hot paths that bump one fixed label set (e.g. the plan
+        verifier's ``outcome="ok"``) bind it once instead.
+        """
+        key = _label_key(labels)
+        lock = self._lock
+        cells = self._cells
+
+        def inc_bound() -> None:
+            with lock:
+                cells[key] = cells.get(key, 0.0) + 1.0
+
+        return inc_bound
+
 
 class Gauge(_Metric):
     """A value that can go up and down (e.g. peak buffer size)."""
@@ -124,7 +147,7 @@ class Histogram:
     kind = "histogram"
 
     def __init__(self, name: str, help_text: str = "",
-                 buckets: Optional[Iterable[float]] = None) -> None:
+                 buckets: Iterable[float] | None = None) -> None:
         self.name = name
         self.help = help_text
         self.buckets = tuple(sorted(buckets if buckets is not None
@@ -186,7 +209,7 @@ class MetricsRegistry:
         return self._register(name, lambda: Gauge(name, help_text), "gauge")
 
     def histogram(self, name: str, help_text: str = "",
-                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+                  buckets: Iterable[float] | None = None) -> Histogram:
         return self._register(
             name, lambda: Histogram(name, help_text, buckets), "histogram")
 

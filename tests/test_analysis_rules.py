@@ -1,0 +1,317 @@
+"""Corruption fixtures for the plan invariant analyzer.
+
+Each test takes a clean compiled artifact bundle, breaks exactly one
+invariant the way a real bug would (a builder that leaks a partial
+chain, a cache that replays stale Dewey IDs after an update, a flipped
+cut flag), and asserts that the analyzer fires the *exact* rule ID the
+catalogue promises for that corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    analyze_artifacts,
+    analyze_plan,
+    analyze_tree,
+    verify_artifacts,
+    verify_tree,
+)
+from repro.analysis.analyzer import VERIFY_RUNS
+from repro.analysis.passes import ast_pass, plan_pass
+from repro.analysis.report import AnalysisReport
+from repro.analysis.rules import RULES, Severity
+from repro.engine.compiler import compile_query
+from repro.engine.optimizer import PlanChoice
+from repro.engine.plancache import PlanCache
+from repro.engine.prepared import CachedPlan
+from repro.errors import PlanInvariantError, UsageError
+from repro.pattern.artifact import PatternArtifacts, prepare_artifacts
+from repro.pattern.blossom import MODE_OPTIONAL
+from repro.xquery.parser import parse_query
+
+TWIG = "for $a in //book return $a"
+CHAIN = "for $a in //book/title return $a"
+CROSS = "for $a in //book, $b in //book where $a << $b return $a"
+
+
+def artifacts_for(text: str) -> PatternArtifacts:
+    compiled = compile_query(text)
+    assert compiled.tree is not None, compiled.compile_error
+    return prepare_artifacts(compiled.tree)
+
+
+class TestAstRules:
+    def test_ast001_unbound_variable(self):
+        flwor = parse_query("for $a in //book return $b")
+        report = AnalysisReport()
+        ast_pass(flwor, report, external=frozenset())
+        assert report.rule_ids() == ["AST001"]
+        assert "$b" in report.findings[0].message
+
+    def test_ast001_suppressed_by_external_declaration(self):
+        flwor = parse_query("for $a in //book return $b")
+        report = AnalysisReport()
+        ast_pass(flwor, report, external=frozenset({"b"}))
+        assert report.clean
+
+    def test_ast002_duplicate_binding(self):
+        flwor = parse_query("for $a in //book, $a in //title return $a")
+        report = AnalysisReport()
+        ast_pass(flwor, report)
+        assert "AST002" in report.rule_ids()
+
+
+class TestBlossomRules:
+    def test_bt001_unbound_blossom(self):
+        tree = artifacts_for(TWIG).tree
+        # The tree maps $a to a vertex that no longer lists it — the
+        # bijection is broken (an "unbound blossom").
+        tree.var_vertex["a"].variables.remove("a")
+        report = analyze_tree(tree)
+        assert report.rule_ids() == ["BT001"]
+
+    def test_bt001_blossom_not_returning(self):
+        tree = artifacts_for(TWIG).tree
+        tree.var_vertex["a"].returning = False
+        report = analyze_tree(tree)
+        assert "BT001" in report.rule_ids()
+
+    def test_bt002_illegal_mode_on_cut_edge(self):
+        artifacts = artifacts_for(TWIG)
+        edge = next(e for e in artifacts.tree.tree_edges
+                    if getattr(e, "cut", False))
+        edge.mode = "x"
+        report = analyze_artifacts(artifacts)
+        assert "BT002" in report.rule_ids()
+
+    def test_bt002_illegal_axis(self):
+        tree = artifacts_for(TWIG).tree
+        tree.tree_edges[0].axis = "preceding"
+        report = analyze_tree(tree)
+        assert "BT002" in report.rule_ids()
+
+    def test_bt003_orphan_vertex(self):
+        tree = artifacts_for(TWIG).tree
+        tree.new_vertex("orphan")
+        report = analyze_tree(tree)
+        assert "BT003" in report.rule_ids()
+
+    def test_bt003_parent_child_disagreement(self):
+        tree = artifacts_for(CHAIN).tree
+        # The child stops pointing back at its registered parent edge.
+        tree.tree_edges[-1].child.parent_edge = None
+        report = analyze_tree(tree)
+        assert "BT003" in report.rule_ids()
+
+    def test_bt004_illegal_crossing_relation(self):
+        tree = artifacts_for(CROSS).tree
+        assert tree.crossing_edges, "fixture query must produce a crossing"
+        tree.crossing_edges[0].relation = "~~"
+        report = analyze_tree(tree)
+        assert "BT004" in report.rule_ids()
+
+    def test_bt005_returning_not_upward_closed(self):
+        tree = artifacts_for(CHAIN).tree
+        title = tree.var_vertex["a"]
+        book = title.parent_edge.parent
+        book.returning = False
+        report = analyze_tree(tree)
+        assert "BT005" in report.rule_ids()
+
+    def test_bt006_inert_optional_leaf(self):
+        tree = artifacts_for(TWIG).tree
+        leaf = tree.new_vertex("dead")
+        tree.add_edge(tree.var_vertex["a"], leaf, "child", MODE_OPTIONAL)
+        report = analyze_tree(tree)
+        assert report.rule_ids() == ["BT006"]
+
+
+class TestDecompositionRules:
+    def test_nk001_local_axis_edge_cut(self):
+        artifacts = artifacts_for(CHAIN)
+        local = next(e for e in artifacts.tree.tree_edges
+                     if e.axis == "child")
+        local.cut = True
+        report = analyze_artifacts(artifacts)
+        assert "NK001" in report.rule_ids()
+
+    def test_nk001_global_axis_edge_kept(self):
+        artifacts = artifacts_for(TWIG)
+        cut = next(e for e in artifacts.tree.tree_edges
+                   if e.axis == "descendant")
+        cut.cut = False
+        report = analyze_artifacts(artifacts)
+        assert "NK001" in report.rule_ids()
+
+    def test_nk002_vertex_mapped_to_wrong_nok(self):
+        artifacts = artifacts_for(CHAIN)
+        title = artifacts.tree.var_vertex["a"]
+        artifacts.decomposition.nok_of_vertex[title.vid] = 99
+        report = analyze_artifacts(artifacts)
+        assert "NK002" in report.rule_ids()
+
+    def test_nk003_inter_edge_wrong_source_nok(self):
+        artifacts = artifacts_for(TWIG)
+        artifacts.decomposition.inter_edges[0].nok_from = 7
+        report = analyze_artifacts(artifacts)
+        assert "NK003" in report.rule_ids()
+
+
+class TestDeweyRules:
+    def test_dw001_returning_vertex_without_id(self):
+        artifacts = artifacts_for(TWIG)
+        book = artifacts.tree.var_vertex["a"]
+        ident = artifacts.dewey.of_vertex.pop(book.vid)
+        del artifacts.dewey.vertex_of[ident]
+        artifacts.dewey.returning_parent.pop(book.vid, None)
+        report = analyze_artifacts(artifacts)
+        assert "DW001" in report.rule_ids()
+
+    def test_dw001_non_dense_sibling_ordinals(self):
+        artifacts = artifacts_for(TWIG)
+        book = artifacts.tree.var_vertex["a"]
+        old = artifacts.dewey.of_vertex[book.vid]
+        skewed = old[:-1] + (old[-1] + 5,)
+        artifacts.dewey.of_vertex[book.vid] = skewed
+        artifacts.dewey.vertex_of[skewed] = artifacts.dewey.vertex_of.pop(old)
+        report = analyze_artifacts(artifacts)
+        assert "DW001" in report.rule_ids()
+
+    def test_dw002_stale_assignment_after_simulated_update(self):
+        # A structural update invalidates plans; recompiling rebuilds the
+        # tree.  Replaying the OLD Dewey assignment against the NEW tree
+        # (the bug a broken cache would have) must be caught.
+        old = artifacts_for(TWIG)
+        new = artifacts_for(TWIG)
+        stale = PatternArtifacts(tree=new.tree,
+                                 decomposition=new.decomposition,
+                                 dewey=old.dewey)
+        report = analyze_artifacts(stale)
+        assert "DW002" in report.rule_ids()
+
+
+class TestPlanRules:
+    def test_pl001_join_child_id_does_not_extend_parent(self):
+        artifacts = artifacts_for(TWIG)
+        inter = artifacts.decomposition.inter_edges[0]
+        artifacts.dewey.of_vertex[inter.child.vid] = (9, 9, 9)
+        report = AnalysisReport()
+        plan_pass(artifacts.tree, artifacts.decomposition, artifacts.dewey,
+                  report)
+        assert report.rule_ids() == ["PL001"]
+
+    def test_pl001_join_parent_without_id(self):
+        artifacts = artifacts_for(TWIG)
+        inter = artifacts.decomposition.inter_edges[0]
+        del artifacts.dewey.of_vertex[inter.parent.vid]
+        report = AnalysisReport()
+        plan_pass(artifacts.tree, artifacts.decomposition, artifacts.dewey,
+                  report)
+        assert report.rule_ids() == ["PL001"]
+
+    def test_pl002_twigstack_on_non_twig(self):
+        artifacts = artifacts_for(CROSS)
+        report = analyze_artifacts(artifacts, strategy="twigstack")
+        assert "PL002" in report.rule_ids()
+
+    def test_pl002_unknown_strategy(self):
+        artifacts = artifacts_for(TWIG)
+        report = analyze_artifacts(artifacts, strategy="warp")
+        assert report.rule_ids() == ["PL002"]
+
+    def test_pl002_pattern_strategy_without_artifacts(self):
+        compiled = compile_query(TWIG)
+        plan = CachedPlan(compiled, PlanChoice("pipelined", "test"),
+                          None, "pipelined")
+        report = analyze_plan(plan)
+        assert "PL002" in report.rule_ids()
+
+    def test_pl003_pipelined_on_recursive_document_warns(self):
+        artifacts = artifacts_for(TWIG)
+        report = analyze_artifacts(artifacts, strategy="pipelined",
+                                   recursive_document=True)
+        assert report.rule_ids() == ["PL003"]
+        assert report.ok and not report.clean   # warnings never block
+
+    def test_pl003_silent_on_non_recursive_document(self):
+        artifacts = artifacts_for(TWIG)
+        report = analyze_artifacts(artifacts, strategy="pipelined",
+                                   recursive_document=False)
+        assert report.clean
+
+
+class TestEnforcementGates:
+    def test_verify_artifacts_raises_with_rule_ids(self):
+        artifacts = artifacts_for(TWIG)
+        edge = next(e for e in artifacts.tree.tree_edges
+                    if getattr(e, "cut", False))
+        edge.mode = "x"
+        with pytest.raises(PlanInvariantError) as excinfo:
+            verify_artifacts(artifacts)
+        assert "BT002" in excinfo.value.rule_ids
+        assert "BT002" in str(excinfo.value)
+
+    def test_verify_tree_accepts_clean_tree(self):
+        tree = artifacts_for(TWIG).tree
+        report = verify_tree(tree)
+        assert report.clean
+
+    def test_verify_counts_outcomes(self):
+        before = VERIFY_RUNS.value(outcome="error")
+        artifacts = artifacts_for(TWIG)
+        artifacts.tree.new_vertex("orphan")
+        with pytest.raises(PlanInvariantError):
+            verify_artifacts(artifacts)
+        assert VERIFY_RUNS.value(outcome="error") == before + 1
+
+    def test_warnings_do_not_raise(self):
+        artifacts = artifacts_for(TWIG)
+        report = verify_artifacts(artifacts, strategy="pipelined",
+                                  recursive_document=True)
+        assert report.rule_ids() == ["PL003"]
+
+    def test_plan_cache_refuses_unverified_plans(self):
+        compiled = compile_query(TWIG)
+        artifacts = prepare_artifacts(compiled.tree)
+        plan = CachedPlan(compiled, PlanChoice("pipelined", "test"),
+                          artifacts, "pipelined")
+        cache = PlanCache(capacity=4)
+        with pytest.raises(UsageError, match="invariant verification"):
+            cache.put("k", plan)
+        plan.verified = True
+        cache.put("k", plan)
+        assert cache.get("k") is plan
+
+
+class TestCatalogue:
+    def test_every_rule_has_stage_severity_and_remediation(self):
+        stages = {"ast", "blossom", "decomposition", "dewey", "plan"}
+        for rule in RULES.values():
+            assert rule.stage in stages
+            assert isinstance(rule.severity, Severity)
+            assert rule.title and rule.description and rule.remediation
+
+    def test_rule_ids_are_stable(self):
+        # Published IDs must never disappear or change meaning.
+        assert set(RULES) == {
+            "AST001", "AST002",
+            "BT001", "BT002", "BT003", "BT004", "BT005", "BT006",
+            "NK001", "NK002", "NK003",
+            "DW001", "DW002",
+            "PL001", "PL002", "PL003",
+        }
+
+    def test_pl003_is_the_only_warning(self):
+        warnings = [r.rule_id for r in RULES.values()
+                    if r.severity is Severity.WARNING]
+        assert warnings == ["PL003"]
+
+    def test_finding_format_is_lint_style(self):
+        tree = artifacts_for(TWIG).tree
+        tree.new_vertex("orphan")
+        report = analyze_tree(tree, source="q.xq")
+        line = report.findings[0].format("q.xq")
+        assert line.startswith("q.xq:BT003: error: [blossom:")
+        assert "hint:" in line
