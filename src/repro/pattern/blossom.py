@@ -23,7 +23,7 @@ just those where the optional nodes happen to exist.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.xpath.ast import Expr
 
@@ -34,6 +34,7 @@ __all__ = [
     "TreeEdge",
     "CrossingEdge",
     "BlossomTree",
+    "TreeCheckpoint",
 ]
 
 MODE_MANDATORY = "f"
@@ -78,8 +79,8 @@ class BlossomVertex:
     returning: bool = False
 
     # Filled in by BlossomTree bookkeeping:
-    parent_edge: Optional["TreeEdge"] = None
-    child_edges: list["TreeEdge"] = field(default_factory=list)
+    parent_edge: TreeEdge | None = None
+    child_edges: list[TreeEdge] = field(default_factory=list)
 
     @property
     def is_root(self) -> bool:
@@ -89,13 +90,13 @@ class BlossomVertex:
     def is_blossom(self) -> bool:
         return bool(self.variables)
 
-    def matches_tag(self, tag: Optional[str]) -> bool:
+    def matches_tag(self, tag: str | None) -> bool:
         """Tag-name test (value predicates are checked separately)."""
         if self.name == "#root":
             return False  # roots match the document node, not elements
         return self.name == "*" or self.name == tag
 
-    def children(self) -> list["BlossomVertex"]:
+    def children(self) -> list[BlossomVertex]:
         return [e.child for e in self.child_edges]
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -153,6 +154,26 @@ class CrossingEdge:
         return f"<X {self.u.vid} {op} {self.v.vid}>"
 
 
+@dataclass(frozen=True)
+class TreeCheckpoint:
+    """A snapshot of a BlossomTree's construction state.
+
+    Taken with :meth:`BlossomTree.checkpoint` before a speculative
+    build (a where-endpoint chain, a pruning subtree) and restored with
+    :meth:`BlossomTree.rollback` when the build turns out to be
+    untranslatable — otherwise the abandoned vertices stay behind as
+    dead weight (analyzer rule BT006).
+    """
+
+    n_vertices: int
+    n_tree_edges: int
+    n_crossing_edges: int
+    n_residual: int
+    #: value-predicate count per then-existing vertex (a ``self`` step
+    #: can attach predicates to a pre-checkpoint vertex).
+    predicate_counts: tuple[int, ...]
+
+
 class BlossomTree:
     """The annotated graph: vertices, tree edges, crossing edges, roots."""
 
@@ -207,6 +228,42 @@ class BlossomTree:
         vertex.var_kinds[name] = kind
         vertex.returning = True
         self.var_vertex[name] = vertex
+
+    # ------------------------------------------------------------------
+    # Speculative construction.
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> TreeCheckpoint:
+        """Snapshot the tree before a speculative chain build."""
+        return TreeCheckpoint(
+            len(self.vertices), len(self.tree_edges),
+            len(self.crossing_edges), len(self.residual_where),
+            tuple(len(v.value_predicates) for v in self.vertices))
+
+    def rollback(self, mark: TreeCheckpoint) -> None:
+        """Undo everything added since ``mark`` was taken.
+
+        Removes the vertices, tree edges, crossing edges, residual
+        conjuncts and value predicates created after the checkpoint and
+        restores parent/child bookkeeping, so an abandoned speculative
+        build leaves no trace (vertex ids stay dense because builds
+        only append).
+        """
+        for edge in self.tree_edges[mark.n_tree_edges:]:
+            edge.parent.child_edges = [
+                e for e in edge.parent.child_edges if e is not edge]
+            edge.child.parent_edge = None
+        del self.tree_edges[mark.n_tree_edges:]
+        dropped = {id(v) for v in self.vertices[mark.n_vertices:]}
+        del self.vertices[mark.n_vertices:]
+        self.roots = [r for r in self.roots if id(r) not in dropped]
+        self.var_vertex = {name: v for name, v in self.var_vertex.items()
+                           if id(v) not in dropped}
+        del self.crossing_edges[mark.n_crossing_edges:]
+        del self.residual_where[mark.n_residual:]
+        for vertex, count in zip(self.vertices, mark.predicate_counts,
+                                 strict=True):
+            del vertex.value_predicates[count:]
 
     # ------------------------------------------------------------------
     # Introspection.

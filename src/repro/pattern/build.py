@@ -29,8 +29,6 @@ Construction rules
 
 from __future__ import annotations
 
-from typing import Optional, Union
-
 from repro.errors import CompileError
 from repro.xpath.ast import (
     Arithmetic,
@@ -198,7 +196,7 @@ class _Builder:
                                    "after a child step")
             grand = edge_in.parent
             vertex = self.tree.new_vertex(step.test.name)
-            edge = self.tree.add_edge(grand, vertex, "child", mode)
+            self.tree.add_edge(grand, vertex, "child", mode)
             setattr(vertex, "after_vid", parent.vid)
         else:
             vertex = self.tree.new_vertex(step.test.name)
@@ -273,7 +271,7 @@ class _Builder:
         return True
 
     def _build_existential(self, vertex: BlossomVertex, path: LocationPath,
-                           value_pred: Optional[Expr]) -> None:
+                           value_pred: Expr | None) -> None:
         """Build a mandatory, non-returning subtree below ``vertex``."""
         if not isinstance(path.root, RootContext) or path.root.absolute:
             raise CompileError("predicate paths must be relative to the "
@@ -300,11 +298,16 @@ class _Builder:
                 and len(inner.args) == 2:
             if isinstance(inner.args[0], LocationPath) \
                     and isinstance(inner.args[1], LocationPath):
+                # One endpoint may resolve (building its chain) while the
+                # other does not; abandon the pair atomically or the
+                # half-built chain stays behind (rule BT006).
+                mark = tree.checkpoint()
                 u = self._where_endpoint(inner.args[0])
                 v = self._where_endpoint(inner.args[1])
                 if u is not None and v is not None:
                     tree.add_crossing(u, v, "deep-equal", negated)
                     return
+                tree.rollback(mark)
             tree.residual_where.append(conjunct)
             return
 
@@ -313,11 +316,13 @@ class _Builder:
             if (op in _ORDER_OPS or op in _VALUE_OPS) \
                     and isinstance(inner.left, LocationPath) \
                     and isinstance(inner.right, LocationPath):
+                mark = tree.checkpoint()
                 u = self._where_endpoint(inner.left)
                 v = self._where_endpoint(inner.right)
                 if u is not None and v is not None:
                     tree.add_crossing(u, v, op, negated)
                     return
+                tree.rollback(mark)
             if op in _VALUE_OPS and not negated:
                 if self._try_prune_literal(inner):
                     # Conjunct kept in residual_where too: the crossing
@@ -325,7 +330,7 @@ class _Builder:
                     return
         tree.residual_where.append(conjunct)
 
-    def _where_endpoint(self, expr: Expr) -> Optional[BlossomVertex]:
+    def _where_endpoint(self, expr: Expr) -> BlossomVertex | None:
         """Resolve a where-side expression to a vertex (building an
         optional chain for ``$v/steps`` forms).  None if not a
         variable-rooted path."""
@@ -340,9 +345,14 @@ class _Builder:
             raise CompileError(f"where references unbound variable ${expr.root.name}")
         if not expr.steps:
             return anchor
+        mark = self.tree.checkpoint()
         try:
             leaf = self._extend_chain(anchor, expr.steps, MODE_OPTIONAL)
         except CompileError:
+            # An untranslatable step may fail mid-chain; drop the
+            # vertices already built or they survive as inert optional
+            # leaves (rule BT006) and the conjunct is checked twice.
+            self.tree.rollback(mark)
             return None
         leaf.returning = True
         return leaf
@@ -374,10 +384,15 @@ class _Builder:
         leaf_pred = (Comparison(cmp.op, LocationPath(RootContext(False), ()), literal)
                      if _path_is_left(cmp)
                      else Comparison(cmp.op, literal, LocationPath(RootContext(False), ())))
+        mark = self.tree.checkpoint()
         try:
             self._build_existential(anchor, LocationPath(RootContext(False), path.steps),
                                     value_pred=leaf_pred)
         except CompileError:
+            # A partially built *mandatory* chain would keep pruning
+            # tuples even though the conjunct fell back to residual
+            # re-verification; roll it back (rule BT006).
+            self.tree.rollback(mark)
             return False
         self.tree.residual_where.append(cmp)
         return True
