@@ -550,6 +550,16 @@ class Engine:
             if compiled.tree is None:
                 raise CompileError(
                     f"twigstack strategy unavailable: {compiled.compile_error}")
+            # Reject inapplicable patterns here, not deep in the executor:
+            # the invariant analyzer (rule PL002) refuses to verify a
+            # twigstack plan over a non-twig tree.
+            from repro.physical.twigstack import twig_supported
+
+            if not twig_supported(compiled.tree):
+                raise CompileError(
+                    "twigstack strategy unavailable: pattern is not a "
+                    "single //-twig (crossing edges, optional modes or "
+                    "sibling constraints present)")
             return PlanChoice("twigstack", "explicitly requested")
         if strategy in _BLOSSOM_STRATEGIES:
             if compiled.tree is None or compiled.flwor is None:
