@@ -12,13 +12,13 @@ session can fall back to direct evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
+from repro.analysis import verify_tree
 from repro.errors import CompileError
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pattern.blossom import BlossomTree
 from repro.pattern.build import build_blossom_tree, path_as_flwor
-from repro.xpath.ast import Expr, LocationPath, RootContext
+from repro.xpath.ast import LocationPath, RootContext
 from repro.xquery.ast import ElementConstructor, Enclosed, FLWOR, QueryExpr
 from repro.xquery.parser import parse_query
 from repro.xquery.semantics import free_variables
@@ -32,10 +32,10 @@ class CompiledQuery:
 
     source: str
     query: QueryExpr                   # the full query expression
-    flwor: Optional[FLWOR]             # the FLWOR to optimize (None: static)
+    flwor: FLWOR | None             # the FLWOR to optimize (None: static)
     is_bare_path: bool                 # query was a single path expression
-    tree: Optional[BlossomTree]        # None when compilation failed
-    compile_error: Optional[str]       # reason for fallback, if any
+    tree: BlossomTree | None        # None when compilation failed
+    compile_error: str | None       # reason for fallback, if any
     #: External ``$parameters`` — variables the query references but never
     #: binds; execution requires a binding for each (prepared queries).
     parameters: frozenset[str] = frozenset()
@@ -45,8 +45,9 @@ class CompiledQuery:
         return self.flwor is not None and self.tree is not None
 
 
-def compile_query(text: Union[str, QueryExpr],
-                  tracer: Optional[Tracer] = None) -> CompiledQuery:
+def compile_query(text: str | QueryExpr,
+                  tracer: Tracer | None = None,
+                  verify: bool = True) -> CompiledQuery:
     """Parse and compile a query string (or pre-parsed expression).
 
     Free variables are detected and recorded as the query's external
@@ -56,6 +57,11 @@ def compile_query(text: Union[str, QueryExpr],
 
     ``tracer`` (optional) records a ``compile`` span covering parse and
     BlossomTree construction, with the outcome as attributes.
+
+    ``verify=False`` skips validate-on-compile; the engine passes it
+    when an identical (query, strategy, statistics) triple already
+    verified clean this process — compilation is deterministic, so the
+    rebuild produces structurally identical artifacts.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     with tracer.span("compile") as span:
@@ -68,20 +74,31 @@ def compile_query(text: Union[str, QueryExpr],
             # root (predicate convention); at query top level the context
             # item is the document node, so absolutizing is an identity.
             query = _absolutize(query)
-            flwor: Optional[FLWOR] = path_as_flwor(query)
+            flwor: FLWOR | None = path_as_flwor(query)
             # The query to evaluate IS the synthetic wrapper.
             query = flwor
         else:
             flwor = _locate_single_flwor(query)
 
         parameters = free_variables(query)
-        tree: Optional[BlossomTree] = None
-        error: Optional[str] = None
+        tree: BlossomTree | None = None
+        error: str | None = None
         if flwor is not None:
             try:
                 tree = build_blossom_tree(flwor, external=parameters)
             except CompileError as exc:
                 error = str(exc)
+        if tree is not None and verify:
+            # Validate-on-compile: a malformed tree is an internal bug,
+            # not a fallback condition — PlanInvariantError propagates.
+            # Bare paths skip the AST pass: their FLWOR is synthesized
+            # right here, so user-variable scoping (AST001/AST002)
+            # cannot be violated.
+            verify_report = verify_tree(
+                tree, source=source,
+                flwor=None if is_bare_path else flwor,
+                external=parameters)
+            span.set(verify_findings=len(verify_report.findings))
         span.set(bare_path=is_bare_path, optimizable=tree is not None)
         if parameters:
             span.set(parameters=",".join(sorted(parameters)))
@@ -97,7 +114,7 @@ def _absolutize(path: LocationPath) -> LocationPath:
     return path
 
 
-def _locate_single_flwor(expr: QueryExpr) -> Optional[FLWOR]:
+def _locate_single_flwor(expr: QueryExpr) -> FLWOR | None:
     """Find exactly one FLWOR to optimize inside the query expression.
 
     Nested or multiple FLWORs are left to direct evaluation (returning
@@ -106,7 +123,7 @@ def _locate_single_flwor(expr: QueryExpr) -> Optional[FLWOR]:
     if isinstance(expr, FLWOR):
         return expr
     if isinstance(expr, ElementConstructor):
-        found: Optional[FLWOR] = None
+        found: FLWOR | None = None
         for item in expr.content:
             if isinstance(item, Enclosed):
                 for sub in item.exprs:

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from collections.abc import Hashable
+from typing import Any
 
 from repro.errors import UsageError
 from repro.obs.metrics import REGISTRY
@@ -69,7 +70,7 @@ class PlanCache:
             raise UsageError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         # Local counters mirror the process-wide metrics so one engine's
         # cache behaviour is inspectable even with other engines running.
         self.hits = 0
@@ -80,7 +81,7 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable) -> Optional[Any]:
+    def get(self, key: Hashable) -> Any | None:
         """The cached plan for ``key``, refreshing its recency; None on miss."""
         with self._lock:
             entry = self._entries.get(key)
@@ -94,7 +95,17 @@ class PlanCache:
             return entry
 
     def put(self, key: Hashable, plan: Any) -> None:
-        """Insert (or refresh) a plan, evicting the LRU entry at capacity."""
+        """Insert (or refresh) a plan, evicting the LRU entry at capacity.
+
+        Plans that declare a ``verified`` flag (the engine's
+        :class:`~repro.engine.prepared.CachedPlan`) must have passed the
+        invariant analyzer before they may enter the cache — a cached
+        malformed plan would corrupt every subsequent replay.
+        """
+        if getattr(plan, "verified", None) is False:
+            raise UsageError(
+                "refusing to cache a plan that has not passed invariant "
+                "verification (run repro.analysis.verify_plan first)")
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)

@@ -19,8 +19,8 @@ but the *strategy* could have gone stale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import BindingError
 from repro.engine.compiler import CompiledQuery
@@ -44,14 +44,17 @@ class CachedPlan:
 
     compiled: CompiledQuery
     choice: PlanChoice
-    artifacts: Optional[PatternArtifacts]
+    artifacts: PatternArtifacts | None
     #: The strategy the caller asked for (``auto`` enables the late
     #: naive fallback; explicit strategies surface CompileError).
     requested: str
+    #: Set by the engine once the invariant analyzer accepted the plan;
+    #: the plan cache refuses to store plans that never passed it.
+    verified: bool = False
 
 
 def normalize_bindings(parameters: frozenset[str],
-                       bindings: Optional[dict]) -> dict[str, Any]:
+                       bindings: dict | None) -> dict[str, Any]:
     """Validate and normalize execution-time parameter bindings.
 
     Every declared parameter must be bound, every binding must name a
@@ -123,8 +126,8 @@ class PreparedQuery:
         """The optimizer's current choice, for introspection."""
         return str(self._plan.choice)
 
-    def execute(self, bindings: Optional[dict] = None,
-                counters=None, work_budget: Optional[int] = None,
+    def execute(self, bindings: dict | None = None,
+                counters=None, work_budget: int | None = None,
                 trace: bool = False, tracer=None):
         """Run the prepared plan; see :meth:`Engine.query` for the
         tracing/budget knobs.  ``bindings`` maps parameter names

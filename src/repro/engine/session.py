@@ -48,8 +48,9 @@ with crossing edges) raise :class:`~repro.errors.CompileError`;
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
 
+from repro.analysis import verify_plan
+from repro.analysis.analyzer import VERIFY_RUNS
 from repro.errors import CompileError, DNFError, UsageError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import NULL_TRACER, QueryTrace, Tracer
@@ -76,6 +77,9 @@ __all__ = ["Engine"]
 _BLOSSOM_STRATEGIES = {"pipelined", "caching", "stack", "bnlj", "nl"}
 
 _QUERIES = REGISTRY.counter("repro_queries_total", "Queries executed")
+#: Plan verifications skipped because the identical plan-cache key
+#: already verified clean this process (outcome="memoized").
+VERIFY_MEMO_HITS = VERIFY_RUNS.bound(outcome="memoized")
 _LATENCY = REGISTRY.histogram("repro_query_latency_ms",
                               "Query wall time in milliseconds")
 _DNF = REGISTRY.counter("repro_dnf_total",
@@ -123,19 +127,19 @@ class Engine:
     """
 
     def __init__(self, doc: Document,
-                 documents: Optional[dict[str, Document]] = None,
-                 work_budget: Optional[int] = None,
+                 documents: dict[str, Document] | None = None,
+                 work_budget: int | None = None,
                  plan_cache_capacity: int = 128) -> None:
         self.doc = doc
         self.documents = dict(documents or {})
         self.work_budget = work_budget
         self.index = TagIndex(doc)
-        self._stats: Optional[DocumentStats] = None
-        self.last_plan: Optional[str] = None
+        self._stats: DocumentStats | None = None
+        self.last_plan: str | None = None
         #: Trace of the most recent ``trace=True`` query (also populated
         #: when the query aborted on a budget trip, so DNFs stay
         #: diagnosable).
-        self.last_trace: Optional[QueryTrace] = None
+        self.last_trace: QueryTrace | None = None
         self._last_strategy: str = "?"
         #: LRU of compiled plans; keys include the statistics
         #: fingerprint, so a mutated document never matches old entries.
@@ -144,16 +148,24 @@ class Engine:
         #: document versions never alias even if their summary
         #: statistics happen to coincide.
         self._doc_version = 0
+        #: Plan-cache keys whose compiled artifacts already verified
+        #: clean this process.  Compilation is deterministic, so
+        #: rebuilding an identical (query, strategy, statistics) triple
+        #: yields structurally identical artifacts; re-verifying them
+        #: on every plan-cache miss would tax the serving path for no
+        #: new information.  Keys include the stats fingerprint, so a
+        #: mutated document never matches a stale verification.
+        self._verified_keys: dict[object, None] = {}
 
     # ------------------------------------------------------------------
     # Public API.
     # ------------------------------------------------------------------
 
-    def query(self, text: Union[str, QueryExpr], strategy: str = "auto",
-              counters: Optional[ScanCounters] = None,
-              work_budget: Optional[int] = None,
+    def query(self, text: str | QueryExpr, strategy: str = "auto",
+              counters: ScanCounters | None = None,
+              work_budget: int | None = None,
               trace: bool = False,
-              tracer: Optional[Tracer] = None) -> QueryResult:
+              tracer: Tracer | None = None) -> QueryResult:
         """Evaluate a query and return its result sequence.
 
         ``trace=True`` records a span tree over the whole pipeline
@@ -172,7 +184,7 @@ class Engine:
             lambda tr: self._plan_for(text, strategy, tr),
             text, strategy, counters, work_budget, trace, tracer)
 
-    def prepare(self, text: Union[str, QueryExpr],
+    def prepare(self, text: str | QueryExpr,
                 strategy: str = "auto") -> PreparedQuery:
         """Compile ``text`` once for repeated execution.
 
@@ -210,10 +222,10 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _shell(self, plan_source, source, strategy: str,
-               counters: Optional[ScanCounters],
-               work_budget: Optional[int], trace: bool,
-               tracer: Optional[Tracer],
-               bindings: Optional[dict] = None) -> QueryResult:
+               counters: ScanCounters | None,
+               work_budget: int | None, trace: bool,
+               tracer: Tracer | None,
+               bindings: dict | None = None) -> QueryResult:
         """Counters/budget/tracing/metrics shell around one execution.
 
         ``plan_source(tracer) -> (CachedPlan, cache_status)`` supplies
@@ -257,10 +269,10 @@ class Engine:
         return result
 
     def _execute_prepared(self, prepared: PreparedQuery,
-                          bindings: Optional[dict],
-                          counters: Optional[ScanCounters],
-                          work_budget: Optional[int], trace: bool,
-                          tracer: Optional[Tracer]) -> QueryResult:
+                          bindings: dict | None,
+                          counters: ScanCounters | None,
+                          work_budget: int | None, trace: bool,
+                          tracer: Tracer | None) -> QueryResult:
         """Run a prepared query, re-planning only if the document moved."""
         def plan_source(tr):
             fingerprint = self.stats_fingerprint()
@@ -283,7 +295,7 @@ class Engine:
     # Planning.
     # ------------------------------------------------------------------
 
-    def _plan_for(self, text: Union[str, QueryExpr], strategy: str,
+    def _plan_for(self, text: str | QueryExpr, strategy: str,
                   tracer) -> tuple[CachedPlan, str]:
         """Get a plan from the cache or compile one; returns
         ``(plan, "hit" | "miss" | "bypass")``."""
@@ -294,15 +306,22 @@ class Engine:
         plan = self.plan_cache.get(key)
         if plan is not None:
             return plan, "hit"
-        plan = self._build_plan(text, strategy, tracer)
+        plan = self._build_plan(text, strategy, tracer, memo_key=key)
         self.plan_cache.put(key, plan)
         return plan, "miss"
 
-    def _build_plan(self, text: Union[str, QueryExpr], strategy: str,
-                    tracer) -> CachedPlan:
+    def _build_plan(self, text: str | QueryExpr, strategy: str,
+                    tracer, memo_key: object = None) -> CachedPlan:
         """The full compile pipeline: parse → analyze → BlossomTree →
-        strategy choice → reusable pattern artifacts."""
-        compiled = compile_query(text, tracer=tracer)
+        strategy choice → reusable pattern artifacts.
+
+        ``memo_key`` is the plan-cache key; when it already verified
+        clean this process, validate-on-compile is skipped (compilation
+        is deterministic, so the rebuild produces structurally
+        identical artifacts — see :attr:`_verified_keys`).
+        """
+        memoized = memo_key is not None and memo_key in self._verified_keys
+        compiled = compile_query(text, tracer=tracer, verify=not memoized)
         if compiled.flwor is not None and not compiled.is_bare_path:
             from repro.xquery.semantics import analyze
 
@@ -315,15 +334,35 @@ class Engine:
             with tracer.span("prepare-artifacts") as span:
                 artifacts = prepare_artifacts(compiled.tree)
                 span.set(noks=len(artifacts.decomposition.noks))
-        return CachedPlan(compiled, choice, artifacts, strategy)
+        plan = CachedPlan(compiled, choice, artifacts, strategy)
+        # Validate-on-compile: every stage of the compiled artifact is
+        # checked against the invariant catalogue before the plan can be
+        # cached or executed; error findings raise PlanInvariantError.
+        if memoized:
+            VERIFY_MEMO_HITS()
+        else:
+            with tracer.span("verify-plan") as span:
+                # tree_verified: compile_query already ran the AST and
+                # BlossomTree passes over these exact objects.
+                report = verify_plan(plan,
+                                     recursive_document=self.stats.recursive,
+                                     tree_verified=compiled.tree is not None)
+                span.set(findings=len(report.findings),
+                         rules=",".join(report.rule_ids()) or "-")
+            if memo_key is not None:
+                if len(self._verified_keys) >= 1024:
+                    self._verified_keys.pop(next(iter(self._verified_keys)))
+                self._verified_keys[memo_key] = None
+        plan.verified = True
+        return plan
 
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
 
     def _execute_plan(self, plan: CachedPlan, counters: ScanCounters,
-                      budget: Optional[int], tracer,
-                      bindings: Optional[dict]) -> QueryResult:
+                      budget: int | None, tracer,
+                      bindings: dict | None) -> QueryResult:
         """Run one compiled plan (the execution half of the pipeline)."""
         compiled, choice = plan.compiled, plan.choice
         self.last_plan = str(choice)
@@ -398,7 +437,7 @@ class Engine:
                           - before["intermediate_results"])
         _PEAK.max(counters.peak_buffered)
 
-    def explain(self, text: Union[str, QueryExpr], strategy: str = "auto") -> str:
+    def explain(self, text: str | QueryExpr, strategy: str = "auto") -> str:
         """Describe the plan that ``query`` would run (without running it)."""
         compiled = compile_query(text)
         choice = self._resolve_strategy(compiled, strategy)
@@ -430,9 +469,9 @@ class Engine:
             lines.append(f"fallback reason: {compiled.compile_error}")
         return "\n".join(lines)
 
-    def explain_analyze(self, text: Union[str, QueryExpr],
+    def explain_analyze(self, text: str | QueryExpr,
                         strategy: str = "auto",
-                        work_budget: Optional[int] = None) -> str:
+                        work_budget: int | None = None) -> str:
         """Execute the query under tracing and render per-operator rows.
 
         Each NoK scan and each inter-NoK join gets one row showing
@@ -537,7 +576,7 @@ class Engine:
         return self.documents.get(uri, self.doc)
 
     def _resolve_strategy(self, compiled: CompiledQuery, strategy: str,
-                          tracer: Optional[Tracer] = None) -> PlanChoice:
+                          tracer: Tracer | None = None) -> PlanChoice:
         if strategy == "auto":
             return choose_strategy(self.stats, compiled.tree,
                                    compiled.is_bare_path, has_index=True,

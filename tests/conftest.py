@@ -6,6 +6,44 @@ import pytest
 
 from repro.xmlkit import parse
 
+
+@pytest.fixture(autouse=True)
+def _verify_every_compiled_plan(monkeypatch):
+    """Run the invariant analyzer over every artifact bundle the suite
+    builds.
+
+    The engine already verifies trees at compile time and plans before
+    caching; this fixture closes the remaining gap by wrapping
+    ``prepare_artifacts`` where the engine calls it, so any test that
+    drives the executor also exercises the decomposition/Dewey/plan
+    passes.  A suite-wide invariant regression then fails loudly at its
+    source instead of as a wrong query result three layers later.
+    """
+    import repro.engine.executor as executor_mod
+    import repro.engine.session as session_mod
+    from repro.analysis import analyze_artifacts, analyze_tree
+    from repro.analysis.passes import artifacts_quick_clean, tree_quick_clean
+    from repro.errors import PlanInvariantError
+    from repro.pattern.artifact import prepare_artifacts
+
+    def prepare_and_verify(tree):
+        artifacts = prepare_artifacts(tree)
+        # Full reporting passes AND the verify gates' fused fast path:
+        # the two implementations must agree on every artifact bundle
+        # the suite ever builds, or the fast path has drifted.
+        report = analyze_tree(artifacts.tree)
+        report.extend(analyze_artifacts(artifacts, tree_verified=True))
+        quick = tree_quick_clean(artifacts.tree) \
+            and artifacts_quick_clean(artifacts)
+        assert quick == report.clean, (
+            "fast-path/full-pass disagreement:\n" + report.format())
+        if not report.clean:
+            raise PlanInvariantError(report)
+        return artifacts
+
+    monkeypatch.setattr(session_mod, "prepare_artifacts", prepare_and_verify)
+    monkeypatch.setattr(executor_mod, "prepare_artifacts", prepare_and_verify)
+
 #: The document of the paper's Example 2 (whitespace matters for
 #: deep-equal tests, so it is kept exactly as printed).
 PAPER_BIB = """\
