@@ -11,8 +11,7 @@ as selectivity drops.
 
 import pytest
 
-from repro.bench.harness import run_cell, systems_for
-from repro.datagen import DATASETS
+from repro.bench.harness import run_cell
 
 from conftest import dataset
 

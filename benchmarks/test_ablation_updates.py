@@ -19,7 +19,7 @@ Measured here:
 import pytest
 
 from repro.engine import Engine
-from repro.xmlkit import TagIndex, parse, serialize
+from repro.xmlkit import parse, serialize
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.update import DocumentUpdater
 

@@ -110,7 +110,7 @@ def test_parameterized_prepared_matches_and_amortizes():
              for z in ("10000", "99999")]
     elapsed_ms = (time.perf_counter() - started) * 1e3 / len(sizes)
     # Different bindings reuse one plan; results match fresh compiles.
-    for z, size in zip(("10000", "99999"), sizes):
+    for z, size in zip(("10000", "99999"), sizes, strict=True):
         inlined = flwor.replace("$zip", f"'{z}'")
         assert size == len(Engine(prepared_ds.doc).query(inlined))
     record_run(flwor, "auto", elapsed_ms, {},

@@ -11,7 +11,6 @@ sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.xmlkit.tree import Node
 from repro.algebra.nested_list import NLEntry
@@ -33,7 +32,7 @@ class Env:
     values: dict[str, list[Node]] = field(default_factory=dict)
     anchors: dict[str, list[NLEntry]] = field(default_factory=dict)
 
-    def bind_for(self, name: str, entry: NLEntry) -> "Env":
+    def bind_for(self, name: str, entry: NLEntry) -> Env:
         """Extend with a for-binding (returns a copy; Envs are persistent
         values handed to the construction layer)."""
         child = Env(dict(self.values), dict(self.anchors))
@@ -42,14 +41,14 @@ class Env:
         child.anchors[name] = [entry]
         return child
 
-    def bind_let(self, name: str, entries: list[NLEntry]) -> "Env":
+    def bind_let(self, name: str, entries: list[NLEntry]) -> Env:
         """Extend with a let-binding over a (possibly empty) entry list."""
         child = Env(dict(self.values), dict(self.anchors))
         child.values[name] = [e.node for e in entries if e.node is not None]
         child.anchors[name] = entries
         return child
 
-    def node_of(self, name: str) -> Optional[Node]:
+    def node_of(self, name: str) -> Node | None:
         seq = self.values.get(name)
         return seq[0] if seq else None
 

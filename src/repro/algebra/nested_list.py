@@ -22,7 +22,7 @@ The textual ``(a1,[(b1,()),...])`` rendering of Figure 4 is produced by
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 from repro.xmlkit.tree import Node
 from repro.pattern.blossom import BlossomVertex
@@ -42,17 +42,17 @@ class NLEntry:
 
     __slots__ = ("vertex", "node", "groups")
 
-    def __init__(self, vertex: BlossomVertex, node: Optional[Node],
+    def __init__(self, vertex: BlossomVertex, node: Node | None,
                  n_groups: int) -> None:
         self.vertex = vertex
         self.node = node
-        self.groups: list[list[Optional[NLEntry]]] = [[] for _ in range(n_groups)]
+        self.groups: list[list[NLEntry | None]] = [[] for _ in range(n_groups)]
 
     # ------------------------------------------------------------------
     # Navigation.
     # ------------------------------------------------------------------
 
-    def group_for(self, child_vertex: BlossomVertex) -> list[Optional["NLEntry"]]:
+    def group_for(self, child_vertex: BlossomVertex) -> list[NLEntry | None]:
         """The group of a specific pattern child."""
         children = self.vertex.children()
         for index, child in enumerate(children):
@@ -60,7 +60,7 @@ class NLEntry:
                 return self.groups[index]
         raise KeyError(f"V{child_vertex.vid} is not a child of V{self.vertex.vid}")
 
-    def iter_group_entries(self) -> Iterator["NLEntry"]:
+    def iter_group_entries(self) -> Iterator[NLEntry]:
         for group in self.groups:
             for entry in group:
                 if entry is not None:
@@ -70,7 +70,7 @@ class NLEntry:
     # Rendering (paper notation).
     # ------------------------------------------------------------------
 
-    def sexpr(self, label: Optional[Callable[[Node], str]] = None) -> str:
+    def sexpr(self, label: Callable[[Node], str] | None = None) -> str:
         """Figure-4 notation: ``()`` nests, ``[]`` groups.
 
         ``label`` renders a matched node (default: ``tag`` + 1-based
@@ -140,6 +140,6 @@ def project(entry: NLEntry, target: BlossomVertex) -> list[Node]:
 
 
 def sexpr_sequence(entries: list[NLEntry],
-                   label: Optional[Callable[[Node], str]] = None) -> str:
+                   label: Callable[[Node], str] | None = None) -> str:
     """Render a sequence of NestedLists the way the paper lists results."""
     return "[" + ",\n ".join(e.sexpr(label) for e in entries) + "]"

@@ -12,11 +12,11 @@ each physical operator against these definitions.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
 
 from repro.xmlkit.tree import Node
 from repro.pattern.blossom import MODE_MANDATORY, BlossomVertex
-from repro.algebra.nested_list import NLEntry, project, project_entries
+from repro.algebra.nested_list import NLEntry, project
 
 __all__ = ["project_sequence", "select", "join", "Combined"]
 
@@ -54,7 +54,7 @@ def select(entries: Iterable[NLEntry], target: BlossomVertex,
 
 
 def _filter_entry(entry: NLEntry, target: BlossomVertex,
-                  predicate: Callable[[Node], bool]) -> Optional[NLEntry]:
+                  predicate: Callable[[Node], bool]) -> NLEntry | None:
     if entry.vertex is target:
         if entry.node is not None and predicate(entry.node):
             return entry
@@ -67,7 +67,7 @@ def _filter_entry(entry: NLEntry, target: BlossomVertex,
         if not on_path:
             copy.groups[index] = list(group)
             continue
-        new_group: list[Optional[NLEntry]] = []
+        new_group: list[NLEntry | None] = []
         for sub in group:
             if sub is None:
                 new_group.append(None)

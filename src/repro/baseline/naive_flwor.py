@@ -20,7 +20,7 @@ construction or comparison semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from collections.abc import Callable
 
 from repro.xmlkit.tree import Document
 from repro.xquery.ast import QueryExpr
@@ -48,13 +48,13 @@ class NaiveInterpreter:
     """
 
     def __init__(self, doc: Document,
-                 resolve_doc: Optional[Callable[[str], Document]] = None,
-                 work_budget: Optional[int] = None) -> None:
+                 resolve_doc: Callable[[str], Document] | None = None,
+                 work_budget: int | None = None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc
         self.work_budget = work_budget
 
-    def run(self, query: Union[str, QueryExpr]) -> QueryResult:
+    def run(self, query: str | QueryExpr) -> QueryResult:
         """Evaluate a query string or parsed query to a result sequence."""
         expr = parse_query(query) if isinstance(query, str) else query
         evaluator = DirectEvaluator(self.doc, self.resolve_doc, self.work_budget)

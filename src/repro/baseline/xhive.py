@@ -18,7 +18,7 @@ same way the other systems' runs do.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from collections.abc import Callable
 
 from repro.errors import DNFError
 from repro.xmlkit.storage import ScanCounters
@@ -47,14 +47,14 @@ class XHiveSimulator:
     """
 
     def __init__(self, doc: Document,
-                 resolve_doc: Optional[Callable[[str], Document]] = None,
-                 counters: Optional[ScanCounters] = None) -> None:
+                 resolve_doc: Callable[[str], Document] | None = None,
+                 counters: ScanCounters | None = None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         self.counters = counters if counters is not None else ScanCounters()
 
-    def run(self, query: Union[str, QueryExpr],
-            bindings: Optional[dict] = None) -> QueryResult:
+    def run(self, query: str | QueryExpr,
+            bindings: dict | None = None) -> QueryResult:
         """Evaluate a query navigationally (paths and FLWOR alike).
 
         ``bindings`` supplies values for external ``$parameters``.

@@ -23,12 +23,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import DNFError
-from repro.xmlkit.stats import DocumentStats, compute_stats
+from repro.xmlkit.stats import compute_stats
 from repro.xmlkit.storage import ScanCounters
-from repro.xmlkit.tree import Document
 from repro.bench.recording import record_run
 from repro.engine.session import Engine
 from repro.datagen.workload import DATASETS, DatasetSpec, measure_selectivity
@@ -67,7 +65,7 @@ class CellResult:
     """One (dataset, query, system) measurement."""
 
     system: str
-    seconds: Optional[float]          # None => DNF
+    seconds: float | None          # None => DNF
     counters: dict[str, int] = field(default_factory=dict)
     n_results: int = 0
 
@@ -189,7 +187,7 @@ def table2_rows(scale: float = 1.0) -> list[dict[str, object]]:
 
 def table3_rows(scale: float = 1.0, repeat: int = 1,
                 budget_factor: int = DEFAULT_BUDGET_FACTOR,
-                datasets: Optional[list[str]] = None) -> list[Table3Row]:
+                datasets: list[str] | None = None) -> list[Table3Row]:
     """Reproduce Table 3: running time per dataset × system × query."""
     rows: list[Table3Row] = []
     for name in (datasets or list(DATASETS)):

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
 
 __all__ = ["RECORDS", "record_run", "write_json", "clear"]
 
@@ -19,7 +18,7 @@ __all__ = ["RECORDS", "record_run", "write_json", "clear"]
 RECORDS: list[dict[str, object]] = []
 
 
-def record_run(query: str, strategy: str, wall_ms: Optional[float],
+def record_run(query: str, strategy: str, wall_ms: float | None,
                counters: dict[str, int], **extra: object) -> dict[str, object]:
     """Append one benchmark measurement.
 
@@ -38,8 +37,8 @@ def record_run(query: str, strategy: str, wall_ms: Optional[float],
     return record
 
 
-def write_json(path: Union[str, Path],
-               meta: Optional[dict[str, object]] = None) -> Path:
+def write_json(path: str | Path,
+               meta: dict[str, object] | None = None) -> Path:
     """Write all accumulated records (plus optional metadata) as JSON."""
     path = Path(path)
     payload = {"meta": meta or {}, "runs": RECORDS}

@@ -11,7 +11,7 @@ benchmark sees identical documents.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.xmlkit.tree import Document, DocumentBuilder
 
@@ -55,15 +55,15 @@ class GenContext:
     def exhausted(self) -> bool:
         return self.count >= self.target
 
-    def start(self, tag: str, attrs: Optional[dict[str, str]] = None) -> None:
+    def start(self, tag: str, attrs: dict[str, str] | None = None) -> None:
         self.count += 1
         self.builder.start_element(tag, attrs)
 
     def end(self) -> None:
         self.builder.end_element()
 
-    def leaf(self, tag: str, text: Optional[str] = None,
-             attrs: Optional[dict[str, str]] = None) -> None:
+    def leaf(self, tag: str, text: str | None = None,
+             attrs: dict[str, str] | None = None) -> None:
         self.count += 1
         self.builder.element(tag, text, attrs)
 

@@ -13,7 +13,6 @@ breaks the pipelined join's order-preservation on this dataset.  Tag
 
 from __future__ import annotations
 
-import random
 
 from repro.xmlkit.tree import Document
 from repro.datagen.core import GenContext, WeightedTags

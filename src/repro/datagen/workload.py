@@ -19,7 +19,7 @@ requirement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.xmlkit.stats import compute_stats
 from repro.xmlkit.tree import Document
@@ -133,7 +133,7 @@ DATASETS: dict[str, DatasetSpec] = {
 
 
 def measure_selectivity(doc: Document, query: str,
-                        n_elements: Optional[int] = None) -> float:
+                        n_elements: int | None = None) -> float:
     """Fraction of the document's elements a path query returns."""
     if n_elements is None:
         n_elements = compute_stats(doc, with_size=False).n_elements

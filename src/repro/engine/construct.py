@@ -9,7 +9,7 @@ binding tuples.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from collections.abc import Callable
 
 from repro.errors import DNFError
 from repro.xmlkit.tree import Document, Node
@@ -43,8 +43,8 @@ class DirectEvaluator:
     """
 
     def __init__(self, doc: Document,
-                 resolve_doc: Optional[Callable[[str], Document]] = None,
-                 work_budget: Optional[int] = None) -> None:
+                 resolve_doc: Callable[[str], Document] | None = None,
+                 work_budget: int | None = None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         self.work_budget = work_budget
@@ -74,7 +74,7 @@ class DirectEvaluator:
         return EvalContext(self.doc.document_node, variables=bindings,
                            resolve_doc=self.resolve_doc)
 
-    def check_where(self, where: Optional[Expr], bindings: dict) -> bool:
+    def check_where(self, where: Expr | None, bindings: dict) -> bool:
         """Effective boolean value of a where clause under bindings."""
         if where is None:
             return True
@@ -94,7 +94,7 @@ class DirectEvaluator:
         return items
 
     def _expand_clauses(self, clauses, index: int, bindings: dict,
-                        out: list[dict], where: Optional[Expr]) -> None:
+                        out: list[dict], where: Expr | None) -> None:
         if index == len(clauses):
             self.tuples_examined += 1
             if self.work_budget is not None and self.tuples_examined > self.work_budget:

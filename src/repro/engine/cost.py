@@ -33,8 +33,7 @@ measurement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.pattern.blossom import BlossomTree
 from repro.pattern.decompose import Decomposition, decompose
@@ -65,7 +64,7 @@ class CostModel:
     """Ranks the physical strategies for one compiled query."""
 
     def __init__(self, doc: Document, stats: DocumentStats,
-                 index: Optional[TagIndex] = None) -> None:
+                 index: TagIndex | None = None) -> None:
         self.doc = doc
         self.stats = stats
         self.index = index if index is not None else TagIndex(doc)

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Optional, Union
 
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer
@@ -53,15 +52,15 @@ class Database:
     """
 
     def __init__(self, doc: Document,
-                 slow_query_ms: Optional[float] = None) -> None:
+                 slow_query_ms: float | None = None) -> None:
         self.doc = doc
         self.engine = Engine(doc)
-        self._updater: Optional[DocumentUpdater] = None
-        self.slow_log: Optional[SlowQueryLog] = (
+        self._updater: DocumentUpdater | None = None
+        self.slow_log: SlowQueryLog | None = (
             SlowQueryLog(slow_query_ms) if slow_query_ms is not None else None)
 
     def configure_slow_log(self, threshold_ms: float = 100.0,
-                           path: Optional[Union[str, Path]] = None,
+                           path: str | Path | None = None,
                            max_entries: int = 1000) -> SlowQueryLog:
         """Enable (or reconfigure) the slow-query log; returns it."""
         self.slow_log = SlowQueryLog(threshold_ms, path, max_entries)
@@ -72,12 +71,12 @@ class Database:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_xml(cls, text: str) -> "Database":
+    def from_xml(cls, text: str) -> Database:
         """Build a database from XML text."""
         return cls(parse(text))
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "Database":
+    def open(cls, path: str | Path) -> Database:
         """Open a database stored with :meth:`save`.
 
         The new instance's plan cache starts empty — compiled plans
@@ -89,7 +88,7 @@ class Database:
         db.engine.plan_cache.invalidate("reopen")
         return db
 
-    def save(self, path: Union[str, Path]) -> int:
+    def save(self, path: str | Path) -> int:
         """Persist to the succinct binary format; returns bytes written."""
         payload = dump(self.doc)
         Path(path).write_bytes(payload)
@@ -100,10 +99,10 @@ class Database:
     # ------------------------------------------------------------------
 
     def query(self, text: str, strategy: str = "auto",
-              counters: Optional[ScanCounters] = None,
-              work_budget: Optional[int] = None,
+              counters: ScanCounters | None = None,
+              work_budget: int | None = None,
               trace: bool = False,
-              tracer: Optional[Tracer] = None) -> QueryResult:
+              tracer: Tracer | None = None) -> QueryResult:
         """Evaluate a query (see :meth:`Engine.query` for the options —
         the signatures are identical).
 
@@ -136,7 +135,7 @@ class Database:
         return self.engine.prepare(text, strategy=strategy)
 
     def explain_analyze(self, text: str, strategy: str = "auto",
-                        work_budget: Optional[int] = None) -> str:
+                        work_budget: int | None = None) -> str:
         """Per-operator measured-vs-estimated rows (see Engine)."""
         return self.engine.explain_analyze(text, strategy,
                                            work_budget=work_budget)

@@ -29,9 +29,9 @@ Execution pipeline (Figure 2's data flow, made concrete):
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from collections.abc import Callable
 
-from repro.errors import CompileError, ExecutionError, UsageError
+from repro.errors import CompileError, UsageError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.pattern.artifact import PatternArtifacts, prepare_artifacts
@@ -39,7 +39,7 @@ from repro.pattern.blossom import MODE_MANDATORY, BlossomTree, BlossomVertex, Tr
 from repro.pattern.build import RESULT_VAR, build_blossom_tree
 from repro.pattern.decompose import Decomposition, InterEdge, NoKTree
 from repro.xmlkit.storage import ScanCounters
-from repro.xmlkit.tree import Document, Node
+from repro.xmlkit.tree import Document
 from repro.xquery.ast import FLWOR, ForClause, LetClause
 from repro.algebra.env import Env
 from repro.algebra.nested_list import NLEntry
@@ -91,11 +91,11 @@ class FLWORExecutor:
     """
 
     def __init__(self, doc: Document,
-                 resolve_doc: Optional[Callable[[str], Document]] = None,
+                 resolve_doc: Callable[[str], Document] | None = None,
                  join_algorithm: str = "auto",
-                 counters: Optional[ScanCounters] = None,
-                 recursive_hint: Optional[bool] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 counters: ScanCounters | None = None,
+                 recursive_hint: bool | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         if join_algorithm != "auto" and join_algorithm not in JOIN_ALGORITHMS:
@@ -116,8 +116,8 @@ class FLWORExecutor:
     # ------------------------------------------------------------------
 
     def execute(self, flwor: FLWOR,
-                artifacts: Optional[PatternArtifacts] = None,
-                bindings: Optional[dict] = None) -> list[Item]:
+                artifacts: PatternArtifacts | None = None,
+                bindings: dict | None = None) -> list[Item]:
         """Run the full pipeline; raises CompileError for unsupported
         constructs (callers fall back to direct evaluation).
 
@@ -168,7 +168,7 @@ class FLWORExecutor:
         return items
 
     def execute_twigstack(self, flwor: FLWOR,
-                          artifacts: Optional[PatternArtifacts] = None,
+                          artifacts: PatternArtifacts | None = None,
                           ) -> list[Item]:
         """Evaluate a bare-path FLWOR holistically with TwigStack.
 
@@ -213,7 +213,7 @@ class FLWORExecutor:
                                   doc_nodes=len(doc.nodes)) as scan_span:
                 before_nodes = self.counters.nodes_scanned
                 before_cmp = self.counters.comparisons
-                per_nok: Optional[dict[int, ScanCounters]] = (
+                per_nok: dict[int, ScanCounters] | None = (
                     {} if self._tracing else None)
                 started = time.perf_counter_ns()
                 result = merged_scan(noks, doc, self.counters, per_nok)
@@ -299,7 +299,7 @@ class FLWORExecutor:
 
     def _run_join(self, dec: Decomposition, edge: InterEdge,
                   left: list[NLEntry], right: list[NLEntry],
-                  span: Optional[Span] = None) -> JoinResult:
+                  span: Span | None = None) -> JoinResult:
         if edge.axis != "descendant":
             raise CompileError(f"inter-NoK axis {edge.axis!r} has no join "
                                "operator (navigational fallback required)")

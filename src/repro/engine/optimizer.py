@@ -21,7 +21,6 @@ it when the caller asks for ``strategy="auto"``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pattern.blossom import BlossomTree
@@ -42,9 +41,9 @@ class PlanChoice:
         return f"{self.strategy} ({self.reason})"
 
 
-def choose_strategy(stats: DocumentStats, tree: Optional[BlossomTree],
+def choose_strategy(stats: DocumentStats, tree: BlossomTree | None,
                     is_bare_path: bool, has_index: bool,
-                    tracer: Optional[Tracer] = None) -> PlanChoice:
+                    tracer: Tracer | None = None) -> PlanChoice:
     """Pick the physical strategy for a compiled query.
 
     Parameters
@@ -71,7 +70,7 @@ def choose_strategy(stats: DocumentStats, tree: Optional[BlossomTree],
     return choice
 
 
-def _choose(stats: DocumentStats, tree: Optional[BlossomTree],
+def _choose(stats: DocumentStats, tree: BlossomTree | None,
             is_bare_path: bool, has_index: bool) -> PlanChoice:
     if tree is None:
         return PlanChoice("naive", "query outside the pattern-matching subset")

@@ -11,16 +11,16 @@ input document).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ExecutionError
 from repro.xmlkit.serialize import pretty, serialize
-from repro.xmlkit.tree import ELEMENT, TEXT, Document, DocumentBuilder, Node
+from repro.xmlkit.tree import ELEMENT, TEXT, DocumentBuilder, Node
 from repro.xpath.evaluator import AttrNode
 
 __all__ = ["QueryResult", "ResultBuilder", "copy_into", "atom_text"]
 
-Item = Union[Node, AttrNode, str, float, bool]
+Item = Node | AttrNode | str | float | bool
 
 
 def atom_text(item: Item) -> str:
@@ -34,7 +34,7 @@ def atom_text(item: Item) -> str:
     return item.string_value()
 
 
-def copy_into(builder: DocumentBuilder, node: Union[Node, AttrNode]) -> None:
+def copy_into(builder: DocumentBuilder, node: Node | AttrNode) -> None:
     """Deep-copy a source node into the document being built."""
     if isinstance(node, AttrNode):
         # Attributes selected as items serialize as their value text.
@@ -61,7 +61,7 @@ class ResultBuilder:
         self._builder = DocumentBuilder()
         self._depth = 0
 
-    def start_element(self, tag: str, attrs: Optional[dict[str, str]] = None) -> None:
+    def start_element(self, tag: str, attrs: dict[str, str] | None = None) -> None:
         self._builder.start_element(tag, attrs)
         self._depth += 1
 
@@ -116,8 +116,8 @@ class QueryResult:
 
     def __init__(self, items: Sequence[Item]) -> None:
         self.items = list(items)
-        self.trace = None       # Optional[QueryTrace], set by the session
-        self.counters = None    # Optional[ScanCounters], set by the session
+        self.trace = None       # QueryTrace | None, set by the session
+        self.counters = None    # ScanCounters | None, set by the session
 
     def __len__(self) -> int:
         return len(self.items)

@@ -18,7 +18,7 @@ the engine does not import the benchmark harness).
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import QueryTrace, Span
@@ -113,7 +113,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         elif isinstance(metric, Histogram):
             for key in sorted(metric.cells()):
                 counts, total, count = metric.cells()[key]
-                for bound, cumulative in zip(metric.buckets, counts):
+                for bound, cumulative in zip(metric.buckets, counts, strict=True):
                     bucket_key = key + (("le", _num(bound)),)
                     lines.append(f"{metric.name}_bucket{_labels_text(bucket_key)} "
                                  f"{cumulative}")

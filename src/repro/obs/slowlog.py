@@ -22,7 +22,6 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
 
 from repro.obs.metrics import REGISTRY
 
@@ -63,7 +62,7 @@ class SlowQueryLog:
     """Bounded in-memory slow-query ring with optional JSONL streaming."""
 
     def __init__(self, threshold_ms: float = 100.0,
-                 path: Optional[Union[str, Path]] = None,
+                 path: str | Path | None = None,
                  max_entries: int = 1000) -> None:
         if threshold_ms < 0:
             raise ValueError("threshold_ms must be >= 0")
@@ -77,8 +76,8 @@ class SlowQueryLog:
 
     def observe(self, query: str, strategy: str, plan: str,
                 elapsed_ms: float,
-                counters: Optional[dict[str, int]] = None
-                ) -> Optional[SlowQueryRecord]:
+                counters: dict[str, int] | None = None
+                ) -> SlowQueryRecord | None:
         """Record the query iff it crossed the threshold.
 
         Returns the record when one was made, ``None`` otherwise.

@@ -27,7 +27,8 @@ else, which keeps the untraced hot path essentially free.
 from __future__ import annotations
 
 import time
-from typing import Any, Iterator, Optional
+from collections.abc import Iterator
+from typing import Any
 
 __all__ = ["Span", "Tracer", "QueryTrace", "NullTracer", "NULL_TRACER"]
 
@@ -37,7 +38,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "start_ns", "end_ns", "children")
 
-    def __init__(self, name: str, attrs: Optional[dict[str, Any]] = None) -> None:
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
         self.name = name
         self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
         self.start_ns: int = 0
@@ -64,20 +65,20 @@ class Span:
 
     # -- traversal ------------------------------------------------------
 
-    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, Span]]:
         """Yield (depth, span) pairs in pre-order."""
         yield depth, self
         for child in self.children:
             yield from child.walk(depth + 1)
 
-    def find(self, name: str) -> Optional["Span"]:
+    def find(self, name: str) -> Span | None:
         """First span (pre-order) with the given name, or ``None``."""
         for _, span in self.walk():
             if span.name == name:
                 return span
         return None
 
-    def find_all(self, name: str) -> list["Span"]:
+    def find_all(self, name: str) -> list[Span]:
         """Every span (pre-order) with the given name."""
         return [s for _, s in self.walk() if s.name == name]
 
@@ -90,7 +91,7 @@ class _SpanContext:
 
     __slots__ = ("_tracer", "_span")
 
-    def __init__(self, tracer: "Tracer", span: Span) -> None:
+    def __init__(self, tracer: Tracer, span: Span) -> None:
         self._tracer = tracer
         self._span = span
 
@@ -127,11 +128,11 @@ class Tracer:
         """Open a child span of the currently active span."""
         return _SpanContext(self, Span(name, attrs))
 
-    def current(self) -> Optional[Span]:
+    def current(self) -> Span | None:
         """The innermost open span (``None`` outside any span)."""
         return self._stack[-1] if self._stack else None
 
-    def finish(self) -> "QueryTrace":
+    def finish(self) -> QueryTrace:
         """Seal the tree into a :class:`QueryTrace` and reset the tracer."""
         # Close any spans left open by an exception unwinding past them.
         now = time.perf_counter_ns()
@@ -151,14 +152,14 @@ class QueryTrace:
         self.roots = roots
 
     @property
-    def root(self) -> Optional[Span]:
+    def root(self) -> Span | None:
         return self.roots[0] if self.roots else None
 
     def walk(self) -> Iterator[tuple[int, Span]]:
         for root in self.roots:
             yield from root.walk()
 
-    def find(self, name: str) -> Optional[Span]:
+    def find(self, name: str) -> Span | None:
         for root in self.roots:
             found = root.find(name)
             if found is not None:

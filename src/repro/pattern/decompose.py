@@ -16,7 +16,6 @@ separate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.pattern.blossom import BlossomTree, BlossomVertex, TreeEdge
 
@@ -35,7 +34,7 @@ class NoKTree:
     nok_id: int
     root: BlossomVertex
     vertices: list[BlossomVertex] = field(default_factory=list)
-    doc_uri: Optional[str] = None
+    doc_uri: str | None = None
 
     def local_children(self, vertex: BlossomVertex) -> list[TreeEdge]:
         """Uncut child edges of a member vertex."""

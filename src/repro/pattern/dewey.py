@@ -15,7 +15,6 @@ which is the precondition of Theorem 2's order-preservation result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.pattern.blossom import BlossomTree, BlossomVertex
 
@@ -31,7 +30,7 @@ class DeweyAssignment:
     of_vertex: dict[int, Dewey] = field(default_factory=dict)   # vid -> dewey
     vertex_of: dict[Dewey, BlossomVertex] = field(default_factory=dict)
     #: closest returning ancestor (vid -> vid), for returning-tree walks
-    returning_parent: dict[int, Optional[int]] = field(default_factory=dict)
+    returning_parent: dict[int, int | None] = field(default_factory=dict)
 
     def dewey(self, vertex: BlossomVertex) -> Dewey:
         return self.of_vertex[vertex.vid]
@@ -56,7 +55,7 @@ def assign_dewey(tree: BlossomTree) -> DeweyAssignment:
 
 
 def _assign_subtree(tree: BlossomTree, vertex: BlossomVertex, dewey: Dewey,
-                    returning_parent: Optional[int],
+                    returning_parent: int | None,
                     assignment: DeweyAssignment) -> None:
     """Assign ``dewey`` to ``vertex`` (assumed returning or a root) and
     recurse into the closest returning descendants."""

@@ -23,7 +23,8 @@ large recursive data in Table 3 — the scans charge
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, TypeVar
+from collections.abc import Callable, Iterable
+from typing import TypeVar
 
 from repro.obs.metrics import REGISTRY
 from repro.pattern.decompose import InterEdge, NoKTree
@@ -50,8 +51,8 @@ _OUTPUT = REGISTRY.counter("repro_operator_output_total",
 
 def bounded_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
                              doc: Document, edge: InterEdge,
-                             counters: Optional[ScanCounters] = None,
-                             canonical: Optional[dict[int, NLEntry]] = None
+                             counters: ScanCounters | None = None,
+                             canonical: dict[int, NLEntry] | None = None
                              ) -> JoinResult:
     """BNLJ: per outer node, re-match the inner NoK within its subtree.
 
@@ -86,8 +87,8 @@ def bounded_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
 
 def naive_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
                            doc: Document, edge: InterEdge,
-                           counters: Optional[ScanCounters] = None,
-                           canonical: Optional[dict[int, NLEntry]] = None
+                           counters: ScanCounters | None = None,
+                           canonical: dict[int, NLEntry] | None = None
                            ) -> JoinResult:
     """Unbounded nested loop: full inner scan per outer node.
 
@@ -115,7 +116,7 @@ def naive_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
 
 
 def _reconcile(entry: NLEntry,
-               canonical: Optional[dict[int, NLEntry]]) -> Optional[NLEntry]:
+               canonical: dict[int, NLEntry] | None) -> NLEntry | None:
     """Map a rediscovered match onto the canonical (reduced) entry."""
     if canonical is None:
         return entry
@@ -125,7 +126,7 @@ def _reconcile(entry: NLEntry,
 
 def nested_loop_pairs(left_items: Iterable[L], right_items: Iterable[R],
                       predicate: Callable[[L, R], bool],
-                      counters: Optional[ScanCounters] = None) -> list[tuple[L, R]]:
+                      counters: ScanCounters | None = None) -> list[tuple[L, R]]:
     """All-pairs join with a predicate (``<<``, value and mixed joins).
 
     Destroys document order on its output (Example 5), so nothing

@@ -25,7 +25,7 @@ Differences from the pseudo-code, for exactness:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.pattern.blossom import MODE_MANDATORY, BlossomVertex
 from repro.pattern.decompose import NoKTree
@@ -55,8 +55,8 @@ class NoKMatcher:
     """
 
     def __init__(self, nok: NoKTree, doc: Document,
-                 counters: Optional[ScanCounters] = None,
-                 start_nid: int = 0, stop_nid: Optional[int] = None) -> None:
+                 counters: ScanCounters | None = None,
+                 start_nid: int = 0, stop_nid: int | None = None) -> None:
         self.nok = nok
         self.doc = doc
         self.counters = counters if counters is not None else ScanCounters()
@@ -95,7 +95,7 @@ class NoKMatcher:
 
 def match_subtree(vertex: BlossomVertex, node: Node,
                   counters: ScanCounters,
-                  evaluator: Optional[XPathEvaluator] = None) -> Optional[NLEntry]:
+                  evaluator: XPathEvaluator | None = None) -> NLEntry | None:
     """Match a NoK pattern subtree rooted at ``vertex`` against ``node``.
 
     The caller must have verified the tag-name test (scan-level

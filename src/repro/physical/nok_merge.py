@@ -14,8 +14,6 @@ by one document pass instead of one pass per NoK.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.obs.metrics import REGISTRY
 from repro.pattern.decompose import NoKTree
 from repro.physical.nok import match_subtree
@@ -33,8 +31,8 @@ _OUTPUT = REGISTRY.counter("repro_operator_output_total",
 
 
 def merged_scan(noks: list[NoKTree], doc: Document,
-                counters: Optional[ScanCounters] = None,
-                per_nok: Optional[dict[int, ScanCounters]] = None
+                counters: ScanCounters | None = None,
+                per_nok: dict[int, ScanCounters] | None = None
                 ) -> dict[int, list[NLEntry]]:
     """Evaluate several NoK pattern trees over one document in one scan.
 

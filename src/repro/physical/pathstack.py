@@ -14,8 +14,6 @@ with less machinery on chains.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import ExecutionError
 from repro.obs.metrics import REGISTRY
 from repro.pattern.blossom import BlossomTree, BlossomVertex
@@ -65,8 +63,8 @@ class PathStackOperator:
     """
 
     def __init__(self, tree: BlossomTree, doc: Document,
-                 index: Optional[TagIndex] = None,
-                 counters: Optional[ScanCounters] = None) -> None:
+                 index: TagIndex | None = None,
+                 counters: ScanCounters | None = None) -> None:
         if not chain_supported(tree):
             raise ExecutionError("PathStack requires a single //-chain query")
         self.tree = tree

@@ -21,7 +21,7 @@ Two variants:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable
 
 from repro.errors import ExecutionError
 from repro.obs.metrics import REGISTRY
@@ -42,7 +42,7 @@ _OUTPUT = REGISTRY.counter("repro_operator_output_total",
 def pipelined_desc_join(left_nodes: Iterable[Node],
                         right_entries: Iterable[NLEntry],
                         edge: InterEdge,
-                        counters: Optional[ScanCounters] = None) -> JoinResult:
+                        counters: ScanCounters | None = None) -> JoinResult:
     """Strict merge join for a ``//`` inter edge on non-nesting input.
 
     ``left_nodes`` must be document-ordered and non-nesting (the
@@ -56,7 +56,7 @@ def pipelined_desc_join(left_nodes: Iterable[Node],
         counters = ScanCounters()
     result = JoinResult(edge)
     left_iter = iter(left_nodes)
-    current: Optional[Node] = next(left_iter, None)
+    current: Node | None = next(left_iter, None)
 
     for entry in right_entries:
         node = entry.node
@@ -86,7 +86,7 @@ def pipelined_desc_join(left_nodes: Iterable[Node],
 def caching_desc_join(left_nodes: Iterable[Node],
                       right_entries: Iterable[NLEntry],
                       edge: InterEdge,
-                      counters: Optional[ScanCounters] = None) -> JoinResult:
+                      counters: ScanCounters | None = None) -> JoinResult:
     """Merge join with an ancestor stack — correct on recursive input.
 
     The stack holds every left node whose region is still open at the
@@ -100,7 +100,7 @@ def caching_desc_join(left_nodes: Iterable[Node],
         counters = ScanCounters()
     result = JoinResult(edge)
     left_iter = iter(left_nodes)
-    pending: Optional[Node] = next(left_iter, None)
+    pending: Node | None = next(left_iter, None)
     stack: list[Node] = []
 
     for entry in right_entries:

@@ -13,7 +13,7 @@ loops are too slow.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.obs.metrics import REGISTRY
 from repro.pattern.decompose import InterEdge
@@ -33,7 +33,7 @@ _OUTPUT = REGISTRY.counter("repro_operator_output_total",
 def stack_desc_join(left_nodes: Iterable[Node],
                     right_entries: Iterable[NLEntry],
                     edge: InterEdge,
-                    counters: Optional[ScanCounters] = None) -> JoinResult:
+                    counters: ScanCounters | None = None) -> JoinResult:
     """Ancestor-descendant stack merge producing join adjacency.
 
     Both inputs must be document-ordered; nesting is allowed on both
@@ -59,7 +59,7 @@ def stack_desc_join(left_nodes: Iterable[Node],
 
 def stack_join_pairs(ancestors: list[Node],
                      descendants: list[tuple[Node, object]],
-                     counters: Optional[ScanCounters] = None
+                     counters: ScanCounters | None = None
                      ) -> list[tuple[Node, tuple[Node, object]]]:
     """Core stack merge over (node, payload) descendant items.
 

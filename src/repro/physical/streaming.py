@@ -25,13 +25,12 @@ Streamability restrictions (checked up front, raising
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import CompileError
 from repro.pattern.blossom import MODE_MANDATORY, BlossomVertex
 from repro.pattern.decompose import NoKTree
 from repro.xmlkit.sax import ContentHandler, parse_string
-from repro.xpath.ast import Comparison, Literal, LocationPath, NameTest, NumberLiteral, RootContext, TextTest
+from repro.xpath.ast import Comparison, Literal, LocationPath, NumberLiteral, RootContext, TextTest
 
 __all__ = ["StreamingNoKMatcher", "stream_count"]
 
@@ -77,7 +76,7 @@ class _OpenMatch:
     """An in-flight match of one pattern vertex at the current depth."""
 
     vertex: BlossomVertex
-    parent: Optional["_OpenMatch"]
+    parent: _OpenMatch | None
     text_parts: list[str] = field(default_factory=list)
     matched_children: set[int] = field(default_factory=set)
     text_tests: list[_TextTest] = field(default_factory=list)
@@ -133,7 +132,7 @@ class StreamingNoKMatcher(ContentHandler):
     def start_element(self, tag: str, attrs: dict[str, str]) -> None:
         new_frame: list[_OpenMatch] = []
 
-        def try_open(vertex: BlossomVertex, parent: Optional[_OpenMatch]) -> None:
+        def try_open(vertex: BlossomVertex, parent: _OpenMatch | None) -> None:
             if not vertex.matches_tag(tag):
                 return
             for test in self._attr_tests[vertex.vid]:

@@ -12,7 +12,7 @@ child NoK hang under this particular u node" in O(1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.pattern.decompose import InterEdge
 from repro.xmlkit.tree import Node

@@ -26,7 +26,6 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import ExecutionError
 from repro.obs.metrics import REGISTRY
@@ -71,9 +70,9 @@ class _QNode:
     """One twig query node with its stream and stack."""
 
     vertex: BlossomVertex
-    parent: Optional["_QNode"]
+    parent: _QNode | None
     axis: str                    # edge axis from parent ("descendant" at root)
-    children: list["_QNode"] = field(default_factory=list)
+    children: list[_QNode] = field(default_factory=list)
     stream: list[Node] = field(default_factory=list)
     pos: int = 0
     # stack holds (node, parent_stack_size_at_push)
@@ -118,8 +117,8 @@ class TwigStackOperator:
     """
 
     def __init__(self, tree: BlossomTree, doc: Document,
-                 index: Optional[TagIndex] = None,
-                 counters: Optional[ScanCounters] = None) -> None:
+                 index: TagIndex | None = None,
+                 counters: ScanCounters | None = None) -> None:
         if not twig_supported(tree):
             raise ExecutionError("BlossomTree is not a single twig; "
                                  "TwigStack is not applicable")
@@ -152,7 +151,7 @@ class TwigStackOperator:
             root_q.stream = [n for n in root_q.stream if n.level == 1]
         return root_q
 
-    def _make_qnode(self, vertex: BlossomVertex, parent: Optional[_QNode],
+    def _make_qnode(self, vertex: BlossomVertex, parent: _QNode | None,
                     axis: str) -> _QNode:
         qnode = _QNode(vertex, parent, axis)
         qnode.stream = self._stream_for(vertex)

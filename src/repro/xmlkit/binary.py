@@ -25,10 +25,10 @@ tags dictionary-encoded, one sequential read to reconstruct or scan.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import ReproError
-from repro.xmlkit.tree import DOCUMENT, ELEMENT, TEXT, Document, DocumentBuilder, Node
+from repro.xmlkit.tree import ELEMENT, TEXT, Document, DocumentBuilder, Node
 
 __all__ = ["dump", "load", "StorageError"]
 
@@ -133,12 +133,12 @@ def dump(doc: Document) -> bytes:
     out = bytearray(_MAGIC)
     _write_varint(out, len(tags))
     for name in tags:  # dict preserves insertion order == id order
-        encoded = name.encode("utf-8")
+        encoded = name.encode()
         _write_varint(out, len(encoded))
         out.extend(encoded)
     _write_varint(out, len(strings))
     for value in strings:
-        encoded = value.encode("utf-8")
+        encoded = value.encode()
         _write_varint(out, len(encoded))
         out.extend(encoded)
     _write_varint(out, len(structure))

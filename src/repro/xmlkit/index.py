@@ -14,8 +14,6 @@ materialization of structural relationships.
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from typing import Optional
 
 from repro.xmlkit.tree import Document, Node
 
@@ -30,7 +28,7 @@ class TagIndex:
         self._lists: dict[str, list[Node]] = {}
         self._built = False
 
-    def build(self) -> "TagIndex":
+    def build(self) -> TagIndex:
         """Materialize all per-tag lists (idempotent)."""
         if not self._built:
             table: dict[str, list[Node]] = {}
@@ -55,7 +53,7 @@ class TagIndex:
         self.build()
         return self._lists.get(tag, [])
 
-    def stream(self, tag: str) -> "TagStream":
+    def stream(self, tag: str) -> TagStream:
         """Open a cursor over the tag's list."""
         return TagStream(self.nodes(tag))
 
@@ -86,7 +84,7 @@ class TagStream:
         """Current node; callers must check :meth:`eof` first."""
         return self.nodes[self.pos]
 
-    def peek(self) -> Optional[Node]:
+    def peek(self) -> Node | None:
         return None if self.eof() else self.nodes[self.pos]
 
     def advance(self) -> None:
@@ -106,7 +104,7 @@ class TagStream:
                 hi = mid
         self.pos = lo
 
-    def clone(self) -> "TagStream":
+    def clone(self) -> TagStream:
         """An independent cursor at the same position."""
         fresh = TagStream(self.nodes)
         fresh.pos = self.pos

@@ -8,7 +8,6 @@ element, no character data outside it) on top of the lexical layer in
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
 
 from repro.errors import XMLSyntaxError
 from repro.xmlkit.tokenizer import CHARS, COMMENT, END, PI, START, tokenize
@@ -59,6 +58,6 @@ def parse(text: str) -> Document:
         raise XMLSyntaxError(str(exc)) from exc
 
 
-def parse_file(path: Union[str, Path]) -> Document:
+def parse_file(path: str | Path) -> Document:
     """Parse an XML file from disk."""
     return parse(Path(path).read_text(encoding="utf-8"))

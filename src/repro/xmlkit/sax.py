@@ -8,8 +8,6 @@ consumers (and tests of the tokenizer) do not need a materialized tree.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import XMLSyntaxError
 from repro.xmlkit.tokenizer import CHARS, COMMENT, END, PI, START, tokenize
 

@@ -6,9 +6,7 @@ corpora to disk), and round-trip testing of the parser.
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.xmlkit.tree import DOCUMENT, ELEMENT, TEXT, Node
+from repro.xmlkit.tree import DOCUMENT, TEXT, Node
 
 __all__ = ["escape_text", "escape_attribute", "serialize", "pretty"]
 

@@ -114,5 +114,5 @@ def compute_stats(doc: Document, with_size: bool = True) -> DocumentStats:
     stats.recursion_degree = max_same_tag
     stats.recursive = max_same_tag > 1
     if with_size and doc.root is not None:
-        stats.serialized_bytes = len(serialize(doc.root).encode("utf-8"))
+        stats.serialized_bytes = len(serialize(doc.root).encode())
     return stats

@@ -16,7 +16,7 @@ experiments equate one scan with one pass over the file on disk.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.errors import DNFError
 from repro.obs.metrics import REGISTRY
@@ -50,7 +50,7 @@ class ScanCounters:
     intermediate_results: int = 0  # NestedLists buffered between operators
     peak_buffered: int = 0       # max NestedLists held in memory at once
     budget_trips: int = 0        # scans aborted by the budget (DNF)
-    budget: Optional[int] = None  # DNF threshold on nodes_scanned
+    budget: int | None = None  # DNF threshold on nodes_scanned
 
     def reset(self) -> None:
         for name in counter_fields():
@@ -64,7 +64,7 @@ class ScanCounters:
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in counter_fields()}
 
-    def merge(self, other: "ScanCounters") -> None:
+    def merge(self, other: ScanCounters) -> None:
         """Fold another counter set into this one (peaks take the max)."""
         for name in counter_fields():
             if name == "peak_buffered":
@@ -99,8 +99,8 @@ class SequentialScan:
         range).  ``stop_nid`` is exclusive; ``None`` means to the end.
     """
 
-    def __init__(self, doc: Document, counters: Optional[ScanCounters] = None,
-                 start_nid: int = 0, stop_nid: Optional[int] = None) -> None:
+    def __init__(self, doc: Document, counters: ScanCounters | None = None,
+                 start_nid: int = 0, stop_nid: int | None = None) -> None:
         self.doc = doc
         self.counters = counters if counters is not None else ScanCounters()
         self.start_nid = start_nid

@@ -17,7 +17,7 @@ tree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.errors import XMLSyntaxError
 

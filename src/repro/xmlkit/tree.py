@@ -22,7 +22,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 __all__ = [
     "DOCUMENT",
@@ -85,30 +85,30 @@ class Node:
         "_string_value",
     )
 
-    def __init__(self, doc: "Document", nid: int, kind: int, tag: Optional[str],
-                 text: Optional[str] = None):
+    def __init__(self, doc: Document, nid: int, kind: int, tag: str | None,
+                 text: str | None = None):
         self.doc = doc
         self.nid = nid
         self.kind = kind
         self.tag = tag
         self.text = text
         self.attrs: dict[str, str] = {}
-        self.parent: Optional[Node] = None
+        self.parent: Node | None = None
         self.children: list[Node] = []
         self.start = -1
         self.end = -1
         self.level = -1
-        self._string_value: Optional[str] = None
+        self._string_value: str | None = None
 
     # ------------------------------------------------------------------
     # Navigation primitives (used by Algorithm 2's depth-first traversal).
     # ------------------------------------------------------------------
 
-    def first_child(self) -> Optional["Node"]:
+    def first_child(self) -> Node | None:
         """Return the first child in document order, or ``None``."""
         return self.children[0] if self.children else None
 
-    def following_sibling(self) -> Optional["Node"]:
+    def following_sibling(self) -> Node | None:
         """Return the next sibling in document order, or ``None``."""
         parent = self.parent
         if parent is None:
@@ -126,13 +126,13 @@ class Node:
                 return siblings[mid + 1] if mid + 1 < len(siblings) else None
         return None
 
-    def element_children(self) -> Iterator["Node"]:
+    def element_children(self) -> Iterator[Node]:
         """Iterate child *elements* only (skipping text nodes)."""
         for child in self.children:
             if child.kind == ELEMENT:
                 yield child
 
-    def next_in_document(self) -> Optional["Node"]:
+    def next_in_document(self) -> Node | None:
         """Return the next node in document order (pre-order successor)."""
         nxt = self.nid + 1
         nodes = self.doc.nodes
@@ -142,23 +142,23 @@ class Node:
     # Structural predicates via region labels.
     # ------------------------------------------------------------------
 
-    def is_ancestor_of(self, other: "Node") -> bool:
+    def is_ancestor_of(self, other: Node) -> bool:
         """True iff ``self`` is a proper ancestor of ``other``."""
         return self.start < other.start and other.end < self.end
 
-    def is_descendant_of(self, other: "Node") -> bool:
+    def is_descendant_of(self, other: Node) -> bool:
         """True iff ``self`` is a proper descendant of ``other``."""
         return other.is_ancestor_of(self)
 
-    def is_parent_of(self, other: "Node") -> bool:
+    def is_parent_of(self, other: Node) -> bool:
         """True iff ``self`` is the parent of ``other``."""
         return other.parent is self
 
-    def precedes(self, other: "Node") -> bool:
+    def precedes(self, other: Node) -> bool:
         """Document-order ``<<`` comparison (self strictly before other)."""
         return self.nid < other.nid
 
-    def subtree(self) -> Iterator["Node"]:
+    def subtree(self) -> Iterator[Node]:
         """Iterate this node and all descendants in document order."""
         nodes = self.doc.nodes
         stop = self.nid + self.subtree_size()
@@ -171,13 +171,13 @@ class Node:
         # with k nodes spans exactly 2k counter values.
         return (self.end - self.start + 1) // 2
 
-    def descendants(self) -> Iterator["Node"]:
+    def descendants(self) -> Iterator[Node]:
         """Iterate proper descendants in document order."""
         it = self.subtree()
         next(it)  # drop self
         return it
 
-    def ancestors(self) -> Iterator["Node"]:
+    def ancestors(self) -> Iterator[Node]:
         """Iterate proper ancestors from parent up to the document node."""
         node = self.parent
         while node is not None:
@@ -219,7 +219,7 @@ class Node:
         and tests.
         """
         path: list[int] = []
-        node: Optional[Node] = self
+        node: Node | None = self
         while node is not None and node.parent is not None:
             path.append(node.parent.children.index(node) + 1)
             node = node.parent
@@ -234,7 +234,7 @@ class Node:
         return f"<Node {kind} {self.tag} nid={self.nid} region=({self.start},{self.end},{self.level})>"
 
 
-def deep_equal(a: Optional[Node], b: Optional[Node]) -> bool:
+def deep_equal(a: Node | None, b: Node | None) -> bool:
     """XQuery ``fn:deep-equal`` over single nodes or ``None``.
 
     Two ``None`` values (empty sequences) are deep-equal; a node is never
@@ -257,16 +257,16 @@ def deep_equal(a: Optional[Node], b: Optional[Node]) -> bool:
     b_kids = [c for c in b.children if not _ignorable(c)]
     if len(a_kids) != len(b_kids):
         return False
-    return all(deep_equal(x, y) for x, y in zip(a_kids, b_kids))
+    return all(deep_equal(x, y) for x, y in zip(a_kids, b_kids, strict=True))
 
 
-def deep_equal_sequences(xs: Iterable[Optional[Node]], ys: Iterable[Optional[Node]]) -> bool:
+def deep_equal_sequences(xs: Iterable[Node | None], ys: Iterable[Node | None]) -> bool:
     """``fn:deep-equal`` over two node sequences (pairwise, same length)."""
     xs = list(xs)
     ys = list(ys)
     if len(xs) != len(ys):
         return False
-    return all(deep_equal(a, b) for a, b in zip(xs, ys))
+    return all(deep_equal(a, b) for a, b in zip(xs, ys, strict=True))
 
 
 def _ignorable(node: Node) -> bool:
@@ -278,11 +278,11 @@ class Document:
 
     def __init__(self) -> None:
         self.nodes: list[Node] = []
-        self.root: Optional[Node] = None  # document element
+        self.root: Node | None = None  # document element
         doc_node = Node(self, 0, DOCUMENT, "#document")
         doc_node.level = 0
         self.nodes.append(doc_node)
-        self._tag_lists: Optional[dict[str, list[Node]]] = None
+        self._tag_lists: dict[str, list[Node]] | None = None
 
     @property
     def document_node(self) -> Node:
@@ -335,7 +335,7 @@ class DocumentBuilder:
         doc_node.start = self._counter
         self._counter += 1
 
-    def start_element(self, tag: str, attrs: Optional[dict[str, str]] = None) -> Node:
+    def start_element(self, tag: str, attrs: dict[str, str] | None = None) -> Node:
         """Open an element as a child of the current open element."""
         parent = self._stack[-1]
         if parent.kind == DOCUMENT and self.doc.root is not None:
@@ -363,7 +363,7 @@ class DocumentBuilder:
         self._counter += 1
         return node
 
-    def text(self, content: str) -> Optional[Node]:
+    def text(self, content: str) -> Node | None:
         """Append a text node to the current open element.
 
         Adjacent text is merged into one node, and text directly under the
@@ -391,8 +391,8 @@ class DocumentBuilder:
         self.doc.nodes.append(node)
         return node
 
-    def element(self, tag: str, text: Optional[str] = None,
-                attrs: Optional[dict[str, str]] = None) -> Node:
+    def element(self, tag: str, text: str | None = None,
+                attrs: dict[str, str] | None = None) -> Node:
         """Convenience: open an element, add optional text, and close it."""
         node = self.start_element(tag, attrs)
         if text is not None:

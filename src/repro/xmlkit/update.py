@@ -27,11 +27,11 @@ while navigational evaluation needs no maintenance at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.errors import UpdateError
 from repro.xmlkit.index import TagIndex
-from repro.xmlkit.tree import DOCUMENT, ELEMENT, TEXT, Document, Node
+from repro.xmlkit.tree import DOCUMENT, ELEMENT, Document, Node
 
 __all__ = ["UpdateReport", "DocumentUpdater", "UpdateError"]
 
@@ -81,7 +81,7 @@ class DocumentUpdater:
     # ------------------------------------------------------------------
 
     def insert_subtree(self, parent: Node, subtree_root: Node,
-                       position: Optional[int] = None) -> UpdateReport:
+                       position: int | None = None) -> UpdateReport:
         """Insert a (detached or foreign) subtree under ``parent``.
 
         ``position`` is the child index (default: append).  The subtree

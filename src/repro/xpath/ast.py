@@ -21,8 +21,7 @@ descendant (W3C would restart at the document root).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
 
 __all__ = [
     "AXIS_NAMES",
@@ -69,7 +68,7 @@ class NameTest:
 
     name: str
 
-    def matches_tag(self, tag: Optional[str]) -> bool:
+    def matches_tag(self, tag: str | None) -> bool:
         return tag is not None and (self.name == "*" or self.name == tag)
 
     def __str__(self) -> str:
@@ -92,7 +91,7 @@ class AnyKindTest:
         return "node()"
 
 
-NodeTest = Union[NameTest, TextTest, AnyKindTest]
+NodeTest = NameTest | TextTest | AnyKindTest
 
 
 @dataclass(frozen=True)
@@ -101,7 +100,7 @@ class Step:
 
     axis: str
     test: NodeTest
-    predicates: tuple["Expr", ...] = ()
+    predicates: tuple[Expr, ...] = ()
 
     def __str__(self) -> str:
         preds = "".join(f"[{p}]" for p in self.predicates)
@@ -146,7 +145,7 @@ class RootVariable:
         return f"${self.name}"
 
 
-PathRoot = Union[RootDoc, RootContext, RootVariable]
+PathRoot = RootDoc | RootContext | RootVariable
 
 
 @dataclass(frozen=True)
@@ -213,7 +212,7 @@ class FunctionCall:
     """A call to one of the supported functions."""
 
     name: str
-    args: tuple["Expr", ...] = ()
+    args: tuple[Expr, ...] = ()
 
     def __str__(self) -> str:
         return f"{self.name}({', '.join(str(a) for a in self.args)})"
@@ -225,8 +224,8 @@ class Comparison:
     ``<<``, ``>>``, ``is``, ``isnot``."""
 
     op: str
-    left: "Expr"
-    right: "Expr"
+    left: Expr
+    right: Expr
 
     def __str__(self) -> str:
         return f"{self.left} {self.op} {self.right}"
@@ -237,7 +236,7 @@ class BooleanExpr:
     """N-ary ``and`` / ``or``."""
 
     op: str  # "and" | "or"
-    operands: tuple["Expr", ...]
+    operands: tuple[Expr, ...]
 
     def __str__(self) -> str:
         return f" {self.op} ".join(
@@ -249,7 +248,7 @@ class NotExpr:
     """``not(expr)`` — kept distinct from FunctionCall because the
     BlossomTree builder treats negated comparisons specially."""
 
-    operand: "Expr"
+    operand: Expr
 
     def __str__(self) -> str:
         return f"not({self.operand})"
@@ -260,8 +259,8 @@ class Arithmetic:
     """Binary arithmetic: ``+ - * div mod`` (numeric, XPath 1.0 style)."""
 
     op: str
-    left: "Expr"
-    right: "Expr"
+    left: Expr
+    right: Expr
 
     def __str__(self) -> str:
         return f"{self.left} {self.op} {self.right}"
@@ -279,8 +278,8 @@ class Quantified:
 
     kind: str  # "some" | "every"
     var: str
-    source: "Expr"
-    satisfies: "Expr"
+    source: Expr
+    satisfies: Expr
 
     def __str__(self) -> str:
         return f"{self.kind} ${self.var} in {self.source} satisfies {self.satisfies}"
@@ -290,24 +289,14 @@ class Quantified:
 class Conditional:
     """``if (cond) then expr else expr``."""
 
-    condition: "Expr"
-    then_branch: "Expr"
-    else_branch: "Expr"
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr
 
     def __str__(self) -> str:
         return (f"if ({self.condition}) then {self.then_branch} "
                 f"else {self.else_branch}")
 
 
-Expr = Union[
-    LocationPath,
-    Literal,
-    NumberLiteral,
-    FunctionCall,
-    Comparison,
-    BooleanExpr,
-    NotExpr,
-    Arithmetic,
-    Quantified,
-    Conditional,
-]
+Expr = (LocationPath | Literal | NumberLiteral | FunctionCall | Comparison
+        | BooleanExpr | NotExpr | Arithmetic | Quantified | Conditional)

@@ -22,11 +22,10 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Union
+from collections.abc import Callable, Iterable
 
 from repro.errors import ExecutionError
 from repro.xpath.ast import (
-    AnyKindTest,
     BooleanExpr,
     Arithmetic,
     Comparison,
@@ -45,11 +44,11 @@ from repro.xpath.ast import (
     Step,
     TextTest,
 )
-from repro.xmlkit.tree import ELEMENT, TEXT, Document, Node, deep_equal, deep_equal_sequences
+from repro.xmlkit.tree import ELEMENT, TEXT, Document, Node, deep_equal_sequences
 
 __all__ = ["AttrNode", "EvalContext", "XPathEvaluator", "evaluate_xpath", "boolean_value"]
 
-Value = Union[list, str, float, bool]
+Value = list | str | float | bool
 
 
 class AttrNode:
@@ -85,7 +84,7 @@ class AttrNode:
         return f"<AttrNode {self.name}={self.value!r} of {self.owner.tag}>"
 
 
-AnyNode = Union[Node, AttrNode]
+AnyNode = Node | AttrNode
 
 
 @dataclass
@@ -96,9 +95,9 @@ class EvalContext:
     position: int = 1
     size: int = 1
     variables: dict[str, Value] = field(default_factory=dict)
-    resolve_doc: Optional[Callable[[str], Document]] = None
+    resolve_doc: Callable[[str], Document] | None = None
 
-    def with_item(self, item: AnyNode, position: int, size: int) -> "EvalContext":
+    def with_item(self, item: AnyNode, position: int, size: int) -> EvalContext:
         return EvalContext(item, position, size, self.variables, self.resolve_doc)
 
 
@@ -116,7 +115,7 @@ class XPathEvaluator:
         navigation effort.
     """
 
-    def __init__(self, count_work: Optional[Callable[[int], None]] = None) -> None:
+    def __init__(self, count_work: Callable[[int], None] | None = None) -> None:
         self._count_work = count_work
         self._examined = 0
 
@@ -468,8 +467,8 @@ class XPathEvaluator:
 # Helpers shared with other evaluators.
 # ----------------------------------------------------------------------
 
-def evaluate_xpath(doc: Document, text_or_path, variables: Optional[dict] = None,
-                   resolve_doc: Optional[Callable[[str], Document]] = None) -> list[AnyNode]:
+def evaluate_xpath(doc: Document, text_or_path, variables: dict | None = None,
+                   resolve_doc: Callable[[str], Document] | None = None) -> list[AnyNode]:
     """One-shot convenience: parse (if needed) and evaluate against a document."""
     from repro.xpath.parser import parse_xpath
 
@@ -565,7 +564,7 @@ def _numeric_compare(op: str, a, b) -> bool:
     return a >= b
 
 
-def _single_node(value: Value, op: str) -> Optional[AnyNode]:
+def _single_node(value: Value, op: str) -> AnyNode | None:
     if not isinstance(value, list):
         raise ExecutionError(f"operand of {op} must be a node sequence")
     if not value:

@@ -25,7 +25,6 @@ queries use).
 
 from __future__ import annotations
 
-from repro.errors import QuerySyntaxError
 from repro.xpath.ast import (
     AXIS_NAMES,
     AnyKindTest,
@@ -48,13 +47,11 @@ from repro.xpath.ast import (
     TextTest,
 )
 from repro.xpath.lexer import (
-    EOF,
     NAME,
     NUMBER,
     STRING,
     SYMBOL,
     VARIABLE,
-    Token,
     TokenCursor,
     tokenize_query,
 )

@@ -16,7 +16,6 @@ inside enclosed expressions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
 from repro.xpath.ast import Expr, LocationPath
 
@@ -79,7 +78,7 @@ class TextItem:
 class Enclosed:
     """``{ expr, expr, ... }`` inside a constructor."""
 
-    exprs: tuple["QueryExpr", ...]
+    exprs: tuple[QueryExpr, ...]
 
 
 @dataclass(frozen=True)
@@ -94,7 +93,7 @@ class ElementConstructor:
 
     tag: str
     attrs: tuple[tuple[str, str], ...] = ()
-    content: tuple[Union[TextItem, "ElementConstructor", Enclosed], ...] = ()
+    content: tuple[TextItem | ElementConstructor | Enclosed, ...] = ()
 
     def __str__(self) -> str:
         attrs = "".join(f' {k}="{v}"' for k, v in self.attrs)
@@ -105,17 +104,17 @@ class ElementConstructor:
 class Sequence:
     """Comma-separated expression sequence."""
 
-    exprs: tuple["QueryExpr", ...]
+    exprs: tuple[QueryExpr, ...]
 
 
 @dataclass(frozen=True)
 class FLWOR:
     """A restricted FLWOR expression."""
 
-    clauses: tuple[Union[ForClause, LetClause], ...]
-    where: Optional[Expr] = None
+    clauses: tuple[ForClause | LetClause, ...]
+    where: Expr | None = None
     order_by: tuple[OrderSpec, ...] = ()
-    return_expr: "QueryExpr" = None  # type: ignore[assignment]
+    return_expr: QueryExpr = None  # type: ignore[assignment]
 
     def for_clauses(self) -> list[ForClause]:
         return [c for c in self.clauses if isinstance(c, ForClause)]
@@ -134,7 +133,7 @@ class FLWOR:
 
 
 #: Anything that can appear where the XQuery grammar expects one expression.
-QueryExpr = Union[FLWOR, ElementConstructor, Sequence, Expr]
+QueryExpr = FLWOR | ElementConstructor | Sequence | Expr
 
 
 def iter_clause_paths(flwor: FLWOR) -> list[tuple[str, LocationPath]]:

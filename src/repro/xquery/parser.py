@@ -21,7 +21,6 @@ naturally.
 from __future__ import annotations
 
 import re
-from typing import Optional, Union
 
 from repro.errors import QuerySyntaxError
 from repro.xpath.ast import Expr, LocationPath
@@ -64,7 +63,7 @@ def parse_flwor(text: str) -> FLWOR:
     return flwor
 
 
-def _find_flwor(expr: QueryExpr) -> Optional[FLWOR]:
+def _find_flwor(expr: QueryExpr) -> FLWOR | None:
     if isinstance(expr, FLWOR):
         return expr
     if isinstance(expr, ElementConstructor):
@@ -198,7 +197,7 @@ class _QueryParser:
     # -- FLWOR -------------------------------------------------------------
 
     def parse_flwor(self) -> FLWOR:
-        clauses: list[Union[ForClause, LetClause]] = []
+        clauses: list[ForClause | LetClause] = []
         while True:
             self.skip_ws()
             if self.keyword_ahead("for"):
@@ -212,7 +211,7 @@ class _QueryParser:
         if not clauses:
             raise self.error("FLWOR requires at least one for/let clause")
 
-        where: Optional[Expr] = None
+        where: Expr | None = None
         self.skip_ws()
         if self.keyword_ahead("where"):
             self.take_keyword("where")
@@ -313,7 +312,7 @@ class _QueryParser:
             attrs.append((name, self.text[self.pos:end]))
             self.pos = end + 1
 
-        content: list[Union[TextItem, ElementConstructor, Enclosed]] = []
+        content: list[TextItem | ElementConstructor | Enclosed] = []
         while True:
             if self.at_end():
                 raise self.error(f"unterminated constructor <{tag}>")

@@ -29,7 +29,6 @@ from repro.xpath.ast import (
     FunctionCall,
     LocationPath,
     NotExpr,
-    NumberLiteral,
     Quantified,
     RootVariable,
 )
@@ -37,8 +36,6 @@ from repro.xquery.ast import (
     ElementConstructor,
     Enclosed,
     FLWOR,
-    ForClause,
-    LetClause,
     QueryExpr,
     Sequence,
     TextItem,

@@ -19,7 +19,7 @@ class TestRoundTrip:
 
     def test_labels_recomputed(self, small_bib):
         again = load(dump(small_bib))
-        for a, b in zip(small_bib.nodes, again.nodes):
+        for a, b in zip(small_bib.nodes, again.nodes, strict=True):
             assert (a.nid, a.start, a.end, a.level) == \
                 (b.nid, b.start, b.end, b.level)
             assert a.tag == b.tag
@@ -50,7 +50,7 @@ class TestCompactness:
         # Tag names are stored once: dblp-style data (many repeated
         # records) must be substantially smaller than the XML text.
         doc = DATASETS["d5"].generate(scale=0.1)
-        text_size = len(serialize(doc.root).encode("utf-8"))
+        text_size = len(serialize(doc.root).encode())
         binary_size = len(dump(doc))
         assert binary_size < 0.8 * text_size
 

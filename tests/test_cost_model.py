@@ -6,7 +6,7 @@ from repro.datagen import DATASETS
 from repro.engine import Engine
 from repro.engine.cost import INFINITE, CostModel
 from repro.pattern import build_from_path
-from repro.xmlkit import TagIndex, compute_stats
+from repro.xmlkit import compute_stats
 from repro.xpath import parse_xpath
 from repro.xquery import parse_flwor
 from repro.pattern.build import build_blossom_tree

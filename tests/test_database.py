@@ -1,6 +1,5 @@
 """Tests for the persistent Database facade."""
 
-import pytest
 
 from repro.engine.database import Database
 from repro.xmlkit import serialize

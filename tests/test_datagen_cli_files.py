@@ -1,6 +1,5 @@
 """File-level tests: the datagen CLI and parse_file round trips."""
 
-import pytest
 
 from repro.datagen import DATASETS
 from repro.datagen import __main__ as datagen_cli

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import CompileError, DNFError
 from repro.engine import Engine, compile_query
-from repro.xmlkit import parse
 from repro.xmlkit.storage import ScanCounters
 
 ALL_BLOSSOM = ["pipelined", "caching", "stack", "bnlj", "nl"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.executor import FLWORExecutor, _nok_depths
-from repro.pattern import build_blossom_tree, decompose
+from repro.pattern import decompose
 from repro.xmlkit import parse
 from repro.xmlkit.storage import ScanCounters
 from repro.xpath import parse_xpath

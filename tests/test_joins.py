@@ -29,7 +29,6 @@ def setup_join(doc, path_text):
     """Decompose a two-NoK path and return everything a join needs."""
     tree = build_from_path(parse_xpath(path_text))
     dec = decompose(tree)
-    noks = {n.root.name: n for n in dec.noks}
     edge = next(e for e in dec.inter_edges if e.parent.name != "#root")
     left_nok = dec.noks[edge.nok_from]
     right_nok = dec.noks[edge.nok_to]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.engine import Engine
 from repro.pattern import build_from_path, decompose

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.algebra import NLEntry, join, project, project_entries, project_sequence, select
+from repro.algebra import join, project, project_sequence, select
 from repro.pattern import build_from_path, decompose
 from repro.physical import NoKMatcher
 from repro.xmlkit import parse
-from repro.xmlkit.storage import ScanCounters
 from repro.xpath import parse_xpath
 
 

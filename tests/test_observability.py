@@ -19,7 +19,6 @@ from repro.obs import (
     prometheus_text,
 )
 from repro.obs.trace import NULL_TRACER
-from repro.xmlkit.parser import parse
 from repro.xmlkit.storage import ScanCounters
 
 from tests.conftest import PAPER_QUERY

@@ -6,7 +6,7 @@ from repro.algebra.env import Env
 from repro.algebra.nested_list import NLEntry
 from repro.engine.optimizer import PlanChoice, choose_strategy
 from repro.pattern import build_from_path
-from repro.xmlkit import compute_stats, parse
+from repro.xmlkit import compute_stats
 from repro.xpath import parse_xpath
 from repro.xquery import parse_flwor
 from repro.pattern.build import build_blossom_tree

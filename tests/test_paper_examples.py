@@ -73,7 +73,7 @@ class TestExample3And4:
         flwor = parse_flwor(
             'for $a in doc("x")//a let $b := $a/b let $c := $a/c '
             "return $a")
-        tree = build_blossom_tree(flwor)
+        build_blossom_tree(flwor)
         # extend b with an optional d: let over $b
         flwor2 = parse_flwor(
             'for $a in doc("x")//a let $b := $a/b let $d := $b/d '

@@ -8,7 +8,6 @@ preservation, and join-algorithm equivalence.
 
 from __future__ import annotations
 
-import string
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -176,7 +175,6 @@ class TestStructuralInvariants:
             nids = [n.nid for n in project_sequence(matches, a_vertex)]
             assert nids == sorted(nids)
         # The join-facing projection is document-ordered unconditionally.
-        edge = next((e for e in dec.inter_edges if e.parent is a_vertex), None)
         fake_edge = type("E", (), {"parent": a_vertex})
         nids = [n.nid for n in left_projection(matches, fake_edge)]
         assert nids == sorted(nids)

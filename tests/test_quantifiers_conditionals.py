@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine import Engine
 from repro.errors import QuerySyntaxError
-from repro.xmlkit import parse
 from repro.xpath import parse_expr
 from repro.xpath.ast import Conditional, Quantified
 from repro.xpath.evaluator import EvalContext, XPathEvaluator

@@ -5,7 +5,7 @@ import pytest
 from repro.engine.construct import DirectEvaluator, order_key
 from repro.engine.result import QueryResult, ResultBuilder, atom_text, copy_into
 from repro.errors import ExecutionError
-from repro.xmlkit import parse, serialize
+from repro.xmlkit import serialize
 from repro.xmlkit.tree import DocumentBuilder
 from repro.xpath.evaluator import AttrNode
 

@@ -6,7 +6,7 @@ from repro.errors import CompileError
 from repro.pattern import build_from_path, decompose
 from repro.physical import NoKMatcher
 from repro.physical.streaming import StreamingNoKMatcher, stream_count
-from repro.xmlkit import parse, serialize
+from repro.xmlkit import serialize
 from repro.xmlkit.sax import parse_string
 from repro.xpath import parse_xpath
 from tests.conftest import RECURSIVE_DOC, SMALL_BIB
