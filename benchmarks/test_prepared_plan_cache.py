@@ -106,7 +106,7 @@ def test_parameterized_prepared_matches_and_amortizes():
     assert plan.parameters == {"zip"}
 
     started = time.perf_counter()
-    sizes = [len(plan.execute(bindings={"zip": str(z)}))
+    sizes = [len(plan.execute(params={"zip": str(z)}))
              for z in ("10000", "99999")]
     elapsed_ms = (time.perf_counter() - started) * 1e3 / len(sizes)
     # Different bindings reuse one plan; results match fresh compiles.

@@ -13,6 +13,7 @@ Run with::
 import os
 import tempfile
 
+import repro
 from repro import parse
 from repro.datagen import generate_d3
 from repro.engine import Database
@@ -32,7 +33,7 @@ def main() -> None:
           f"({written * 100 // len(xml_text.encode('utf-8'))}% of the text)")
 
     print("\n== 2. Reopen and query (cost-based plans) ==")
-    db = Database.open(path)
+    db = repro.connect(path)  # sniffs the BTRX1 magic, loads the binary
     print(f"  {db!r}")
     for query in ("//item/attributes//length",
                   "//author[//last_name]/name/first_name"):
@@ -51,7 +52,7 @@ def main() -> None:
 
     print("\n== 4. Persist the updated state ==")
     written = db.save(path)
-    reopened = Database.open(path)
+    reopened = repro.connect(path)
     assert len(reopened.query("//item[//subtitle]//isbn")) == len(result)
     print(f"  saved {written:,} bytes; reopened copy agrees.")
 

@@ -9,7 +9,7 @@ Covers the PR 2 serving path:
 1. ``engine.prepare(text)`` compiles the query once (parse →
    BlossomTree → NoK decomposition → optimizer) and hands back a
    :class:`~repro.engine.prepared.PreparedQuery`;
-2. ``plan.execute(bindings={...})`` runs it repeatedly with external
+2. ``plan.execute(params={...})`` runs it repeatedly with external
    ``$parameter`` values substituted at execution time;
 3. plain ``engine.query(text)`` transparently reuses plans through the
    engine's LRU plan cache, and updates invalidate it;
@@ -49,7 +49,7 @@ def main() -> None:
         "for $b in //book where $b/price < $max return $b/title")
     print(f"parameters: {sorted(plan.parameters)}")
     for threshold in (30.0, 50.0, 100.0):
-        titles = plan.execute(bindings={"max": threshold}).string_values()
+        titles = plan.execute(params={"max": threshold}).string_values()
         print(f"  $max = {threshold:6.2f} -> {titles}")
 
     print("\n== 2. The transparent plan cache ==")

@@ -1,11 +1,11 @@
-"""Quickstart: parse a document, run path and FLWOR queries, inspect plans.
+"""Quickstart: connect to a document, run path and FLWOR queries, inspect plans.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Engine, parse
+import repro
 
 BIB = """
 <bib>
@@ -29,38 +29,37 @@ BIB = """
 
 
 def main() -> None:
-    doc = parse(BIB)
-    engine = Engine(doc)
+    with repro.connect(BIB) as db:
+        print("== 1. Path queries ==")
+        for query in [
+            "//book/title",
+            "//book[author]/title",
+            "//book[price > 30]/title",
+            '//book[author/last = "Buneman"]/title',
+        ]:
+            result = db.query(query)
+            print(f"{query:45s} -> {result.string_values()}")
 
-    print("== 1. Path queries ==")
-    for query in [
-        "//book/title",
-        "//book[author]/title",
-        "//book[price > 30]/title",
-        '//book[author/last = "Buneman"]/title',
-    ]:
-        result = engine.query(query)
-        print(f"{query:45s} -> {result.string_values()}")
+        print("\n== 2. A FLWOR query with construction ==")
+        flwor = """
+        for $b in //book
+        let $a := $b/author
+        where $b/price > 30
+        order by $b/title
+        return <entry authors="many">{ $b/title }{ count($a) }</entry>
+        """
+        result = db.query(flwor)
+        print(result.pretty())
 
-    print("\n== 2. A FLWOR query with construction ==")
-    flwor = """
-    for $b in //book
-    let $a := $b/author
-    where $b/price > 30
-    order by $b/title
-    return <entry authors="many">{ $b/title }{ count($a) }</entry>
-    """
-    result = engine.query(flwor)
-    print(result.pretty())
+        print("== 3. Choosing a physical strategy ==")
+        query = "//book[author]//last"
+        for strategy in ("auto", "pipelined", "twigstack", "bnlj",
+                         "naive", "xhive"):
+            result = db.query(query, strategy=strategy)
+            print(f"{strategy:10s} -> {result.string_values()}")
 
-    print("== 3. Choosing a physical strategy ==")
-    query = "//book[author]//last"
-    for strategy in ("auto", "pipelined", "twigstack", "bnlj", "naive", "xhive"):
-        result = engine.query(query, strategy=strategy)
-        print(f"{strategy:10s} -> {result.string_values()}")
-
-    print("\n== 4. Explaining a plan ==")
-    print(engine.explain("//book[author]//last"))
+        print("\n== 4. Explaining a plan ==")
+        print(db.explain("//book[author]//last"))
 
 
 if __name__ == "__main__":

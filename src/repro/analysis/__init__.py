@@ -4,7 +4,7 @@ The engine compiles once and replays cached plans many times, so a
 single malformed BlossomTree, NoK decomposition or Dewey assignment
 would corrupt every subsequent execution.  This package walks each
 stage of a compiled query against a catalogue of declared invariants
-(stable rule IDs ``AST*``/``BT*``/``NK*``/``DW*``/``PL*`` — see
+(stable rule IDs ``AST*``/``BT*``/``NK*``/``DW*``/``PL*``/``SV*`` — see
 :mod:`repro.analysis.rules`) and reports findings with severity,
 location and a remediation hint.
 
@@ -21,9 +21,11 @@ Three consumers:
 from repro.analysis.analyzer import (
     analyze_artifacts,
     analyze_plan,
+    analyze_snapshot,
     analyze_tree,
     verify_artifacts,
     verify_plan,
+    verify_snapshot,
     verify_tree,
 )
 from repro.analysis.report import AnalysisReport, Finding
@@ -37,9 +39,11 @@ __all__ = [
     "Severity",
     "analyze_artifacts",
     "analyze_plan",
+    "analyze_snapshot",
     "analyze_tree",
     "rule_table",
     "verify_artifacts",
     "verify_plan",
+    "verify_snapshot",
     "verify_tree",
 ]

@@ -11,6 +11,9 @@ what lets the corruption-fixture tests drive them directly.
 
 from __future__ import annotations
 
+from collections.abc import Collection
+from typing import TYPE_CHECKING
+
 from repro.analysis.report import AnalysisReport
 from repro.pattern.blossom import (
     MODE_MANDATORY,
@@ -22,12 +25,16 @@ from repro.pattern.decompose import Decomposition
 from repro.pattern.dewey import DeweyAssignment
 from repro.xquery.ast import FLWOR
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> analysis)
+    from repro.engine.prepared import CachedPlan
+
 __all__ = [
     "ast_pass",
     "blossom_pass",
     "decomposition_pass",
     "dewey_pass",
     "plan_pass",
+    "snapshot_pass",
     "tree_quick_clean",
     "artifacts_quick_clean",
 ]
@@ -539,6 +546,29 @@ def _check_strategy(tree: BlossomTree, report: AnalysisReport, strategy: str,
                    f"{strategy} merge join on a recursive document: "
                    "Theorem 2's non-containment precondition may fail "
                    "(Example 5) — ordered output is not guaranteed")
+
+
+# ----------------------------------------------------------------------
+# Serving stage.
+# ----------------------------------------------------------------------
+
+def snapshot_pass(plan: CachedPlan, live_snapshots: Collection[int],
+                  report: AnalysisReport) -> None:
+    """SV001: the plan's stamped snapshot must still be live.
+
+    ``live_snapshots`` is the serving catalog's ground truth — the ids
+    of the document's current and pinned versions.  Plans compiled
+    outside the serving layer (``snapshot_id is None``) always pass.
+    """
+    report.passes_run.append("serve")
+    snapshot_id = plan.snapshot_id
+    if snapshot_id is None:
+        return
+    if snapshot_id not in live_snapshots:
+        live = ", ".join(str(i) for i in sorted(live_snapshots)) or "-"
+        report.add("SV001", "serve",
+                   f"plan was compiled against snapshot {snapshot_id}, "
+                   f"which has been dropped (live snapshots: {live})")
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ prefix    stage
 ``NK``    the NoK decomposition (Algorithm 1 postconditions)
 ``DW``    the Dewey returning-node assignment (Theorems 1 and 2)
 ``PL``    the physical plan (operator/strategy applicability)
+``SV``    the serving layer (snapshot liveness of cached plans)
 ========  ==========================================================
 
 Severities: an ``error`` means the artifact violates a correctness
@@ -153,6 +154,16 @@ _CATALOGUE: tuple[Rule, ...] = (
          "instead.",
          "use strategy='auto' (the optimizer picks stack merge on "
          "recursive documents)"),
+    Rule("SV001", Severity.ERROR, "serve", "dropped-snapshot plan",
+         "A cached plan may only execute against a live snapshot: its "
+         "stamped snapshot id must be the serving catalog's current or "
+         "a pinned version of the document.  A plan referencing a "
+         "retired (dropped) snapshot raced an update-batch publish — "
+         "its artifacts were chosen from statistics of a version no "
+         "reader can pin anymore.",
+         "purge the snapshot's plans (Catalog.purge_snapshot_plans) and "
+         "recompile; the query service does this automatically and "
+         "retries once"),
 )
 
 #: rule id -> Rule, in catalogue order.

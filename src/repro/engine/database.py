@@ -1,32 +1,41 @@
-"""A minimal persistent-database facade over the engine.
+"""The public database facade: the object :func:`repro.connect` returns.
 
 The paper's setting is a native XML database (its comparator X-Hive is
 one); this module provides the corresponding storage-backed entry
 point: a :class:`Database` bundles a document stored in the succinct
 binary format (:mod:`repro.xmlkit.binary`) with its statistics and a
-tag-name index, and hands out ready-to-use :class:`~repro.engine.session.Engine`
-sessions.
+tag-name index.  The underlying
+:class:`~repro.engine.session.Engine` is an implementation detail —
+reachable as ``db.engine`` for diagnostics, but the supported surface
+is this class plus the serving layer behind :meth:`serve`.
 
 Typical use::
 
-    db = Database.from_xml(xml_text)
-    db.save("library.btx")
+    with repro.connect(xml_text) as db:
+        db.save("library.btx")
+        db.query("//book[author]//title")
     ...
-    db = Database.open("library.btx")
-    db.query("//book[author]//title")
+    with repro.connect("library.btx") as db:
+        service = db.serve(workers=8)
+        service.query("//book[author]//title", timeout_ms=100)
 
 Updates go through :meth:`updater`, which keeps the index registered
 for invalidation — the Section-2.1 maintenance story, wired in — and
 the engine's plan cache subscribed: every structural update drops all
 cached plans and bumps the document version, so repeated queries never
-run against a stale strategy choice.
+run against a stale strategy choice.  Once :meth:`serve` is active,
+in-place updates are refused: all mutations must go through the
+service's snapshot updaters, so concurrent readers keep their isolated
+versions.
 """
 
 from __future__ import annotations
 
 import time
 from pathlib import Path
+from typing import TYPE_CHECKING
 
+from repro.errors import UsageError
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer
 from repro.xmlkit.binary import dump, load
@@ -38,6 +47,9 @@ from repro.xmlkit.update import DocumentUpdater
 from repro.engine.prepared import PreparedQuery
 from repro.engine.result import QueryResult
 from repro.engine.session import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve -> engine)
+    from repro.serve.service import QueryService
 
 __all__ = ["Database"]
 
@@ -56,6 +68,8 @@ class Database:
         self.doc = doc
         self.engine = Engine(doc)
         self._updater: DocumentUpdater | None = None
+        self._service: QueryService | None = None
+        self._closed = False
         self.slow_log: SlowQueryLog | None = (
             SlowQueryLog(slow_query_ms) if slow_query_ms is not None else None)
 
@@ -102,9 +116,13 @@ class Database:
               counters: ScanCounters | None = None,
               work_budget: int | None = None,
               trace: bool = False,
-              tracer: Tracer | None = None) -> QueryResult:
+              tracer: Tracer | None = None, *,
+              params: dict | None = None,
+              timeout_ms: float | None = None) -> QueryResult:
         """Evaluate a query (see :meth:`Engine.query` for the options —
-        the signatures are identical).
+        the signatures are identical: the same ``strategy`` / ``params``
+        / ``timeout_ms`` spelling works here, on the engine and on
+        :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`).
 
         When the slow-query log is enabled the call is timed and,
         past the threshold, recorded with plan and counters.
@@ -113,7 +131,8 @@ class Database:
             return self.engine.query(text, strategy=strategy,
                                      counters=counters,
                                      work_budget=work_budget,
-                                     trace=trace, tracer=tracer)
+                                     trace=trace, tracer=tracer,
+                                     params=params, timeout_ms=timeout_ms)
         counters = counters if counters is not None else ScanCounters()
         before = counters.snapshot()
         started = time.perf_counter_ns()
@@ -121,7 +140,8 @@ class Database:
             result = self.engine.query(text, strategy=strategy,
                                        counters=counters,
                                        work_budget=work_budget,
-                                       trace=trace, tracer=tracer)
+                                       trace=trace, tracer=tracer,
+                                       params=params, timeout_ms=timeout_ms)
         finally:
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
             snapshot = counters.snapshot()
@@ -135,10 +155,14 @@ class Database:
         return self.engine.prepare(text, strategy=strategy)
 
     def explain_analyze(self, text: str, strategy: str = "auto",
-                        work_budget: int | None = None) -> str:
+                        work_budget: int | None = None, *,
+                        params: dict | None = None,
+                        timeout_ms: float | None = None) -> str:
         """Per-operator measured-vs-estimated rows (see Engine)."""
         return self.engine.explain_analyze(text, strategy,
-                                           work_budget=work_budget)
+                                           work_budget=work_budget,
+                                           params=params,
+                                           timeout_ms=timeout_ms)
 
     def explain(self, text: str, strategy: str = "auto") -> str:
         return self.engine.explain(text, strategy)
@@ -151,13 +175,77 @@ class Database:
         """The document updater, wired for cache coherence: structural
         updates invalidate the engine's tag index (rebuilt lazily on
         the next join-based query) and its plan cache (stale statistics
-        must not steer strategy choice)."""
+        must not steer strategy choice).
+
+        Refused while :meth:`serve` is active: the service's readers
+        hold snapshots of this document, and an in-place mutation would
+        tear them — use ``service.updater()`` (copy-on-write) instead.
+        """
+        if self._service is not None and not self._service.closed:
+            raise UsageError(
+                "in-place updates are disabled while a query service is "
+                "running (its readers hold snapshots of this document); "
+                "use service.updater() for copy-on-write batches")
         if self._updater is None:
             self._updater = DocumentUpdater(self.doc)
             self._updater.register_index(self.engine.index)
             self._updater.register_listener(
                 lambda report: self.engine.notify_update(report))
         return self._updater
+
+    # ------------------------------------------------------------------
+    # Serving and lifecycle.
+    # ------------------------------------------------------------------
+
+    def serve(self, workers: int = 4, *,
+              max_queue: int = 64,
+              default_timeout_ms: float | None = None,
+              result_cache_size: int = 256) -> QueryService:
+        """Start (or return) the concurrent query service for this
+        database.
+
+        The document becomes snapshot 1 of a fresh serving
+        :class:`~repro.serve.catalog.Catalog` (registered as
+        ``"main"``); queries go through a bounded worker pool with
+        admission control and per-query deadlines, and updates through
+        copy-on-write snapshot batches — see :mod:`repro.serve`.  The
+        service is owned by the database: :meth:`close` drains and
+        stops it.  Calling ``serve()`` again while the service runs
+        returns the same instance (the knobs of the first call win).
+        """
+        if self._closed:
+            raise UsageError("database is closed")
+        if self._service is not None and not self._service.closed:
+            return self._service
+        from repro.serve.catalog import Catalog
+        from repro.serve.service import QueryService
+
+        catalog = Catalog()
+        catalog.register("main", self.doc)
+        self._service = QueryService(
+            catalog, workers=workers, max_queue=max_queue,
+            default_timeout_ms=default_timeout_ms,
+            result_cache_size=result_cache_size)
+        return self._service
+
+    def close(self) -> None:
+        """Drain and stop the query service (if any) and close the
+        slow-query log.  Idempotent; the database refuses new serving
+        after close, but plain :meth:`query` calls keep working (the
+        in-process engine holds no external resources)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._service is not None:
+            self._service.close(drain=True)
+        if self.slow_log is not None:
+            self.slow_log.close()
+
+    def __enter__(self) -> Database:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def refresh_stats(self) -> DocumentStats:
         """Recompute statistics after updates (the optimizer reads them)."""

@@ -132,6 +132,25 @@ class PlanCache:
             CACHE_INVALIDATIONS.inc(dropped, reason=reason)
         return dropped
 
+    def invalidate_where(self, predicate: Any, reason: str = "manual") -> int:
+        """Drop the entries ``predicate(key, plan)`` selects.
+
+        The serving catalog uses this to purge a retired snapshot's
+        plans (``reason="snapshot-drop"``) without disturbing entries
+        belonging to live versions that share the cache.  Returns how
+        many entries were dropped.
+        """
+        with self._lock:
+            doomed = [key for key, plan in self._entries.items()
+                      if predicate(key, plan)]
+            for key in doomed:
+                del self._entries[key]
+        dropped = len(doomed)
+        if dropped:
+            self.invalidations += dropped
+            CACHE_INVALIDATIONS.inc(dropped, reason=reason)
+        return dropped
+
     def stats(self) -> dict[str, int]:
         """This cache's counters, for ``explain``-style introspection."""
         return {

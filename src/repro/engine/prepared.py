@@ -3,7 +3,7 @@
 ``engine.prepare(text)`` runs the full compile pipeline once — parse →
 BlossomTree → NoK decomposition (Algorithm 1) → Dewey assignment →
 strategy choice — and hands back a :class:`PreparedQuery` whose
-``execute(bindings=None)`` replays the compiled plan any number of
+``execute(params=None)`` replays the compiled plan any number of
 times.  External ``$parameters`` (variables the query references but
 never binds) get their values from ``bindings`` at execution time; the
 compiled plan carries slots for them (residual where-conjuncts), so no
@@ -51,6 +51,10 @@ class CachedPlan:
     #: Set by the engine once the invariant analyzer accepted the plan;
     #: the plan cache refuses to store plans that never passed it.
     verified: bool = False
+    #: The serving snapshot this plan was compiled against (``None``
+    #: outside the serving layer).  The catalog's SV001 gate compares
+    #: it against the dropped-snapshot set before reusing the plan.
+    snapshot_id: int | None = None
 
 
 def normalize_bindings(parameters: frozenset[str],
@@ -126,15 +130,35 @@ class PreparedQuery:
         """The optimizer's current choice, for introspection."""
         return str(self._plan.choice)
 
-    def execute(self, bindings: dict | None = None,
+    def execute(self, params: dict | None = None,
                 counters=None, work_budget: int | None = None,
-                trace: bool = False, tracer=None):
+                trace: bool = False, tracer=None, *,
+                timeout_ms: float | None = None,
+                bindings: dict | None = None):
         """Run the prepared plan; see :meth:`Engine.query` for the
-        tracing/budget knobs.  ``bindings`` maps parameter names
-        (without ``$``) to values."""
+        tracing/budget/deadline knobs.  ``params`` maps parameter names
+        (without ``$``) to values.
+
+        .. deprecated::
+            ``bindings=`` is the pre-serving spelling of ``params=``;
+            it still works but warns.
+        """
+        if bindings is not None:
+            if params is not None:
+                raise BindingError(
+                    "pass params= or bindings=, not both")
+            import warnings
+
+            warnings.warn(
+                "PreparedQuery.execute(bindings=...) is deprecated; "
+                "use params=... (the spelling shared by Engine.query, "
+                "Database.query and QueryService.submit)",
+                DeprecationWarning, stacklevel=2)
+            params = bindings
         return self._engine._execute_prepared(
-            self, bindings=bindings, counters=counters,
-            work_budget=work_budget, trace=trace, tracer=tracer)
+            self, bindings=params, counters=counters,
+            work_budget=work_budget, trace=trace, tracer=tracer,
+            timeout_ms=timeout_ms)
 
     def explain(self) -> str:
         """Describe the plan this prepared query runs."""

@@ -51,13 +51,13 @@ import time
 
 from repro.analysis import verify_plan
 from repro.analysis.analyzer import VERIFY_RUNS
-from repro.errors import CompileError, DNFError, UsageError
+from repro.errors import CompileError, DNFError, QueryTimeoutError, UsageError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import NULL_TRACER, QueryTrace, Tracer
 from repro.pattern.artifact import prepare_artifacts
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.stats import DocumentStats, compute_stats
-from repro.xmlkit.storage import ScanCounters
+from repro.xmlkit.storage import CancellationToken, ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xquery.ast import FLWOR, QueryExpr
 from repro.engine.compiler import CompiledQuery, compile_query
@@ -84,6 +84,8 @@ _LATENCY = REGISTRY.histogram("repro_query_latency_ms",
                               "Query wall time in milliseconds")
 _DNF = REGISTRY.counter("repro_dnf_total",
                         "Queries aborted by the work budget (DNF)")
+_TIMEOUTS = REGISTRY.counter("repro_query_timeout_total",
+                             "Queries aborted by deadline expiry")
 _NODES = REGISTRY.counter("repro_nodes_scanned_total",
                           "Nodes delivered by sequential scans")
 _SCANS = REGISTRY.counter("repro_scans_total",
@@ -124,12 +126,23 @@ class Engine:
     work_budget:
         Optional cap on scanned nodes per query (DNF emulation); can be
         overridden per call.
+    plan_cache:
+        An externally owned :class:`PlanCache` to share (the serving
+        catalog hands one cache to every snapshot's engine); by default
+        the engine owns a private cache of ``plan_cache_capacity``.
+    snapshot_id:
+        Set by the serving catalog when this engine is bound to one
+        immutable :class:`~repro.serve.snapshot.Snapshot`: the id keys
+        the shared plan cache (instead of the mutation counter) and is
+        stamped into every plan this engine compiles.
     """
 
     def __init__(self, doc: Document,
                  documents: dict[str, Document] | None = None,
                  work_budget: int | None = None,
-                 plan_cache_capacity: int = 128) -> None:
+                 plan_cache_capacity: int = 128,
+                 plan_cache: PlanCache | None = None,
+                 snapshot_id: int | None = None) -> None:
         self.doc = doc
         self.documents = dict(documents or {})
         self.work_budget = work_budget
@@ -143,7 +156,14 @@ class Engine:
         self._last_strategy: str = "?"
         #: LRU of compiled plans; keys include the statistics
         #: fingerprint, so a mutated document never matches old entries.
-        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.plan_cache = (plan_cache if plan_cache is not None
+                           else PlanCache(plan_cache_capacity))
+        #: Snapshot binding (serving layer); ``None`` for a plain engine.
+        self.snapshot_id = snapshot_id
+        #: Optional hook called with every plan served from the cache
+        #: *before* execution; the serving catalog installs the SV001
+        #: dropped-snapshot gate here.  Raise to refuse the plan.
+        self.plan_gate = None
         #: Monotonic mutation counter; part of the fingerprint so two
         #: document versions never alias even if their summary
         #: statistics happen to coincide.
@@ -165,8 +185,20 @@ class Engine:
               counters: ScanCounters | None = None,
               work_budget: int | None = None,
               trace: bool = False,
-              tracer: Tracer | None = None) -> QueryResult:
+              tracer: Tracer | None = None, *,
+              params: dict | None = None,
+              timeout_ms: float | None = None) -> QueryResult:
         """Evaluate a query and return its result sequence.
+
+        ``params`` binds the query's external ``$parameters`` (free
+        variables) for this call — the same mapping
+        :meth:`PreparedQuery.execute` takes.
+
+        ``timeout_ms`` sets a cooperative deadline: the physical
+        operators checkpoint a
+        :class:`~repro.xmlkit.storage.CancellationToken` in their scan
+        loops and the call raises
+        :class:`~repro.errors.QueryTimeoutError` once it expires.
 
         ``trace=True`` records a span tree over the whole pipeline
         (compile → optimize → match/join/bind/finish, one child span
@@ -182,7 +214,8 @@ class Engine:
         """
         return self._shell(
             lambda tr: self._plan_for(text, strategy, tr),
-            text, strategy, counters, work_budget, trace, tracer)
+            text, strategy, counters, work_budget, trace, tracer,
+            bindings=params, timeout_ms=timeout_ms)
 
     def prepare(self, text: str | QueryExpr,
                 strategy: str = "auto") -> PreparedQuery:
@@ -191,7 +224,7 @@ class Engine:
         The full pipeline (parse → BlossomTree → NoK decomposition →
         Dewey assignment → strategy choice) runs now; the returned
         :class:`~repro.engine.prepared.PreparedQuery` replays the plan
-        on every ``execute(bindings=...)``.  Free ``$variables`` in the
+        on every ``execute(params=...)``.  Free ``$variables`` in the
         query become external parameters that ``execute`` must bind.
         """
         plan, _status = self._plan_for(text, strategy, NULL_TRACER)
@@ -214,7 +247,15 @@ class Engine:
         self.plan_cache.invalidate("update")
 
     def stats_fingerprint(self) -> tuple:
-        """The plan-cache key component tied to the document state."""
+        """The plan-cache key component tied to the document state.
+
+        A snapshot-bound engine keys by its (catalog-unique) snapshot id
+        instead of the local mutation counter, so engines sharing one
+        plan cache across document versions never alias entries — the
+        atomic-invalidation contract of the serving layer.
+        """
+        if self.snapshot_id is not None:
+            return ("snapshot", self.snapshot_id) + self.stats.fingerprint()
         return (self._doc_version,) + self.stats.fingerprint()
 
     # ------------------------------------------------------------------
@@ -225,7 +266,8 @@ class Engine:
                counters: ScanCounters | None,
                work_budget: int | None, trace: bool,
                tracer: Tracer | None,
-               bindings: dict | None = None) -> QueryResult:
+               bindings: dict | None = None,
+               timeout_ms: float | None = None) -> QueryResult:
         """Counters/budget/tracing/metrics shell around one execution.
 
         ``plan_source(tracer) -> (CachedPlan, cache_status)`` supplies
@@ -236,6 +278,9 @@ class Engine:
         budget = work_budget if work_budget is not None else self.work_budget
         if budget is not None:
             counters.budget = budget
+        previous_token = counters.cancellation
+        if timeout_ms is not None:
+            counters.cancellation = CancellationToken(timeout_ms)
 
         tracer = tracer if tracer is not None else (
             Tracer() if trace else NULL_TRACER)
@@ -248,18 +293,35 @@ class Engine:
             with tracer.span("query", strategy=strategy) as qspan:
                 if isinstance(source, str):
                     qspan.set(source=" ".join(source.split())[:160])
+                if counters.cancellation is not None:
+                    # An exhausted deadline must fail deterministically
+                    # even for queries too small to reach a checkpoint.
+                    try:
+                        counters.cancellation.check()
+                    except QueryTimeoutError:
+                        qspan.set(timed_out=True)
+                        _TIMEOUTS.inc()
+                        raise
                 plan, cache_status = plan_source(tracer)
                 qspan.set(**{"plan-cache": cache_status})
                 try:
                     result = self._execute_plan(plan, counters, budget,
                                                 tracer, bindings)
+                    if counters.cancellation is not None:
+                        counters.cancellation.check()
                 except DNFError as exc:
                     qspan.set(budget_tripped=True, budget=exc.budget,
                               nodes_scanned=counters.nodes_scanned)
                     _DNF.inc(strategy=self._last_strategy)
                     raise
+                except QueryTimeoutError:
+                    qspan.set(timed_out=True,
+                              nodes_scanned=counters.nodes_scanned)
+                    _TIMEOUTS.inc()
+                    raise
                 qspan.set(plan=self.last_plan, items=len(result))
         finally:
+            counters.cancellation = previous_token
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
             self._publish_metrics(counters, before, elapsed_ms)
             if tracing:
@@ -272,7 +334,8 @@ class Engine:
                           bindings: dict | None,
                           counters: ScanCounters | None,
                           work_budget: int | None, trace: bool,
-                          tracer: Tracer | None) -> QueryResult:
+                          tracer: Tracer | None,
+                          timeout_ms: float | None = None) -> QueryResult:
         """Run a prepared query, re-planning only if the document moved."""
         def plan_source(tr):
             fingerprint = self.stats_fingerprint()
@@ -289,7 +352,7 @@ class Engine:
 
         return self._shell(plan_source, prepared.source, prepared.strategy,
                            counters, work_budget, trace, tracer,
-                           bindings=bindings)
+                           bindings=bindings, timeout_ms=timeout_ms)
 
     # ------------------------------------------------------------------
     # Planning.
@@ -305,6 +368,11 @@ class Engine:
                self.stats_fingerprint())
         plan = self.plan_cache.get(key)
         if plan is not None:
+            if self.plan_gate is not None:
+                # Serving gate (SV001): refuse plans compiled against a
+                # snapshot that raced retirement between key lookup and
+                # execution.  Raises PlanInvariantError.
+                self.plan_gate(plan)
             return plan, "hit"
         plan = self._build_plan(text, strategy, tracer, memo_key=key)
         self.plan_cache.put(key, plan)
@@ -334,7 +402,8 @@ class Engine:
             with tracer.span("prepare-artifacts") as span:
                 artifacts = prepare_artifacts(compiled.tree)
                 span.set(noks=len(artifacts.decomposition.noks))
-        plan = CachedPlan(compiled, choice, artifacts, strategy)
+        plan = CachedPlan(compiled, choice, artifacts, strategy,
+                          snapshot_id=self.snapshot_id)
         # Validate-on-compile: every stage of the compiled artifact is
         # checked against the invariant catalogue before the plan can be
         # cached or executed; error findings raise PlanInvariantError.
@@ -471,7 +540,9 @@ class Engine:
 
     def explain_analyze(self, text: str | QueryExpr,
                         strategy: str = "auto",
-                        work_budget: int | None = None) -> str:
+                        work_budget: int | None = None, *,
+                        params: dict | None = None,
+                        timeout_ms: float | None = None) -> str:
         """Execute the query under tracing and render per-operator rows.
 
         Each NoK scan and each inter-NoK join gets one row showing
@@ -486,7 +557,8 @@ class Engine:
         counters = ScanCounters()
         tracer = Tracer()
         result = self.query(text, strategy=strategy, counters=counters,
-                            work_budget=work_budget, tracer=tracer)
+                            work_budget=work_budget, tracer=tracer,
+                            params=params, timeout_ms=timeout_ms)
         trace = self.last_trace
         assert trace is not None
         model = CostModel(self.doc, self.stats, self.index)

@@ -127,6 +127,51 @@ class ExecutionError(ReproError):
     """Raised when a physical operator fails at run time."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """Raised when a query exceeds its ``timeout_ms`` deadline.
+
+    Deadlines are enforced cooperatively: the physical operators check a
+    :class:`~repro.xmlkit.storage.CancellationToken` at their scan-loop
+    checkpoints, so a timed-out query stops within one checkpoint stride
+    of the deadline rather than at an arbitrary preemption point.
+    """
+
+    def __init__(self, message: str = "query deadline exceeded",
+                 timeout_ms: float | None = None):
+        self.timeout_ms = timeout_ms
+        if timeout_ms is not None:
+            message = f"{message} (timeout_ms={timeout_ms:g})"
+        super().__init__(message)
+
+
+class QueryCancelledError(ExecutionError):
+    """Raised when a query is cancelled via its cancellation token.
+
+    Distinct from :class:`QueryTimeoutError` so callers can tell an
+    explicit ``cancel()`` (service shutdown, client disconnect) apart
+    from a deadline expiry.
+    """
+
+    def __init__(self, message: str = "query cancelled"):
+        super().__init__(message)
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised by :class:`~repro.serve.QueryService` admission control
+    when the bounded request queue is full.
+
+    Carries the queue depth observed at rejection time so callers can
+    implement informed backoff.
+    """
+
+    def __init__(self, message: str = "service queue is full",
+                 queue_depth: int | None = None):
+        self.queue_depth = queue_depth
+        if queue_depth is not None:
+            message = f"{message} (queue_depth={queue_depth})"
+        super().__init__(message)
+
+
 class DNFError(ExecutionError):
     """Raised when an operator exceeds its work budget (the paper's "DNF").
 

@@ -38,6 +38,19 @@ name                                           type       labels
 ``repro_plan_cache_invalidations_total``       counter    ``reason``
 ``repro_plan_verify_total``                    counter    ``outcome``
 ``repro_plan_verify_findings_total``           counter    ``rule``
+``repro_query_timeout_total``                  counter    —
+``repro_snapshot_publishes_total``             counter    —
+``repro_snapshot_retires_total``               counter    —
+``repro_snapshots_live``                       gauge      —
+``repro_service_queue_depth``                  gauge      —
+``repro_service_inflight``                     gauge      —
+``repro_service_rejections_total``             counter    —
+``repro_service_coalesced_total``              counter    —
+``repro_service_wait_ms``                      histogram  —
+``repro_service_run_ms``                       histogram  —
+``repro_plan_retries_total``                   counter    —
+``repro_result_cache_hits_total``              counter    —
+``repro_result_cache_misses_total``            counter    —
 =============================================  =========  ==============================
 
 The plan-cache family is registered by :mod:`repro.engine.plancache`
@@ -46,7 +59,11 @@ The plan-cache family is registered by :mod:`repro.engine.plancache`
 ``prepared``) tying individual traces to the counters.  The
 plan-verify family is registered by :mod:`repro.analysis.analyzer`;
 each compile opens a ``verify-plan`` span whose ``findings``/``rules``
-attributes tie a trace to the analyzer's counters.
+attributes tie a trace to the analyzer's counters.  The serving
+families (``repro_snapshot_*`` / ``repro_service_*`` /
+``repro_result_cache_*`` plus the timeout and retry counters) are
+registered by :mod:`repro.serve` — the wait/run histograms split a
+served query's latency into queue time and execution time.
 """
 
 from __future__ import annotations

@@ -100,5 +100,14 @@ class SlowQueryLog:
     def clear(self) -> None:
         self.entries.clear()
 
+    def close(self) -> None:
+        """Flush point for :meth:`Database.close`.
+
+        Records stream to the JSONL file eagerly on :meth:`observe`
+        (the file is opened and closed per record), so there is nothing
+        buffered to write — this exists so the database's lifecycle has
+        a single, explicit quiesce call.
+        """
+
     def __len__(self) -> int:
         return len(self.entries)

@@ -72,7 +72,10 @@ def bounded_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
     if counters is None:
         counters = ScanCounters()
     result = JoinResult(edge)
+    token = counters.cancellation
     for outer in left_nodes:
+        if token is not None:
+            token.checkpoint()
         start = outer.nid + 1
         stop = outer.nid + outer.subtree_size()
         matcher = NoKMatcher(inner_nok, doc, counters, start_nid=start, stop_nid=stop)
@@ -99,7 +102,10 @@ def naive_nested_loop_join(left_nodes: Iterable[Node], inner_nok: NoKTree,
     if counters is None:
         counters = ScanCounters()
     result = JoinResult(edge)
+    token = counters.cancellation
     for outer in left_nodes:
+        if token is not None:
+            token.checkpoint()
         matcher = NoKMatcher(inner_nok, doc, counters)
         for entry in matcher.iter_matches():
             node = entry.node
@@ -137,7 +143,10 @@ def nested_loop_pairs(left_items: Iterable[L], right_items: Iterable[R],
         counters = ScanCounters()
     right_list = list(right_items)
     out: list[tuple[L, R]] = []
+    token = counters.cancellation
     for litem in left_items:
+        if token is not None:
+            token.checkpoint()
         for ritem in right_list:
             counters.comparisons += 1
             if predicate(litem, ritem):

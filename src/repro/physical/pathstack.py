@@ -147,7 +147,10 @@ class PathStackOperator:
                 frontier = next_frontier
                 index -= 1
 
+        token = self.counters.cancellation
         while True:
+            if token is not None:
+                token.checkpoint()
             candidates = [i for i in range(k) if next_start(i) < _INF]
             if not candidates:
                 break

@@ -57,8 +57,11 @@ def pipelined_desc_join(left_nodes: Iterable[Node],
     result = JoinResult(edge)
     left_iter = iter(left_nodes)
     current: Node | None = next(left_iter, None)
+    token = counters.cancellation
 
     for entry in right_entries:
+        if token is not None:
+            token.checkpoint()
         node = entry.node
         assert node is not None
         # Advance the left cursor past ancestors that end before the
@@ -102,8 +105,11 @@ def caching_desc_join(left_nodes: Iterable[Node],
     left_iter = iter(left_nodes)
     pending: Node | None = next(left_iter, None)
     stack: list[Node] = []
+    token = counters.cancellation
 
     for entry in right_entries:
+        if token is not None:
+            token.checkpoint()
         node = entry.node
         assert node is not None
         # Open every left node that starts before this right node.

@@ -73,8 +73,11 @@ def stack_join_pairs(ancestors: list[Node],
     stack: list[Node] = []
     ai = 0
     n_anc = len(ancestors)
+    token = counters.cancellation
 
     for item in descendants:
+        if token is not None:
+            token.checkpoint()
         node = item[0]
         assert node is not None
         # Push every ancestor that starts before this descendant,

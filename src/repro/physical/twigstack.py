@@ -187,7 +187,10 @@ class TwigStackOperator:
     def run(self) -> None:
         """Consume all streams, recording witnessed parent-child pairs."""
         root = self.root_q
+        token = self.counters.cancellation
         while not root.exhausted_subtree():
+            if token is not None:
+                token.checkpoint()
             q = self._get_next(root)
             if q.eof():
                 break  # no branch can make further progress

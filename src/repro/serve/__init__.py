@@ -1,0 +1,31 @@
+"""``repro.serve`` — snapshot-isolated concurrent query serving.
+
+The serving layer on top of the engine: a :class:`Catalog` of named,
+versioned documents (immutable :class:`Snapshot` per published update
+batch, copy-on-write via :class:`SnapshotUpdater`) and a
+:class:`QueryService` worker pool with admission control, per-query
+deadlines, snapshot-keyed plan/result caching and retry-once on
+invalidated plans.
+
+Most callers reach this through the top-level facade::
+
+    import repro
+
+    with repro.connect("library.xml") as db:
+        service = db.serve(workers=8)
+        future = service.submit("//book[author]/title", timeout_ms=100)
+        print(future.result().serialize())
+"""
+
+from repro.serve.catalog import Catalog
+from repro.serve.service import QueryService, ServeResult
+from repro.serve.snapshot import Snapshot, SnapshotUpdater, fork_document
+
+__all__ = [
+    "Catalog",
+    "QueryService",
+    "ServeResult",
+    "Snapshot",
+    "SnapshotUpdater",
+    "fork_document",
+]

@@ -1,0 +1,323 @@
+"""The document catalog: named documents, versioned by snapshot.
+
+A :class:`Catalog` maps names to their *current* :class:`Snapshot` and
+hands out per-snapshot engines whose plan caches are keyed by snapshot
+id — the serving layer's unit of isolation:
+
+* **readers** ``pin()`` the current snapshot (a refcount, not a lock),
+  query it through ``engine_for()``, and ``unpin()`` when done; a
+  pinned snapshot survives any number of publishes;
+* **writers** run copy-on-write batches via ``updater()``; commit
+  publishes the fork as the next snapshot atomically under the catalog
+  lock — the only synchronization point, never held during query
+  execution;
+* a snapshot with no pins that is no longer current is **retired**: its
+  id joins the dropped set (the SV001 rule's ground truth), its engine
+  is released, its plans are purged from the shared per-document
+  :class:`~repro.engine.plancache.PlanCache`, and retire listeners fire
+  (the query service uses this to purge its result cache).
+
+All engines of one document share one plan cache; entries are keyed by
+the snapshot fingerprint (id + statistics), so plans compiled against
+different versions never alias — the PR-2 fingerprint mechanism carried
+over to multi-version serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterator
+
+from repro.engine.plancache import PlanCache
+from repro.engine.prepared import CachedPlan
+from repro.engine.session import Engine
+from repro.errors import UsageError
+from repro.obs.metrics import REGISTRY
+from repro.serve.snapshot import Snapshot, SnapshotUpdater
+from repro.xmlkit.parser import parse
+from repro.xmlkit.stats import compute_stats
+from repro.xmlkit.tree import Document
+from repro.xmlkit.update import UpdateReport
+
+__all__ = ["Catalog"]
+
+_PUBLISHES = REGISTRY.counter(
+    "repro_snapshot_publishes_total",
+    "Snapshots published by update-batch commits")
+_RETIRES = REGISTRY.counter(
+    "repro_snapshot_retires_total",
+    "Snapshots retired (unpinned and superseded)")
+_LIVE = REGISTRY.gauge(
+    "repro_snapshots_live",
+    "Currently live (current or pinned) snapshots across the catalog")
+
+
+class _Entry:
+    """Per-document state; all fields guarded by the catalog lock."""
+
+    __slots__ = ("name", "current", "pins", "dropped", "plan_cache",
+                 "engines")
+
+    def __init__(self, name: str, snapshot: Snapshot,
+                 plan_cache_capacity: int) -> None:
+        self.name = name
+        self.current = snapshot
+        #: snapshot_id -> reader refcount.
+        self.pins: dict[int, int] = {}
+        #: ids of retired snapshots (never reused, never resurrected).
+        self.dropped: set[int] = set()
+        #: one plan cache shared by every version's engine.
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        #: snapshot_id -> Engine bound to that version.
+        self.engines: dict[int, Engine] = {}
+
+
+class Catalog:
+    """A registry of named documents with snapshot-isolated versions."""
+
+    def __init__(self, plan_cache_capacity: int = 128) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self._next_id = 1
+        self._plan_cache_capacity = plan_cache_capacity
+        self._retire_listeners: list[Callable[[Snapshot], None]] = []
+
+    # ------------------------------------------------------------------
+    # Registration and lookup.
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, source: Document | str) -> Snapshot:
+        """Register a document (a parsed tree or XML text) under ``name``.
+
+        The document becomes snapshot 1 of the name *without* a fork:
+        the catalog takes ownership, so the caller must not mutate it
+        afterwards (use :meth:`updater`).
+        """
+        doc = parse(source) if isinstance(source, str) else source
+        with self._lock:
+            if name in self._entries:
+                raise UsageError(f"document {name!r} is already registered")
+            snapshot = self._make_snapshot(name, doc)
+            self._entries[name] = _Entry(name, snapshot,
+                                         self._plan_cache_capacity)
+            _LIVE.set(self._live_count())
+        return snapshot
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def current(self, name: str) -> Snapshot:
+        """The current snapshot of ``name`` (not pinned — may retire
+        underneath the caller; use :meth:`pin` around query work)."""
+        with self._lock:
+            return self._entry(name).current
+
+    # ------------------------------------------------------------------
+    # Reader protocol: pin / query / unpin.
+    # ------------------------------------------------------------------
+
+    def pin(self, name: str) -> Snapshot:
+        """Pin the current snapshot for reading; pairs with :meth:`unpin`."""
+        with self._lock:
+            entry = self._entry(name)
+            snapshot = entry.current
+            entry.pins[snapshot.snapshot_id] = \
+                entry.pins.get(snapshot.snapshot_id, 0) + 1
+            return snapshot
+
+    def unpin(self, snapshot: Snapshot) -> None:
+        """Release a pin; the last unpin of a superseded snapshot retires it."""
+        retired: Snapshot | None = None
+        with self._lock:
+            entry = self._entry(snapshot.name)
+            sid = snapshot.snapshot_id
+            count = entry.pins.get(sid, 0)
+            if count <= 0:
+                raise UsageError(
+                    f"snapshot {sid} of {snapshot.name!r} is not pinned")
+            if count == 1:
+                del entry.pins[sid]
+                if entry.current.snapshot_id != sid:
+                    retired = self._retire(entry, snapshot)
+            else:
+                entry.pins[sid] = count - 1
+        if retired is not None:
+            self._notify_retired(retired)
+
+    def engine_for(self, snapshot: Snapshot) -> Engine:
+        """The engine bound to one snapshot (created once per version).
+
+        The engine shares the document's plan cache, carries the
+        snapshot id (stamped into every plan it compiles), and reuses
+        the snapshot's precomputed statistics.
+        """
+        with self._lock:
+            entry = self._entry(snapshot.name)
+            sid = snapshot.snapshot_id
+            if sid in entry.dropped:
+                raise UsageError(
+                    f"snapshot {sid} of {snapshot.name!r} has been dropped")
+            engine = entry.engines.get(sid)
+            if engine is None:
+                engine = Engine(snapshot.doc, plan_cache=entry.plan_cache,
+                                snapshot_id=sid)
+                engine._stats = snapshot.stats
+                engine.plan_gate = self._make_gate(entry)
+                entry.engines[sid] = engine
+            return engine
+
+    # ------------------------------------------------------------------
+    # Writer protocol: copy-on-write batches.
+    # ------------------------------------------------------------------
+
+    def updater(self, name: str) -> SnapshotUpdater:
+        """Start a copy-on-write update batch against ``name``.
+
+        The batch forks the current snapshot's document; ``commit()``
+        (or a clean ``with`` exit) publishes the fork as the next
+        snapshot.  Concurrent batches are last-committer-wins: each
+        forks the snapshot current at *its* start.
+        """
+        return SnapshotUpdater(self, self.current(name))
+
+    def _publish(self, name: str, doc: Document,
+                 reports: list[UpdateReport]) -> Snapshot:
+        """Atomically swap in a new version (SnapshotUpdater.commit)."""
+        retired: Snapshot | None = None
+        with self._lock:
+            entry = self._entry(name)
+            snapshot = self._make_snapshot(name, doc)
+            previous = entry.current
+            entry.current = snapshot
+            if entry.pins.get(previous.snapshot_id, 0) == 0:
+                retired = self._retire(entry, previous)
+            _PUBLISHES.inc()
+            _LIVE.set(self._live_count())
+        if retired is not None:
+            self._notify_retired(retired)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Liveness bookkeeping (the SV001 ground truth).
+    # ------------------------------------------------------------------
+
+    def live_ids(self, name: str) -> frozenset[int]:
+        """Snapshot ids of ``name`` that are current or pinned."""
+        with self._lock:
+            entry = self._entry(name)
+            ids = set(entry.pins)
+            ids.add(entry.current.snapshot_id)
+            return frozenset(ids)
+
+    def dropped_ids(self, name: str) -> frozenset[int]:
+        """Snapshot ids of ``name`` that have been retired."""
+        with self._lock:
+            return frozenset(self._entry(name).dropped)
+
+    def is_live(self, name: str, snapshot_id: int) -> bool:
+        return snapshot_id in self.live_ids(name)
+
+    def on_retire(self, callback: Callable[[Snapshot], None]) -> None:
+        """Register a callback fired (outside the lock) per retirement."""
+        self._retire_listeners.append(callback)
+
+    def plan_cache(self, name: str) -> PlanCache:
+        """The shared plan cache of one document (introspection/tests)."""
+        with self._lock:
+            return self._entry(name).plan_cache
+
+    def purge_snapshot_plans(self, name: str, snapshot_id: int) -> int:
+        """Eagerly drop plans compiled against one snapshot.
+
+        Retirement does this automatically per retired snapshot.
+        """
+        with self._lock:
+            cache = self._entry(name).plan_cache
+        return cache.invalidate_where(
+            lambda key, plan: getattr(plan, "snapshot_id", None)
+            == snapshot_id,
+            reason="snapshot-drop")
+
+    def purge_stale_plans(self, name: str) -> int:
+        """Drop every plan stamped with a dropped snapshot of ``name``.
+
+        The query service calls this when the SV001 gate trips on a
+        cache entry that raced a publish, so its retry compiles fresh
+        instead of re-hitting the poisoned entry.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            cache, dropped = entry.plan_cache, frozenset(entry.dropped)
+        return cache.invalidate_where(
+            lambda key, plan: getattr(plan, "snapshot_id", None) in dropped,
+            reason="snapshot-drop")
+
+    # ------------------------------------------------------------------
+    # Internals (callers hold the lock unless noted).
+    # ------------------------------------------------------------------
+
+    def _entry(self, name: str) -> _Entry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise UsageError(f"unknown document {name!r} "
+                             f"(registered: {sorted(self._entries) or '-'})")
+        return entry
+
+    def _make_snapshot(self, name: str, doc: Document) -> Snapshot:
+        snapshot = Snapshot(name, self._next_id, doc,
+                            compute_stats(doc, with_size=False))
+        self._next_id += 1
+        return snapshot
+
+    def _retire(self, entry: _Entry, snapshot: Snapshot) -> Snapshot:
+        sid = snapshot.snapshot_id
+        entry.dropped.add(sid)
+        entry.engines.pop(sid, None)
+        _RETIRES.inc()
+        _LIVE.set(self._live_count())
+        return snapshot
+
+    def _notify_retired(self, snapshot: Snapshot) -> None:
+        """Purge plans and fire listeners — outside the catalog lock."""
+        self.purge_snapshot_plans(snapshot.name, snapshot.snapshot_id)
+        for listener in self._retire_listeners:
+            listener(snapshot)
+
+    def _live_count(self) -> int:
+        total = 0
+        for entry in self._entries.values():
+            ids = set(entry.pins)
+            ids.add(entry.current.snapshot_id)
+            total += len(ids)
+        return total
+
+    def _make_gate(self, entry: _Entry) -> Callable[[CachedPlan], None]:
+        """The plan gate installed on every snapshot engine: refuse
+        cached plans whose snapshot has been dropped (rule SV001)."""
+        def gate(plan: CachedPlan) -> None:
+            sid = getattr(plan, "snapshot_id", None)
+            if sid is None:
+                return
+            with self._lock:
+                dropped = sid in entry.dropped
+            if dropped:
+                from repro.analysis import verify_snapshot
+
+                live = self.live_ids(entry.name)
+                verify_snapshot(plan, live)  # raises PlanInvariantError
+        return gate
+
+    def snapshots(self) -> Iterator[Snapshot]:
+        """Current snapshot of every registered document."""
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            yield entry.current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Catalog {self.names()}>"

@@ -1,0 +1,476 @@
+"""The concurrent query service: a bounded worker pool over a catalog.
+
+:class:`QueryService` is the serving front end the ROADMAP's north star
+asks for: many queries in flight against many documents, each executing
+against the snapshot that was current at dequeue time, with
+
+* **admission control** — a bounded queue; submissions past
+  ``max_queue`` fail fast with
+  :class:`~repro.errors.ServiceOverloadedError` instead of piling up;
+* **deadlines** — ``timeout_ms`` (per call or service default) is
+  measured from submission; expiry is detected both in the queue (the
+  request never runs) and cooperatively during execution via the
+  cancellation checkpoints in the physical operators' scan loops;
+* **snapshot-sound result caching** — snapshots are immutable, so a
+  result keyed by ``(document, snapshot id, query, strategy)`` can be
+  replayed verbatim until that snapshot retires (retirement purges the
+  entries).  Combined with in-flight **coalescing** (identical
+  concurrent requests share one execution) this is where the service's
+  aggregate throughput on read-heavy workloads comes from — Python
+  threads do not parallelize CPU-bound query evaluation, they
+  *deduplicate* it;
+* **retry-once on invalidated plans** — if a cached plan trips the
+  SV001 gate (compiled against a snapshot that got dropped while the
+  entry raced a publish), the service purges the stale plans and
+  retries the query once against a freshly pinned snapshot.
+
+Every submission returns a :class:`concurrent.futures.Future` resolving
+to a :class:`ServeResult` — the query result plus the snapshot it ran
+against and the wait/run split.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from collections.abc import Iterable, Mapping
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.engine.plancache import normalize_query_text
+from repro.engine.result import QueryResult
+from repro.errors import (
+    PlanInvariantError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    UsageError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.serve.catalog import Catalog
+from repro.serve.snapshot import Snapshot, SnapshotUpdater
+from repro.xmlkit.tree import Document
+
+__all__ = ["QueryService", "ServeResult"]
+
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_service_queue_depth", "Requests waiting in the service queue")
+_INFLIGHT = REGISTRY.gauge(
+    "repro_service_inflight", "Requests currently executing on workers")
+_REJECTIONS = REGISTRY.counter(
+    "repro_service_rejections_total",
+    "Submissions rejected by admission control (queue full)")
+_TIMEOUTS = REGISTRY.counter(
+    "repro_query_timeout_total", "Queries aborted by deadline expiry")
+_RETRIES = REGISTRY.counter(
+    "repro_plan_retries_total",
+    "Queries retried after a stale-snapshot plan tripped the SV001 gate")
+_COALESCED = REGISTRY.counter(
+    "repro_service_coalesced_total",
+    "Submissions attached to an identical in-flight request")
+_RESULT_HITS = REGISTRY.counter(
+    "repro_result_cache_hits_total",
+    "Queries served from the snapshot-keyed result cache")
+_RESULT_MISSES = REGISTRY.counter(
+    "repro_result_cache_misses_total",
+    "Cacheable queries that executed (and filled the result cache)")
+_WAIT_MS = REGISTRY.histogram(
+    "repro_service_wait_ms", "Queue wait before execution, milliseconds")
+_RUN_MS = REGISTRY.histogram(
+    "repro_service_run_ms", "Execution time on a worker, milliseconds")
+
+
+@dataclass
+class ServeResult:
+    """One served query: the result plus its serving metadata.
+
+    ``snapshot`` is the exact version the query ran against — callers
+    can replay the query serially on ``snapshot.doc`` and must get a
+    bit-identical result (the isolation contract the stress test pins).
+    """
+
+    result: QueryResult
+    snapshot: Snapshot
+    wait_ms: float
+    run_ms: float
+    attempts: int = 1
+    cached: bool = False
+
+    @property
+    def items(self) -> list:
+        return self.result.items
+
+    @property
+    def snapshot_id(self) -> int:
+        return self.snapshot.snapshot_id
+
+    def serialize(self) -> str:
+        return self.result.serialize()
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+    def __iter__(self):
+        return iter(self.result.items)
+
+
+class _Request:
+    """One queued execution (one future; possibly many submitters)."""
+
+    __slots__ = ("text", "norm_text", "doc", "strategy", "params", "trace",
+                 "timeout_ms", "deadline", "submitted", "future", "key")
+
+    def __init__(self, text: str, doc: str, strategy: str,
+                 params: Mapping | None, trace: bool,
+                 timeout_ms: float | None) -> None:
+        self.text = text
+        self.norm_text = normalize_query_text(text)
+        self.doc = doc
+        self.strategy = strategy
+        self.params = dict(params) if params else None
+        self.trace = trace
+        self.timeout_ms = timeout_ms
+        self.submitted = time.perf_counter()
+        self.deadline = (self.submitted + timeout_ms / 1000.0
+                         if timeout_ms is not None else None)
+        self.future: Future = Future()
+        #: Coalescing identity; ``None`` disables coalescing and result
+        #: caching (parameterized or traced requests are never shared).
+        self.key = ((doc, self.norm_text, strategy)
+                    if params is None and not trace else None)
+
+
+class QueryService:
+    """A bounded worker pool serving queries over catalog snapshots.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.serve.catalog.Catalog` (served as-is), or a
+        :class:`~repro.xmlkit.tree.Document` / XML text registered as
+        the default document name.
+    workers:
+        Worker thread count (concurrent executions).
+    max_queue:
+        Admission bound on *waiting* requests; ``submit`` past it raises
+        :class:`~repro.errors.ServiceOverloadedError`.
+    default_timeout_ms:
+        Deadline applied when a call does not pass ``timeout_ms``.
+    result_cache_size:
+        Entries in the snapshot-keyed result cache (0 disables it).
+    default_document:
+        Name used when calls omit ``doc`` (and for registering a
+        non-catalog ``source``).
+    """
+
+    def __init__(self, source: Catalog | Document | str, *,
+                 workers: int = 4, max_queue: int = 64,
+                 default_timeout_ms: float | None = None,
+                 result_cache_size: int = 256,
+                 default_document: str = "main") -> None:
+        if workers < 1:
+            raise UsageError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise UsageError(f"max_queue must be >= 1, got {max_queue}")
+        if isinstance(source, Catalog):
+            self.catalog = source
+        else:
+            self.catalog = Catalog()
+            self.catalog.register(default_document, source)
+        self.default_document = default_document
+        self.default_timeout_ms = default_timeout_ms
+        self.max_queue = max_queue
+
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._inflight_count = 0
+        self._inflight: dict[tuple, Future] = {}
+        self._closed = False
+
+        self._result_cache_size = result_cache_size
+        self._result_lock = threading.Lock()
+        self._result_cache: OrderedDict[tuple, QueryResult] = OrderedDict()
+        self.catalog.on_retire(self._purge_results)
+
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"repro-serve-{i}",
+                             daemon=True)
+            for i in range(workers)]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def submit(self, text: str, *, doc: str | None = None,
+               strategy: str = "auto", params: Mapping | None = None,
+               timeout_ms: float | None = None,
+               trace: bool = False) -> Future:
+        """Enqueue one query; returns a future of :class:`ServeResult`.
+
+        An identical un-parameterized, un-traced request already queued
+        or executing is *coalesced*: the same future is returned and the
+        query runs once.  Raises
+        :class:`~repro.errors.ServiceOverloadedError` when the queue is
+        full and :class:`~repro.errors.UsageError` after :meth:`close`.
+        """
+        return self._enqueue([self._request(text, doc, strategy, params,
+                                            timeout_ms, trace)])[0]
+
+    def query(self, text: str, *, doc: str | None = None,
+              strategy: str = "auto", params: Mapping | None = None,
+              timeout_ms: float | None = None,
+              trace: bool = False) -> ServeResult:
+        """Synchronous :meth:`submit` — blocks for the result."""
+        return self.submit(text, doc=doc, strategy=strategy, params=params,
+                           timeout_ms=timeout_ms, trace=trace).result()
+
+    def query_batch(self, queries: Iterable[str | Mapping], *,
+                    doc: str | None = None, strategy: str = "auto",
+                    timeout_ms: float | None = None) -> list[ServeResult]:
+        """Submit a batch atomically and wait for every result.
+
+        ``queries`` items are query strings or mappings with ``text``
+        plus optional ``doc`` / ``strategy`` / ``params`` /
+        ``timeout_ms`` overrides.  Admission is all-or-nothing: either
+        the whole batch fits in the queue (duplicates coalesce into one
+        slot) or nothing is enqueued and
+        :class:`~repro.errors.ServiceOverloadedError` is raised.
+        Results come back in submission order; a failed query re-raises
+        its error here.
+        """
+        requests = []
+        for spec in queries:
+            if isinstance(spec, str):
+                spec = {"text": spec}
+            requests.append(self._request(
+                spec["text"], spec.get("doc", doc),
+                spec.get("strategy", strategy), spec.get("params"),
+                spec.get("timeout_ms", timeout_ms), False))
+        futures = self._enqueue(requests)
+        return [future.result() for future in futures]
+
+    def updater(self, doc: str | None = None) -> SnapshotUpdater:
+        """A copy-on-write update batch (see :meth:`Catalog.updater`)."""
+        return self.catalog.updater(doc or self.default_document)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the service. Idempotent.
+
+        ``drain=True`` (default) serves every queued request first;
+        ``drain=False`` fails queued requests with
+        :class:`~repro.errors.QueryCancelledError`.  Either way, no new
+        submissions are admitted and the workers exit.
+        """
+        with self._cond:
+            if self._closed:
+                pending: list[_Request] = []
+            else:
+                self._closed = True
+                if drain:
+                    while self._queue or self._inflight_count:
+                        self._cond.wait()
+                    pending = []
+                else:
+                    pending = list(self._queue)
+                    self._queue.clear()
+                    _QUEUE_DEPTH.set(0)
+            self._cond.notify_all()
+        for request in pending:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    QueryCancelledError("service closed before execution"))
+        for thread in self._workers:
+            thread.join()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __enter__(self) -> QueryService:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        """Queue/inflight/cache occupancy, for introspection."""
+        with self._cond:
+            depth, inflight = len(self._queue), self._inflight_count
+        with self._result_lock:
+            cached = len(self._result_cache)
+        return {"queue_depth": depth, "inflight": inflight,
+                "result_cache_size": cached,
+                "workers": len(self._workers)}
+
+    # ------------------------------------------------------------------
+    # Admission.
+    # ------------------------------------------------------------------
+
+    def _request(self, text: str, doc: str | None, strategy: str,
+                 params: Mapping | None, timeout_ms: float | None,
+                 trace: bool) -> _Request:
+        if timeout_ms is None:
+            timeout_ms = self.default_timeout_ms
+        return _Request(text, doc or self.default_document, strategy,
+                        params, trace, timeout_ms)
+
+    def _enqueue(self, requests: list[_Request]) -> list[Future]:
+        with self._cond:
+            if self._closed:
+                raise UsageError("query service is closed")
+            futures: list[Future] = []
+            fresh: list[_Request] = []
+            batch_keys: dict[tuple, Future] = {}
+            for request in requests:
+                shared = None
+                if request.key is not None:
+                    shared = (self._inflight.get(request.key)
+                              or batch_keys.get(request.key))
+                if shared is not None:
+                    _COALESCED.inc()
+                    futures.append(shared)
+                    continue
+                fresh.append(request)
+                futures.append(request.future)
+                if request.key is not None:
+                    batch_keys[request.key] = request.future
+            if len(self._queue) + len(fresh) > self.max_queue:
+                _REJECTIONS.inc(len(fresh))
+                raise ServiceOverloadedError(queue_depth=len(self._queue))
+            for request in fresh:
+                self._queue.append(request)
+                if request.key is not None:
+                    self._inflight[request.key] = request.future
+            _QUEUE_DEPTH.set(len(self._queue))
+            self._cond.notify_all()
+            return futures
+
+    # ------------------------------------------------------------------
+    # Worker loop.
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return      # closed and drained
+                request = self._queue.popleft()
+                _QUEUE_DEPTH.set(len(self._queue))
+                self._inflight_count += 1
+                _INFLIGHT.set(self._inflight_count)
+            try:
+                self._serve(request)
+            finally:
+                with self._cond:
+                    self._inflight_count -= 1
+                    _INFLIGHT.set(self._inflight_count)
+                    if request.key is not None and \
+                            self._inflight.get(request.key) is request.future:
+                        del self._inflight[request.key]
+                    self._cond.notify_all()
+
+    def _serve(self, request: _Request) -> None:
+        future = request.future
+        if not future.set_running_or_notify_cancel():
+            return
+        now = time.perf_counter()
+        wait_ms = (now - request.submitted) * 1e3
+        _WAIT_MS.observe(wait_ms)
+        if request.deadline is not None and now >= request.deadline:
+            _TIMEOUTS.inc()
+            future.set_exception(QueryTimeoutError(
+                "query expired in the service queue",
+                timeout_ms=request.timeout_ms))
+            return
+        try:
+            served = self._execute(request, wait_ms)
+        except BaseException as exc:  # the future is the error channel
+            future.set_exception(exc)
+        else:
+            _RUN_MS.observe(served.run_ms)
+            future.set_result(served)
+
+    def _execute(self, request: _Request, wait_ms: float) -> ServeResult:
+        attempts = 0
+        while True:
+            attempts += 1
+            snapshot = self.catalog.pin(request.doc)
+            started = time.perf_counter()
+            try:
+                cache_key = None
+                if request.key is not None and self._result_cache_size:
+                    cache_key = (request.doc, snapshot.snapshot_id,
+                                 request.norm_text, request.strategy)
+                    cached = self._result_get(cache_key)
+                    if cached is not None:
+                        run_ms = (time.perf_counter() - started) * 1e3
+                        return ServeResult(cached, snapshot, wait_ms, run_ms,
+                                           attempts, cached=True)
+                engine = self.catalog.engine_for(snapshot)
+                try:
+                    result = engine.query(
+                        request.text, strategy=request.strategy,
+                        trace=request.trace, params=request.params,
+                        timeout_ms=self._remaining_ms(request))
+                except PlanInvariantError as exc:
+                    if attempts == 1 and "SV001" in exc.rule_ids:
+                        # A cached plan raced a snapshot flip: purge the
+                        # stale entries and retry against a fresh pin.
+                        _RETRIES.inc()
+                        self.catalog.purge_stale_plans(request.doc)
+                        continue
+                    raise
+                if cache_key is not None:
+                    self._result_put(cache_key, result)
+                run_ms = (time.perf_counter() - started) * 1e3
+                return ServeResult(result, snapshot, wait_ms, run_ms,
+                                   attempts, cached=False)
+            finally:
+                self.catalog.unpin(snapshot)
+
+    def _remaining_ms(self, request: _Request) -> float | None:
+        """Deadline budget left for execution (measured from submit)."""
+        if request.deadline is None:
+            return None
+        return max((request.deadline - time.perf_counter()) * 1e3, 0.0)
+
+    # ------------------------------------------------------------------
+    # Snapshot-keyed result cache.
+    # ------------------------------------------------------------------
+
+    def _result_get(self, key: tuple) -> QueryResult | None:
+        with self._result_lock:
+            result = self._result_cache.get(key)
+            if result is None:
+                _RESULT_MISSES.inc()
+                return None
+            self._result_cache.move_to_end(key)
+        _RESULT_HITS.inc()
+        return result
+
+    def _result_put(self, key: tuple, result: QueryResult) -> None:
+        with self._result_lock:
+            self._result_cache[key] = result
+            self._result_cache.move_to_end(key)
+            while len(self._result_cache) > self._result_cache_size:
+                self._result_cache.popitem(last=False)
+
+    def _purge_results(self, snapshot: Snapshot) -> None:
+        """Catalog retire hook: drop the retired snapshot's results."""
+        with self._result_lock:
+            doomed = [key for key in self._result_cache
+                      if key[0] == snapshot.name
+                      and key[1] == snapshot.snapshot_id]
+            for key in doomed:
+                del self._result_cache[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.stats()
+        return (f"<QueryService workers={state['workers']} "
+                f"queue={state['queue_depth']} inflight={state['inflight']}>")

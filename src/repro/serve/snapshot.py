@@ -1,0 +1,185 @@
+"""Immutable document snapshots: the serving layer's isolation unit.
+
+The serving story (ROADMAP: "heavy traffic from millions of users")
+needs readers and writers to coexist without locks on the query hot
+path.  The region-label encoding makes in-place structural updates
+global events — ``DocumentUpdater`` relabels the arena from the splice
+point onward — so a reader racing a writer could observe a half-applied
+tree.  Instead of locking, the serving layer never mutates a published
+document at all:
+
+* a :class:`Snapshot` is an immutable-by-convention ``(document,
+  statistics)`` pair with a catalog-unique id;
+* an update batch forks the current snapshot's document once
+  (:func:`fork_document`, copy-on-first-write), applies every operation
+  to the private fork, and publishes the fork as a *new* snapshot on
+  commit — in-flight queries keep reading their pinned snapshot.
+
+The fork is asymptotically free: the in-place updater already pays a
+full O(n) arena rebuild per operation to recompute region labels, so
+copying the arena once per *batch* costs the same order of work while
+buying lock-free readers.  Tag names, text and attribute values are
+immutable Python strings shared by reference between versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlkit.stats import DocumentStats
+from repro.xmlkit.tree import Document, Node
+from repro.xmlkit.update import DocumentUpdater, UpdateReport
+
+__all__ = ["Snapshot", "SnapshotUpdater", "fork_document"]
+
+
+def fork_document(doc: Document) -> Document:
+    """Deep-copy a document, preserving every label verbatim.
+
+    Unlike :class:`~repro.xmlkit.update.DocumentUpdater`'s rebuild this
+    never recomputes labels — nids, regions and levels are copied, so
+    the fork is indistinguishable from the original (the snapshot tests
+    assert byte-identical serialization) at one O(n) pass.
+    """
+    fork = Document()
+    src_nodes = doc.nodes
+    clones: list[Node] = [fork.document_node]
+    doc_node = clones[0]
+    doc_node.start = src_nodes[0].start
+    doc_node.end = src_nodes[0].end
+    doc_node.level = src_nodes[0].level
+    # Pre-order arena: every parent precedes its children, so the
+    # parent's clone always exists by the time a child is copied.
+    for src in src_nodes[1:]:
+        clone = Node(fork, src.nid, src.kind, src.tag, src.text)
+        if src.attrs:
+            clone.attrs = dict(src.attrs)
+        clone.start = src.start
+        clone.end = src.end
+        clone.level = src.level
+        assert src.parent is not None
+        parent = clones[src.parent.nid]
+        clone.parent = parent
+        parent.children.append(clone)
+        clones.append(clone)
+        fork.nodes.append(clone)
+    if doc.root is not None:
+        fork.root = clones[doc.root.nid]
+    return fork
+
+
+@dataclass(frozen=True, eq=False)
+class Snapshot:
+    """One published, immutable version of a named document.
+
+    ``snapshot_id`` is unique within its catalog (monotonic across all
+    documents), so plan-cache keys and SV001 checks can reference a
+    version without carrying the document around.  The document behind
+    a snapshot must never be mutated — all updates go through
+    :class:`SnapshotUpdater`, which works on a private fork.
+    """
+
+    name: str
+    snapshot_id: int
+    doc: Document
+    stats: DocumentStats
+
+    def fingerprint(self) -> tuple:
+        """Plan-cache key component: identity plus summary statistics."""
+        return ("snapshot", self.snapshot_id) + self.stats.fingerprint()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Snapshot {self.name!r} id={self.snapshot_id} "
+                f"{self.stats.n_nodes} nodes>")
+
+
+@dataclass
+class SnapshotUpdater:
+    """One copy-on-write update batch against a named document.
+
+    Obtained from :meth:`~repro.serve.catalog.Catalog.updater`; applies
+    the same operations as :class:`~repro.xmlkit.update.DocumentUpdater`
+    but to a private fork of the base snapshot's document, so concurrent
+    readers never observe intermediate states.  :meth:`commit` publishes
+    the fork as the document's next snapshot atomically; :meth:`abort`
+    discards it.  Usable as a context manager (commit on clean exit,
+    abort on exception)::
+
+        with catalog.updater("library") as up:
+            shelf = up.doc.root
+            up.insert_subtree(shelf, new_book)
+        # <- the new snapshot is published here
+    """
+
+    catalog: object
+    base: Snapshot
+    doc: Document = field(init=False)
+    reports: list[UpdateReport] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.doc = fork_document(self.base.doc)
+        self._updater = DocumentUpdater(self.doc)
+        self._done = False
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    def resolve(self, node: Node) -> Node:
+        """Map a node of the base snapshot to its clone in the fork.
+
+        Valid for nodes addressed *before* the batch's first operation
+        (later operations renumber the fork's arena); address nodes
+        found mid-batch through :attr:`doc` directly.
+        """
+        return self.doc.nodes[node.nid]
+
+    def insert_subtree(self, parent: Node, subtree_root: Node,
+                       position: int | None = None) -> UpdateReport:
+        """Insert a subtree (see ``DocumentUpdater.insert_subtree``).
+
+        ``parent`` may belong to the base snapshot (it is resolved into
+        the fork when the batch has not restructured the tree yet) or to
+        :attr:`doc` itself.
+        """
+        report = self._updater.insert_subtree(self._local(parent),
+                                              subtree_root, position)
+        self.reports.append(report)
+        return report
+
+    def delete_subtree(self, node: Node) -> UpdateReport:
+        """Delete a subtree (see ``DocumentUpdater.delete_subtree``)."""
+        report = self._updater.delete_subtree(self._local(node))
+        self.reports.append(report)
+        return report
+
+    def _local(self, node: Node) -> Node:
+        if node.doc is self.doc:
+            return node
+        if node.doc is self.base.doc and not self.reports:
+            return self.resolve(node)
+        return node  # let DocumentUpdater raise its precise UpdateError
+
+    def commit(self) -> Snapshot:
+        """Publish the fork as the document's next snapshot."""
+        if self._done:
+            raise RuntimeError("update batch already committed or aborted")
+        self._done = True
+        publish = getattr(self.catalog, "_publish")
+        snapshot: Snapshot = publish(self.base.name, self.doc, self.reports)
+        return snapshot
+
+    def abort(self) -> None:
+        """Discard the fork; the catalog never sees this batch."""
+        self._done = True
+
+    def __enter__(self) -> SnapshotUpdater:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._done:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()

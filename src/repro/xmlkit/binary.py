@@ -30,9 +30,12 @@ from collections.abc import Iterator
 from repro.errors import ReproError
 from repro.xmlkit.tree import ELEMENT, TEXT, Document, DocumentBuilder, Node
 
-__all__ = ["dump", "load", "StorageError"]
+__all__ = ["MAGIC", "dump", "load", "StorageError"]
 
-_MAGIC = b"BTRX1\n"
+#: File magic of the succinct binary format (format sniffing
+#: for :func:`repro.connect`).
+MAGIC = b"BTRX1\n"
+_MAGIC = MAGIC
 
 # Structure-stream opcodes.
 _OP_OPEN = 0          # + tag id varint + attr count + (name id, value id)*

@@ -15,18 +15,71 @@ experiments equate one scan with one pass over the file on disk.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, fields
 from collections.abc import Iterator
 
-from repro.errors import DNFError
+from repro.errors import DNFError, QueryCancelledError, QueryTimeoutError
 from repro.obs.metrics import REGISTRY
 from repro.xmlkit.tree import ELEMENT, Document, Node
 
-__all__ = ["ScanCounters", "SequentialScan"]
+__all__ = ["CancellationToken", "ScanCounters", "SequentialScan"]
 
 _BUDGET_TRIPS = REGISTRY.counter(
     "repro_budget_trips_total",
     "Sequential scans aborted by the work budget (DNF emulation)")
+
+#: ``ScanCounters`` fields that configure a run rather than count work.
+#: ``reset``/``snapshot``/``merge`` skip these (pinned by
+#: ``tests/test_counters_contract.py``).
+CONFIG_FIELDS = ("budget", "cancellation")
+
+
+class CancellationToken:
+    """Cooperative deadline/cancel flag threaded through operator loops.
+
+    Physical operators call :meth:`checkpoint` from their scan loops;
+    every ``stride`` calls the token checks its deadline and cancel flag
+    and raises :class:`~repro.errors.QueryTimeoutError` or
+    :class:`~repro.errors.QueryCancelledError`.  The stride keeps the
+    hot-path cost at one integer increment per node; ``cancel()`` from
+    another thread is observed within one stride.
+    """
+
+    __slots__ = ("deadline", "timeout_ms", "stride", "_cancelled", "_ticks")
+
+    def __init__(self, timeout_ms: float | None = None,
+                 stride: int = 256) -> None:
+        self.timeout_ms = timeout_ms
+        self.deadline = (time.monotonic() + timeout_ms / 1000.0
+                         if timeout_ms is not None else None)
+        self.stride = max(1, stride)
+        self._cancelled = False
+        self._ticks = 0
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def check(self) -> None:
+        """Raise immediately if cancelled or past the deadline."""
+        if self._cancelled:
+            raise QueryCancelledError()
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise QueryTimeoutError(timeout_ms=self.timeout_ms)
+
+    def checkpoint(self) -> None:
+        """Cheap per-iteration check: full :meth:`check` every stride."""
+        self._ticks += 1
+        if self._ticks >= self.stride:
+            self._ticks = 0
+            self.check()
 
 
 @dataclass
@@ -38,10 +91,14 @@ class ScanCounters:
     how the benchmark harness reproduces the paper's "DNF" entries
     deterministically instead of waiting out wall-clock timeouts.
 
+    ``cancellation`` optionally carries a :class:`CancellationToken`;
+    scans and operator loops checkpoint it, giving per-query deadlines
+    and cooperative cancellation the same transport as the budget.
+
     ``reset``/``snapshot``/``merge`` are driven by the dataclass field
-    set (everything except the ``budget`` configuration), so adding a
-    counter field automatically keeps all three in sync — the contract
-    ``tests/test_counters_contract.py`` pins down.
+    set (everything except the :data:`CONFIG_FIELDS` configuration), so
+    adding a counter field automatically keeps all three in sync — the
+    contract ``tests/test_counters_contract.py`` pins down.
     """
 
     nodes_scanned: int = 0       # nodes delivered by sequential scans
@@ -51,6 +108,9 @@ class ScanCounters:
     peak_buffered: int = 0       # max NestedLists held in memory at once
     budget_trips: int = 0        # scans aborted by the budget (DNF)
     budget: int | None = None  # DNF threshold on nodes_scanned
+    #: Cooperative deadline/cancel token; operators checkpoint it from
+    #: their scan loops (configuration, like ``budget``).
+    cancellation: CancellationToken | None = None
 
     def reset(self) -> None:
         for name in counter_fields():
@@ -79,8 +139,9 @@ class ScanCounters:
 
 
 def counter_fields() -> tuple[str, ...]:
-    """The counter field names (``budget`` is configuration, not work)."""
-    return tuple(f.name for f in fields(ScanCounters) if f.name != "budget")
+    """The counter field names (``CONFIG_FIELDS`` configure, not count)."""
+    return tuple(f.name for f in fields(ScanCounters)
+                 if f.name not in CONFIG_FIELDS)
 
 
 class SequentialScan:
@@ -112,6 +173,7 @@ class SequentialScan:
         nodes = self.doc.nodes
         counters = self.counters
         budget = counters.budget
+        token = counters.cancellation
         for nid in range(self.start_nid, min(self.stop_nid, len(nodes))):
             node = nodes[nid]
             counters.nodes_scanned += 1
@@ -119,6 +181,8 @@ class SequentialScan:
                 counters.trip_budget()
                 raise DNFError("sequential scan exceeded the work budget",
                                budget=budget)
+            if token is not None:
+                token.checkpoint()
             if node.kind == ELEMENT:
                 yield node
 
@@ -128,10 +192,13 @@ class SequentialScan:
         nodes = self.doc.nodes
         counters = self.counters
         budget = counters.budget
+        token = counters.cancellation
         for nid in range(self.start_nid, min(self.stop_nid, len(nodes))):
             counters.nodes_scanned += 1
             if budget is not None and counters.nodes_scanned > budget:
                 counters.trip_budget()
                 raise DNFError("sequential scan exceeded the work budget",
                                budget=budget)
+            if token is not None:
+                token.checkpoint()
             yield nodes[nid]

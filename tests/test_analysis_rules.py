@@ -287,7 +287,7 @@ class TestEnforcementGates:
 
 class TestCatalogue:
     def test_every_rule_has_stage_severity_and_remediation(self):
-        stages = {"ast", "blossom", "decomposition", "dewey", "plan"}
+        stages = {"ast", "blossom", "decomposition", "dewey", "plan", "serve"}
         for rule in RULES.values():
             assert rule.stage in stages
             assert isinstance(rule.severity, Severity)
@@ -301,6 +301,7 @@ class TestCatalogue:
             "NK001", "NK002", "NK003",
             "DW001", "DW002",
             "PL001", "PL002", "PL003",
+            "SV001",
         }
 
     def test_pl003_is_the_only_warning(self):

@@ -9,13 +9,14 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.xmlkit.storage import ScanCounters, counter_fields
+from repro.xmlkit.storage import CONFIG_FIELDS, ScanCounters, counter_fields
 
 
-def test_counter_fields_is_every_field_except_budget():
+def test_counter_fields_is_every_field_except_config():
     names = {f.name for f in dataclasses.fields(ScanCounters)}
-    assert set(counter_fields()) == names - {"budget"}
-    assert "budget" in names
+    assert set(counter_fields()) == names - set(CONFIG_FIELDS)
+    assert set(CONFIG_FIELDS) == {"budget", "cancellation"}
+    assert set(CONFIG_FIELDS) <= names
 
 
 def test_snapshot_covers_exactly_the_counter_fields():

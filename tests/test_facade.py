@@ -1,0 +1,155 @@
+"""The public facade: ``repro.connect``, ``Database`` lifecycle and the
+unified ``strategy``/``params``/``timeout_ms`` keyword surface."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro.engine.database import Database
+from repro.engine.session import Engine
+from repro.errors import BindingError, UsageError
+from repro.xmlkit.parser import parse
+
+LIBRARY = """
+<library>
+  <shelf genre="systems">
+    <book id="b1"><author>Gray</author><title>Transaction</title></book>
+    <book id="b2"><author>Codd</author><title>Relational</title></book>
+  </shelf>
+  <shelf genre="theory">
+    <book id="b3"><title>Automata</title></book>
+  </shelf>
+</library>
+"""
+
+
+class TestConnect:
+    def test_xml_text(self):
+        with repro.connect(LIBRARY) as db:
+            assert len(db.query("//book/title")) == 3
+
+    def test_document_instance(self):
+        doc = parse(LIBRARY)
+        with repro.connect(doc) as db:
+            assert db.doc is doc
+            assert len(db.query("//book")) == 3
+
+    def test_xml_file_path(self, tmp_path):
+        path = tmp_path / "library.xml"
+        path.write_text(LIBRARY, encoding="utf-8")
+        for source in (path, str(path)):
+            with repro.connect(source) as db:
+                assert len(db.query("//shelf")) == 2
+
+    def test_binary_file_path(self, tmp_path):
+        path = tmp_path / "library.btx"
+        Database.from_xml(LIBRARY).save(path)
+        with repro.connect(str(path)) as db:
+            assert len(db.query("//book[author]")) == 2
+
+    def test_binary_magic_is_sniffed_not_suffixed(self, tmp_path):
+        # Extension is irrelevant; only the magic bytes decide.
+        path = tmp_path / "library.xml"
+        Database.from_xml(LIBRARY).save(path)
+        with repro.connect(path) as db:
+            assert len(db.query("//book")) == 3
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        with pytest.raises(UsageError, match="no such file"):
+            repro.connect(str(tmp_path / "nope.xml"))
+
+    def test_bad_type_is_a_usage_error(self):
+        with pytest.raises(UsageError, match="expected XML text"):
+            repro.connect(42)
+
+    def test_slow_query_log_knob(self):
+        with repro.connect(LIBRARY, slow_query_ms=10_000.0) as db:
+            assert db.slow_log is not None
+            db.query("//book/title")
+            assert db.slow_log.entries == []
+
+
+class TestDatabaseLifecycle:
+    def test_context_manager_closes(self):
+        db = repro.connect(LIBRARY)
+        with db:
+            pass
+        with pytest.raises(UsageError, match="closed"):
+            db.serve()
+
+    def test_close_is_idempotent(self):
+        db = repro.connect(LIBRARY)
+        db.close()
+        db.close()
+        # Plain queries still work on the in-process engine.
+        assert len(db.query("//book")) == 3
+
+    def test_serve_returns_same_instance_while_running(self):
+        with repro.connect(LIBRARY) as db:
+            service = db.serve(workers=2)
+            assert db.serve(workers=8) is service
+
+    def test_serve_roundtrip(self):
+        with repro.connect(LIBRARY) as db:
+            service = db.serve(workers=2)
+            served = service.query("//book/title")
+            assert served.serialize() == db.query("//book/title").serialize()
+
+    def test_in_place_updates_refused_while_serving(self):
+        with repro.connect(LIBRARY) as db:
+            service = db.serve(workers=1)
+            with pytest.raises(UsageError, match="query service"):
+                db.updater()
+            service.close()
+            db.updater()  # allowed again once the service stops
+
+
+class TestUnifiedKeywords:
+    """One spelling everywhere: strategy / params / timeout_ms."""
+
+    SURFACES = [
+        (Database, "query"),
+        (Database, "explain_analyze"),
+        (Engine, "query"),
+        (Engine, "explain_analyze"),
+    ]
+
+    @pytest.mark.parametrize("owner, method", SURFACES,
+                             ids=[f"{o.__name__}.{m}" for o, m in SURFACES])
+    def test_query_surfaces_accept_the_unified_kwargs(self, owner, method):
+        sig = inspect.signature(getattr(owner, method))
+        for name in ("strategy", "params", "timeout_ms"):
+            assert name in sig.parameters, f"{owner.__name__}.{method}"
+
+    def test_service_submit_accepts_the_unified_kwargs(self):
+        from repro.serve.service import QueryService
+
+        sig = inspect.signature(QueryService.submit)
+        for name in ("strategy", "params", "timeout_ms"):
+            assert name in sig.parameters
+
+    def test_params_flow_through_database(self):
+        with repro.connect(LIBRARY) as db:
+            result = db.query("//book[author = $who]/title",
+                              params={"who": "Gray"})
+            assert result.string_values() == ["Transaction"]
+
+    def test_prepared_execute_params(self):
+        with repro.connect(LIBRARY) as db:
+            prepared = db.prepare("//book[author = $who]/title")
+            assert len(prepared.execute(params={"who": "Codd"})) == 1
+
+    def test_bindings_spelling_is_deprecated_but_works(self):
+        with repro.connect(LIBRARY) as db:
+            prepared = db.prepare("//book[author = $who]/title")
+            with pytest.warns(DeprecationWarning, match="params"):
+                result = prepared.execute(bindings={"who": "Gray"})
+            assert len(result) == 1
+
+    def test_both_spellings_together_is_an_error(self):
+        with repro.connect(LIBRARY) as db:
+            prepared = db.prepare("//book[author = $who]/title")
+            with pytest.raises(BindingError, match="not both"):
+                prepared.execute(params={"who": "Gray"},
+                                 bindings={"who": "Codd"})

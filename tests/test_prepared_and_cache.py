@@ -162,7 +162,7 @@ class TestPreparedQueries:
         prepared = engine.prepare(PARAM_QUERY)
         assert prepared.parameters == {"max"}
         for threshold in (30.0, 40.0, 66.0, 10.0):
-            got = prepared.execute(bindings={"max": threshold}).serialize()
+            got = prepared.execute(params={"max": threshold}).serialize()
             inlined = PARAM_QUERY.replace("$max", str(threshold))
             assert got == fresh_result(SMALL_BIB, inlined)
             assert got == fresh_result(SMALL_BIB, inlined, "naive")
@@ -172,7 +172,7 @@ class TestPreparedQueries:
         prepared = engine.prepare(PARAM_QUERY)
         misses_after_prepare = engine.plan_cache.misses
         tracer = Tracer()
-        prepared.execute(bindings={"max": 40.0}, tracer=tracer)
+        prepared.execute(params={"max": 40.0}, tracer=tracer)
         trace = engine.last_trace
         assert trace.root.attrs["plan-cache"] == "prepared"
         assert trace.find("compile") is None        # no re-parse/re-build
@@ -182,7 +182,7 @@ class TestPreparedQueries:
         engine = Engine(parse(SMALL_BIB))
         prepared = engine.prepare(
             "for $b in //book where $b/author/last = $name return $b/title")
-        got = prepared.execute(bindings={"name": "Stevens"}).serialize()
+        got = prepared.execute(params={"name": "Stevens"}).serialize()
         assert got == fresh_result(
             SMALL_BIB,
             "for $b in //book where $b/author/last = 'Stevens' "
@@ -196,7 +196,7 @@ class TestPreparedQueries:
         engine = Engine(doc)
         prepared = engine.prepare("for $t in $books/title return $t")
         books = doc.elements_by_tag("book")[:2]
-        got = prepared.execute(bindings={"books": books}).serialize()
+        got = prepared.execute(params={"books": books}).serialize()
         assert "TCP/IP Illustrated" in got and "Data on the Web" in got
         assert "Economics" not in got
 
@@ -210,7 +210,7 @@ class TestPreparedQueries:
         engine = Engine(parse(SMALL_BIB))
         prepared = engine.prepare("//book/title")
         with pytest.raises(BindingError, match="unknown parameter"):
-            prepared.execute(bindings={"max": 1.0})
+            prepared.execute(params={"max": 1.0})
 
     def test_value_outside_the_model(self):
         with pytest.raises(BindingError, match="value model"):
@@ -238,7 +238,7 @@ class TestPreparedQueries:
     def test_database_facade_mirrors_engine(self):
         db = Database.from_xml(SMALL_BIB)
         prepared = db.prepare(PARAM_QUERY, strategy="auto")
-        got = prepared.execute(bindings={"max": 40.0}).serialize()
+        got = prepared.execute(params={"max": 40.0}).serialize()
         assert got == fresh_result(SMALL_BIB,
                                    PARAM_QUERY.replace("$max", "40.0"))
         assert "strategy:" in db.explain("//book")

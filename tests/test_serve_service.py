@@ -1,0 +1,380 @@
+"""Query service: deadlines, admission, caching, SV001 retry."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.plancache import normalize_query_text
+from repro.errors import (
+    PlanInvariantError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    UsageError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.serve import Catalog, QueryService, ServeResult
+from repro.xmlkit.storage import CancellationToken, ScanCounters
+from repro.xmlkit.parser import parse
+
+LIBRARY = """
+<library>
+  <shelf><book><author>Stevens</author><title>TCP/IP</title></book>
+  <book><author>Tanenbaum</author><title>Networks</title></book></shelf>
+  <shelf><book><author>Cormen</author><title>CLRS</title></book></shelf>
+</library>
+"""
+
+_TIMEOUTS = REGISTRY.counter("repro_query_timeout_total", "")
+_RETRIES = REGISTRY.counter("repro_plan_retries_total", "")
+_REJECTIONS = REGISTRY.counter("repro_service_rejections_total", "")
+_COALESCED = REGISTRY.counter("repro_service_coalesced_total", "")
+_RESULT_HITS = REGISTRY.counter("repro_result_cache_hits_total", "")
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("workers", 2)
+    return QueryService(LIBRARY, **kwargs)
+
+
+class TestCancellationToken:
+    def test_expired_deadline_raises_timeout(self):
+        token = CancellationToken(timeout_ms=0, stride=1)
+        with pytest.raises(QueryTimeoutError, match="deadline"):
+            token.checkpoint()
+
+    def test_cancel_raises_cancelled(self):
+        token = CancellationToken(stride=1)
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            token.checkpoint()
+
+    def test_stride_batches_clock_reads(self):
+        token = CancellationToken(timeout_ms=0, stride=1000)
+        for _ in range(999):
+            token.checkpoint()      # under the stride: no check yet
+        with pytest.raises(QueryTimeoutError):
+            token.checkpoint()      # the 1000th tick reads the clock
+
+    def test_no_deadline_never_times_out(self):
+        token = CancellationToken(stride=1)
+        for _ in range(10):
+            token.checkpoint()
+
+
+class TestEngineDeadline:
+    def test_timeout_zero_raises_and_counts(self):
+        from repro.engine.session import Engine
+
+        engine = Engine(parse(LIBRARY))
+        before = _TIMEOUTS.value()
+        with pytest.raises(QueryTimeoutError):
+            engine.query("//book/title", timeout_ms=0)
+        assert _TIMEOUTS.value() == before + 1
+
+    def test_scan_loop_checkpoints_cooperatively(self):
+        # A token that expires mid-scan (not at the pre-check) proves
+        # the operators' scan loops really consult it.
+        from repro.engine.session import Engine
+
+        engine = Engine(parse(LIBRARY))
+        counters = ScanCounters()
+        token = CancellationToken(timeout_ms=10_000, stride=1)
+        token.deadline = time.monotonic() - 1.0   # expire between checkpoints
+        counters.cancellation = token
+        with pytest.raises(QueryTimeoutError):
+            engine.query("//book[author]/title", strategy="pipelined",
+                         counters=counters)
+
+    def test_generous_deadline_succeeds(self):
+        from repro.engine.session import Engine
+
+        engine = Engine(parse(LIBRARY))
+        assert len(engine.query("//book/title", timeout_ms=60_000)) == 3
+
+
+class TestServiceBasics:
+    def test_submit_returns_serve_result(self):
+        with make_service() as service:
+            served = service.submit("//book[author]/title").result()
+        assert isinstance(served, ServeResult)
+        assert len(served) == 3
+        assert served.snapshot_id == 1
+        assert served.wait_ms >= 0 and served.run_ms >= 0
+        assert served.attempts == 1
+
+    def test_query_batch_in_order(self):
+        with make_service() as service:
+            results = service.query_batch(
+                ["//book/title", "//book/author", "//shelf"])
+        assert [len(r) for r in results] == [3, 3, 2]
+
+    def test_batch_per_item_overrides(self):
+        with make_service() as service:
+            results = service.query_batch([
+                {"text": "//book/title"},
+                {"text": "//book/title", "strategy": "naive"},
+            ])
+        assert all(len(r) == 3 for r in results)
+
+    def test_submit_after_close_refused(self):
+        service = make_service()
+        service.close()
+        assert service.closed
+        with pytest.raises(UsageError, match="closed"):
+            service.submit("//book")
+
+    def test_close_idempotent(self):
+        service = make_service()
+        service.close()
+        service.close()
+
+    def test_queries_keep_pinned_snapshot_under_updates(self):
+        with make_service() as service:
+            first = service.query("//book/title")
+            with service.updater() as up:
+                shelf = [c for c in up.doc.root.children
+                         if c.tag is not None][0]
+                up.delete_subtree(shelf)
+            second = service.query("//book/title")
+        assert first.snapshot_id == 1 and len(first) == 3
+        assert second.snapshot_id == 2 and len(second) == 1
+
+
+class TestDeadlines:
+    def test_queue_expired_request_times_out_and_counts(self):
+        before = _TIMEOUTS.value()
+        with make_service() as service:
+            future = service.submit("//book/title", timeout_ms=0)
+            with pytest.raises(QueryTimeoutError, match="queue"):
+                future.result(timeout=10)
+        assert _TIMEOUTS.value() > before
+
+    def test_default_timeout_applies(self):
+        before = _TIMEOUTS.value()
+        with make_service(default_timeout_ms=0) as service:
+            with pytest.raises(QueryTimeoutError):
+                service.query("//book/title")
+        assert _TIMEOUTS.value() > before
+
+    def test_unexpired_deadline_serves_normally(self):
+        with make_service() as service:
+            served = service.query("//book/title", timeout_ms=60_000)
+        assert len(served) == 3
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_with_counter(self):
+        gate = threading.Event()
+        release = threading.Event()
+
+        catalog = Catalog()
+        catalog.register("main", LIBRARY)
+        service = QueryService(catalog, workers=1, max_queue=2)
+        try:
+            # Occupy the single worker with a slow request.
+            original = catalog.engine_for
+
+            def slow_engine_for(snapshot):
+                gate.set()
+                release.wait(timeout=10)
+                return original(snapshot)
+
+            catalog.engine_for = slow_engine_for
+            blocker = service.submit("//book/author")
+            assert gate.wait(timeout=10)
+            # Fill the queue (distinct texts: coalescing must not merge).
+            service.submit("//book/title")
+            service.submit("//shelf")
+            before = _REJECTIONS.value()
+            with pytest.raises(ServiceOverloadedError) as exc_info:
+                service.submit("//book")
+            assert exc_info.value.queue_depth == 2
+            assert _REJECTIONS.value() == before + 1
+        finally:
+            release.set()
+            blocker.result(timeout=10)
+            catalog.engine_for = original
+            service.close()
+
+    def test_batch_admission_is_all_or_nothing(self):
+        gate = threading.Event()
+        release = threading.Event()
+        catalog = Catalog()
+        catalog.register("main", LIBRARY)
+        service = QueryService(catalog, workers=1, max_queue=2)
+        try:
+            original = catalog.engine_for
+
+            def slow_engine_for(snapshot):
+                gate.set()
+                release.wait(timeout=10)
+                return original(snapshot)
+
+            catalog.engine_for = slow_engine_for
+            blocker = service.submit("//book/author")
+            assert gate.wait(timeout=10)
+            with pytest.raises(ServiceOverloadedError):
+                service.query_batch(["//a", "//b", "//c"])
+            assert service.stats()["queue_depth"] == 0
+        finally:
+            release.set()
+            blocker.result(timeout=10)
+            catalog.engine_for = original
+            service.close()
+
+
+class TestCoalescingAndResultCache:
+    def test_identical_requests_coalesce(self):
+        gate = threading.Event()
+        release = threading.Event()
+        catalog = Catalog()
+        catalog.register("main", LIBRARY)
+        service = QueryService(catalog, workers=1)
+        try:
+            original = catalog.engine_for
+
+            def slow_engine_for(snapshot):
+                gate.set()
+                release.wait(timeout=10)
+                return original(snapshot)
+
+            catalog.engine_for = slow_engine_for
+            first = service.submit("//book/title")
+            assert gate.wait(timeout=10)
+            catalog.engine_for = original
+            before = _COALESCED.value()
+            # Queue an identical and a whitespace-variant request.
+            second = service.submit("//book/title")
+            third = service.submit("  //book/title  ")
+            assert _COALESCED.value() == before + 2
+            assert second is first and third is first
+        finally:
+            release.set()
+            service.close()
+
+    def test_result_cache_replays_on_same_snapshot(self):
+        before = _RESULT_HITS.value()
+        with make_service(workers=1) as service:
+            first = service.query("//book/title")
+            second = service.query("//book/title")
+        assert not first.cached and second.cached
+        assert second.result is first.result
+        assert _RESULT_HITS.value() == before + 1
+
+    def test_publish_invalidates_results_via_retire(self):
+        with make_service(workers=1) as service:
+            first = service.query("//book/title")
+            with service.updater() as up:
+                shelf = [c for c in up.doc.root.children
+                         if c.tag is not None][0]
+                up.delete_subtree(shelf)
+            second = service.query("//book/title")
+        assert len(first) == 3
+        assert not second.cached and len(second) == 1
+
+    def test_parameterized_requests_never_cached(self):
+        with make_service(workers=1) as service:
+            q = ("for $b in //book where $b/author = $who "
+                 "return $b/title")
+            first = service.query(q, params={"who": "Stevens"})
+            second = service.query(q, params={"who": "Stevens"})
+        assert not first.cached and not second.cached
+        assert len(first) == len(second) == 1
+
+
+class TestPlanInvalidationRace:
+    def test_sv001_poisoned_cache_retries_once(self):
+        """A cached plan stamped with a dropped snapshot id must trip
+        the SV001 gate and be retried transparently, exactly once."""
+        catalog = Catalog()
+        catalog.register("main", LIBRARY)
+        with catalog.updater("main"):
+            pass                    # snapshot 1 is now dropped
+        snapshot = catalog.current("main")
+        engine = catalog.engine_for(snapshot)
+        text = "//book[author]/title"
+        # Compile a good plan, then poison the shared cache: restamp the
+        # entry as if it had been compiled against dropped snapshot 1 —
+        # exactly what an entry that raced a publish looks like.
+        engine.query(text)
+        cache = catalog.plan_cache("main")
+        key = (normalize_query_text(text), "auto",
+               engine.stats_fingerprint())
+        cache.get(key).snapshot_id = 1
+
+        before = _RETRIES.value()
+        service = QueryService(catalog, workers=1)
+        try:
+            served = service.query(text)
+        finally:
+            service.close()
+        assert len(served) == 3
+        assert served.attempts == 2
+        assert _RETRIES.value() == before + 1
+        # The retry purged the poisoned entry and cached a fresh plan.
+        assert cache.get(key).snapshot_id == snapshot.snapshot_id
+
+    def test_sv001_direct_engine_hit_raises(self):
+        catalog = Catalog()
+        catalog.register("main", LIBRARY)
+        with catalog.updater("main"):
+            pass
+        snapshot = catalog.current("main")
+        engine = catalog.engine_for(snapshot)
+        text = "//book/author"
+        engine.query(text)
+        key = (normalize_query_text(text), "auto",
+               engine.stats_fingerprint())
+        catalog.plan_cache("main").get(key).snapshot_id = 1
+        with pytest.raises(PlanInvariantError) as exc_info:
+            engine.query(text)
+        assert exc_info.value.rule_ids == ["SV001"]
+
+    def test_verify_snapshot_gate(self):
+        from repro.analysis import analyze_snapshot, verify_snapshot
+        from repro.engine.session import Engine
+
+        engine = Engine(parse(LIBRARY), snapshot_id=7)
+        engine.query("//book")
+        [key] = list(engine.plan_cache._entries)
+        plan = engine.plan_cache.get(key)
+        assert verify_snapshot(plan, {7}).errors == []
+        report = analyze_snapshot(plan, {8, 9})
+        assert report.rule_ids() == ["SV001"]
+        with pytest.raises(PlanInvariantError, match="SV001"):
+            verify_snapshot(plan, {8, 9})
+
+
+class TestCloseSemantics:
+    def test_close_without_drain_cancels_queued(self):
+        gate = threading.Event()
+        release = threading.Event()
+        catalog = Catalog()
+        catalog.register("main", LIBRARY)
+        service = QueryService(catalog, workers=1)
+        original = catalog.engine_for
+
+        def slow_engine_for(snapshot):
+            gate.set()
+            release.wait(timeout=10)
+            return original(snapshot)
+
+        catalog.engine_for = slow_engine_for
+        blocker = service.submit("//book/author")
+        assert gate.wait(timeout=10)
+        catalog.engine_for = original
+        queued = service.submit("//book/title")
+        release.set()
+        service.close(drain=False)
+        blocker.result(timeout=10)          # in-flight request completes
+        with pytest.raises(QueryCancelledError):
+            queued.result(timeout=10)
+
+    def test_close_with_drain_serves_everything(self):
+        service = make_service()
+        futures = [service.submit(q)
+                   for q in ("//book/title", "//book/author", "//shelf")]
+        service.close(drain=True)
+        assert [len(f.result()) for f in futures] == [3, 3, 2]

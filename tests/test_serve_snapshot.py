@@ -1,0 +1,240 @@
+"""Snapshot layer: fork fidelity, catalog versioning, pin/retire."""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.serve import Catalog, fork_document
+from repro.serve.snapshot import SnapshotUpdater
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.tree import DocumentBuilder
+
+LIBRARY = """
+<library>
+  <shelf genre="systems">
+    <book year="1999"><author>Stevens</author><title>TCP/IP</title>
+      <price>65.0</price></book>
+    <book year="2004"><author>Tanenbaum</author><title>Networks</title>
+      <price>55.0</price></book>
+  </shelf>
+  <shelf genre="theory">
+    <book year="2009"><author>Cormen</author><title>CLRS</title>
+      <price>80.0</price></book>
+  </shelf>
+</library>
+"""
+
+
+def elems(node):
+    """Element children (the corpus has whitespace text nodes)."""
+    return [c for c in node.children if c.tag is not None]
+
+
+def subtree(tag: str, **children) -> object:
+    builder = DocumentBuilder()
+    builder.start_element(tag)
+    for name, text in children.items():
+        builder.element(name, text)
+    builder.end_element()
+    return builder.finish().root
+
+
+class TestForkDocument:
+    def test_fork_serializes_identically(self):
+        doc = parse(LIBRARY)
+        fork = fork_document(doc)
+        assert serialize(fork.document_node) == serialize(doc.document_node)
+
+    def test_fork_preserves_labels_verbatim(self):
+        doc = parse(LIBRARY)
+        fork = fork_document(doc)
+        assert len(fork.nodes) == len(doc.nodes)
+        for src, clone in zip(doc.nodes, fork.nodes):
+            assert (clone.nid, clone.kind, clone.tag, clone.text) \
+                == (src.nid, src.kind, src.tag, src.text)
+            assert (clone.start, clone.end, clone.level) \
+                == (src.start, src.end, src.level)
+            assert clone.doc is fork
+
+    def test_fork_shares_no_nodes(self):
+        doc = parse(LIBRARY)
+        fork = fork_document(doc)
+        originals = {id(n) for n in doc.nodes}
+        assert all(id(n) not in originals for n in fork.nodes)
+
+    def test_mutating_fork_leaves_original_alone(self):
+        doc = parse(LIBRARY)
+        before = serialize(doc.document_node)
+        fork = fork_document(doc)
+        from repro.xmlkit.update import DocumentUpdater
+
+        DocumentUpdater(fork).delete_subtree(elems(fork.root)[0])
+        assert serialize(doc.document_node) == before
+        assert serialize(fork.document_node) != before
+
+
+class TestCatalogVersioning:
+    def test_register_and_query_current(self):
+        catalog = Catalog()
+        snap = catalog.register("lib", LIBRARY)
+        assert snap.snapshot_id == 1
+        assert catalog.current("lib") is snap
+        assert "lib" in catalog and "other" not in catalog
+
+    def test_duplicate_registration_refused(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        with pytest.raises(UsageError, match="already registered"):
+            catalog.register("lib", LIBRARY)
+
+    def test_commit_publishes_next_snapshot(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        with catalog.updater("lib") as up:
+            shelf = elems(up.doc.root)[0]
+            up.insert_subtree(shelf, subtree("book", author="Knuth",
+                                             title="TAOCP"))
+        current = catalog.current("lib")
+        assert current.snapshot_id == 2
+        engine = catalog.engine_for(current)
+        assert len(engine.query("//book")) == 4
+
+    def test_abort_discards_the_fork(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        up = catalog.updater("lib")
+        up.delete_subtree(elems(up.doc.root)[0])
+        up.abort()
+        assert catalog.current("lib").snapshot_id == 1
+
+    def test_exception_inside_with_aborts(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        with pytest.raises(RuntimeError, match="boom"):
+            with catalog.updater("lib") as up:
+                up.delete_subtree(elems(up.doc.root)[0])
+                raise RuntimeError("boom")
+        assert catalog.current("lib").snapshot_id == 1
+
+    def test_double_commit_refused(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        up = catalog.updater("lib")
+        up.commit()
+        with pytest.raises(RuntimeError, match="already committed"):
+            up.commit()
+
+    def test_snapshot_ids_monotonic_across_documents(self):
+        catalog = Catalog()
+        catalog.register("a", LIBRARY)
+        catalog.register("b", LIBRARY)
+        with catalog.updater("a"):
+            pass
+        assert catalog.current("b").snapshot_id == 2
+        assert catalog.current("a").snapshot_id == 3
+
+    def test_unknown_document(self):
+        catalog = Catalog()
+        with pytest.raises(UsageError, match="unknown document"):
+            catalog.current("nope")
+
+
+class TestPinning:
+    def test_pinned_snapshot_survives_publish(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        pinned = catalog.pin("lib")
+        with catalog.updater("lib") as up:
+            up.delete_subtree(elems(up.doc.root)[0])
+        # The pinned version still answers with the old content.
+        engine = catalog.engine_for(pinned)
+        assert len(engine.query("//book")) == 3
+        assert catalog.live_ids("lib") == {1, 2}
+        catalog.unpin(pinned)
+        assert catalog.live_ids("lib") == {2}
+        assert catalog.dropped_ids("lib") == {1}
+
+    def test_unpinned_superseded_snapshot_retires_on_publish(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        with catalog.updater("lib"):
+            pass
+        assert catalog.dropped_ids("lib") == {1}
+
+    def test_engine_for_dropped_snapshot_refused(self):
+        catalog = Catalog()
+        old = catalog.register("lib", LIBRARY)
+        with catalog.updater("lib"):
+            pass
+        with pytest.raises(UsageError, match="dropped"):
+            catalog.engine_for(old)
+
+    def test_unpin_without_pin_refused(self):
+        catalog = Catalog()
+        snap = catalog.register("lib", LIBRARY)
+        with pytest.raises(UsageError, match="not pinned"):
+            catalog.unpin(snap)
+
+    def test_retire_listener_fires_outside_lock(self):
+        catalog = Catalog()
+        retired = []
+        catalog.on_retire(
+            lambda s: retired.append((s.name, s.snapshot_id,
+                                      catalog.live_ids(s.name))))
+        catalog.register("lib", LIBRARY)
+        with catalog.updater("lib"):
+            pass
+        assert retired == [("lib", 1, frozenset({2}))]
+
+    def test_resolve_maps_base_nodes_into_the_fork(self):
+        catalog = Catalog()
+        base = catalog.register("lib", LIBRARY)
+        first_book = elems(elems(base.doc.root)[0])[0]
+        up = catalog.updater("lib")
+        assert isinstance(up, SnapshotUpdater)
+        up.delete_subtree(first_book)      # base node, resolved into fork
+        snap = up.commit()
+        engine = catalog.engine_for(snap)
+        assert len(engine.query("//book")) == 2
+
+
+class TestSnapshotPlanCache:
+    def test_versions_share_one_cache_without_aliasing(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        pinned = catalog.pin("lib")
+        old_engine = catalog.engine_for(pinned)
+        old_engine.query("//book/title")
+        with catalog.updater("lib") as up:
+            up.delete_subtree(elems(up.doc.root)[0])
+        new_engine = catalog.engine_for(catalog.current("lib"))
+        cache = catalog.plan_cache("lib")
+        assert new_engine.plan_cache is cache
+        assert old_engine.plan_cache is cache
+        # Different snapshot => different key => both results correct.
+        assert len(old_engine.query("//book/title")) == 3
+        assert len(new_engine.query("//book/title")) == 1
+        assert len(cache) == 2
+        catalog.unpin(pinned)
+
+    def test_retirement_purges_the_snapshots_plans(self):
+        catalog = Catalog()
+        catalog.register("lib", LIBRARY)
+        pinned = catalog.pin("lib")
+        catalog.engine_for(pinned).query("//book/title")
+        cache = catalog.plan_cache("lib")
+        assert len(cache) == 1
+        with catalog.updater("lib"):
+            pass
+        catalog.unpin(pinned)          # last unpin retires snapshot 1
+        assert len(cache) == 0
+
+    def test_plans_are_stamped_with_their_snapshot(self):
+        catalog = Catalog()
+        snap = catalog.register("lib", LIBRARY)
+        engine = catalog.engine_for(snap)
+        engine.query("//book/title")
+        cache = catalog.plan_cache("lib")
+        [key] = list(cache._entries)
+        plan = cache.get(key)
+        assert plan.snapshot_id == snap.snapshot_id

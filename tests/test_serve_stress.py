@@ -1,0 +1,176 @@
+"""Differential stress test: snapshot isolation under concurrent load.
+
+The serving contract (ISSUE PR-4 acceptance): N writer threads publish
+update batches while M reader threads hammer the service; every served
+result must be *bit-identical* to a serial replay of the same query on
+the exact snapshot the service says it used.  Any torn read, stale plan
+or cache aliasing shows up as a serialization mismatch.
+
+``REPRO_STRESS_SECONDS`` (default 5) bounds the wall time; CI runs the
+same test under ``PYTHONDEVMODE=1`` in the concurrency-smoke job.
+"""
+
+import os
+import random
+import threading
+import time
+
+from repro.engine.session import Engine
+from repro.serve import Catalog, QueryService
+from repro.xmlkit.tree import DocumentBuilder
+
+STRESS_SECONDS = float(os.environ.get("REPRO_STRESS_SECONDS", "5"))
+N_WRITERS = 4
+N_READERS = 8
+
+QUERIES = (
+    "//book/title",
+    "//book[author]/title",
+    "//shelf/book/author",
+    "for $b in //book where $b/author return $b/title",
+    "//shelf[book]",
+)
+
+
+def build_library(shelves: int = 3, books: int = 4):
+    builder = DocumentBuilder()
+    builder.start_element("library")
+    serial = 0
+    for s in range(shelves):
+        builder.start_element("shelf", {"genre": f"g{s}"})
+        for _ in range(books):
+            serial += 1
+            builder.start_element("book", {"id": f"b{serial}"})
+            builder.element("author", f"author-{serial}")
+            builder.element("title", f"title-{serial}")
+            builder.end_element()
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def make_book(serial: int):
+    builder = DocumentBuilder()
+    builder.start_element("book", {"id": f"w{serial}"})
+    builder.element("author", f"author-w{serial}")
+    builder.element("title", f"title-w{serial}")
+    builder.end_element()
+    return builder.finish().root
+
+
+def elems(node, tag=None):
+    return [c for c in node.children
+            if c.tag is not None and (tag is None or c.tag == tag)]
+
+
+def test_concurrent_readers_match_serial_replay_exactly():
+    catalog = Catalog()
+    catalog.register("main", build_library())
+    service = QueryService(catalog, workers=N_READERS,
+                           max_queue=256, result_cache_size=128)
+    deadline = time.monotonic() + STRESS_SECONDS
+    stop = threading.Event()
+    violations: list[str] = []
+    counts = {"reads": 0, "writes": 0}
+    lock = threading.Lock()
+
+    def writer(seed: int) -> None:
+        rng = random.Random(seed)
+        serial = seed * 1_000_000
+        while not stop.is_set():
+            serial += 1
+            try:
+                with catalog.updater("main") as up:
+                    shelves = elems(up.doc.root, "shelf")
+                    shelf = rng.choice(shelves)
+                    books = elems(shelf, "book")
+                    # Grow-biased so deletes never run the corpus dry.
+                    if len(books) > 2 and rng.random() < 0.4:
+                        up.delete_subtree(rng.choice(books))
+                    else:
+                        up.insert_subtree(shelf, make_book(serial))
+                with lock:
+                    counts["writes"] += 1
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                violations.append(f"writer: {exc!r}")
+                return
+            time.sleep(rng.uniform(0.0, 0.002))
+
+    def reader(seed: int) -> None:
+        rng = random.Random(10_000 + seed)
+        while not stop.is_set():
+            text = rng.choice(QUERIES)
+            try:
+                served = service.query(text, timeout_ms=30_000)
+                # Differential check: replay serially on the *pinned*
+                # snapshot the service claims it used.  Snapshots are
+                # immutable, so the replay must be bit-identical.
+                replay = Engine(served.snapshot.doc).query(text)
+                if served.serialize() != replay.serialize():
+                    violations.append(
+                        f"isolation violation: {text!r} on snapshot "
+                        f"{served.snapshot_id}: served "
+                        f"{served.serialize()[:120]!r} != replay "
+                        f"{replay.serialize()[:120]!r}")
+                    return
+                with lock:
+                    counts["reads"] += 1
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                violations.append(f"reader: {exc!r}")
+                return
+
+    threads = [threading.Thread(target=writer, args=(i,), daemon=True)
+               for i in range(N_WRITERS)]
+    threads += [threading.Thread(target=reader, args=(i,), daemon=True)
+                for i in range(N_READERS)]
+    for thread in threads:
+        thread.start()
+    while time.monotonic() < deadline and not violations:
+        time.sleep(0.05)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    service.close()
+
+    assert not violations, violations[:5]
+    assert counts["writes"] > 0, "no update batch ever committed"
+    assert counts["reads"] > 0, "no query was ever served"
+    # Every commit published a snapshot; liveness bookkeeping must not
+    # leak: at most the current + currently pinned snapshots stay live.
+    publishes = counts["writes"]
+    assert catalog.current("main").snapshot_id >= publishes
+    assert len(catalog.live_ids("main")) <= 1 + N_READERS
+
+
+def test_plan_and_result_caches_stay_coherent_under_churn():
+    """Tight loop over one query while writers churn: every answer must
+    match its snapshot even when served from the result cache."""
+    catalog = Catalog()
+    catalog.register("main", build_library())
+    service = QueryService(catalog, workers=4, result_cache_size=64)
+    stop = threading.Event()
+    violations: list[str] = []
+
+    def writer() -> None:
+        serial = 0
+        while not stop.is_set():
+            serial += 1
+            with catalog.updater("main") as up:
+                up.insert_subtree(elems(up.doc.root, "shelf")[0],
+                                  make_book(serial))
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + min(STRESS_SECONDS, 2.0)
+    while time.monotonic() < deadline:
+        served = service.query("//book/title", timeout_ms=30_000)
+        expected = len(Engine(served.snapshot.doc).query("//book/title"))
+        if len(served) != expected:
+            violations.append(
+                f"snapshot {served.snapshot_id} (cached={served.cached}): "
+                f"{len(served)} != {expected}")
+            break
+    stop.set()
+    thread.join(timeout=30)
+    service.close()
+    assert not violations, violations
