@@ -56,7 +56,7 @@ __all__ = [
 #: Strategies that execute through the BlossomTree pipeline and
 #: therefore need pattern artifacts in their cached plan.
 _ARTIFACT_STRATEGIES = ("pipelined", "caching", "stack", "bnlj", "nl",
-                        "twigstack")
+                        "twigstack", "parallel")
 
 VERIFY_RUNS = REGISTRY.counter(
     "repro_plan_verify_total",

@@ -34,6 +34,7 @@ __all__ = [
     "decomposition_pass",
     "dewey_pass",
     "plan_pass",
+    "partition_unsafe_noks",
     "snapshot_pass",
     "tree_quick_clean",
     "artifacts_quick_clean",
@@ -48,9 +49,9 @@ _LEGAL_RELATIONS = ("<<", ">>", "is", "isnot", "=", "!=", "<", "<=", ">",
                     ">=", "deep-equal")
 #: Strategies the engine can execute.
 _KNOWN_STRATEGIES = ("pipelined", "caching", "stack", "bnlj", "nl",
-                     "twigstack", "naive", "xhive")
+                     "twigstack", "naive", "xhive", "parallel")
 _PATTERN_STRATEGIES = ("pipelined", "caching", "stack", "bnlj", "nl",
-                       "twigstack")
+                       "twigstack", "parallel")
 
 
 # ----------------------------------------------------------------------
@@ -496,10 +497,28 @@ def _check_dewey_order(tree: BlossomTree, dewey: DeweyAssignment,
 # Physical-plan stage.
 # ----------------------------------------------------------------------
 
+def partition_unsafe_noks(dec: Decomposition) -> list:
+    """The NoKs partition-parallel scan execution cannot cover.
+
+    Every absolute path anchors at a synthetic ``#root`` vertex.  When
+    that vertex's NoK is *trivial* (the single anchor vertex, no value
+    predicates) the coordinator matches it once against the document
+    node and the remaining NoKs scan in partitions — safe.  But a
+    ``#root`` NoK with more vertices (an all-local-axis chain like
+    ``/bib/book``, kept whole by Algorithm 1) or with predicates is
+    matched *navigationally* from the document node, never by the
+    sequential scan the partitioner cuts up — partitioning it would
+    re-run the navigation once per partition and multiply its matches.
+    """
+    return [nok for nok in dec.noks
+            if nok.root.name == "#root"
+            and (len(nok.vertices) > 1 or nok.root.value_predicates)]
+
+
 def plan_pass(tree: BlossomTree, dec: Decomposition, dewey: DeweyAssignment,
               report: AnalysisReport, strategy: str | None = None,
               recursive_document: bool | None = None) -> None:
-    """PL001-PL003: operator applicability over the compiled artifacts.
+    """PL001-PL004: operator applicability over the compiled artifacts.
 
     ``strategy`` / ``recursive_document`` are optional because the CLI
     analyzes artifacts without an engine; strategy checks are skipped
@@ -528,6 +547,14 @@ def plan_pass(tree: BlossomTree, dec: Decomposition, dewey: DeweyAssignment,
                            "merge cannot nest their NestedLists")
     if strategy is not None:
         _check_strategy(tree, report, strategy, recursive_document)
+        if strategy == "parallel":
+            for nok in partition_unsafe_noks(dec):
+                report.add("PL004", f"nok:{nok.nok_id}",
+                           f"parallel strategy chosen, but NoK {nok.nok_id} "
+                           "anchors at #root with local navigation — it is "
+                           "matched from the document node, not by the "
+                           "sequential scan the partitioner cuts, so "
+                           "partition-parallel execution cannot cover it")
 
 
 def _check_strategy(tree: BlossomTree, report: AnalysisReport, strategy: str,
@@ -708,8 +735,8 @@ def tree_quick_clean(tree: BlossomTree) -> bool:
 def artifacts_quick_clean(artifacts: object, strategy: str | None = None,
                           recursive_document: bool | None = None) -> bool:
     """True iff the decomposition, Dewey and plan passes would all
-    report nothing (NK001-NK003, DW001-DW002, PL001-PL002) *and* no
-    warning rule (PL003) could fire."""
+    report nothing (NK001-NK003, DW001-DW002, PL001/PL002/PL004) *and*
+    no warning rule (PL003) could fire."""
     tree = artifacts.tree          # type: ignore[attr-defined]
     dec = artifacts.decomposition  # type: ignore[attr-defined]
     dewey = artifacts.dewey        # type: ignore[attr-defined]
@@ -888,5 +915,7 @@ def artifacts_quick_clean(artifacts: object, strategy: str | None = None,
             if not twig_supported(tree):
                 return False
         if strategy in ("pipelined", "caching") and recursive_document:
+            return False
+        if strategy == "parallel" and partition_unsafe_noks(dec):
             return False
     return True

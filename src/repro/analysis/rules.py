@@ -154,6 +154,17 @@ _CATALOGUE: tuple[Rule, ...] = (
          "instead.",
          "use strategy='auto' (the optimizer picks stack merge on "
          "recursive documents)"),
+    Rule("PL004", Severity.ERROR, "plan", "partition-unsafe NoK under parallel scan",
+         "The parallel strategy executes every scannable NoK by cutting "
+         "the document's sequential scan into Dewey-contiguous "
+         "partitions (Theorem 1 makes concatenation order-correct).  A "
+         "non-trivial #root NoK — an all-local-axis chain like "
+         "/bib/book, or a predicated root — is matched navigationally "
+         "from the document node, never by that scan, so a partitioned "
+         "execution would either skip it or re-run its navigation once "
+         "per partition and duplicate matches.",
+         "use strategy='auto' (the optimizer withdraws the parallel "
+         "upgrade for such plans) or run the query serially"),
     Rule("SV001", Severity.ERROR, "serve", "dropped-snapshot plan",
          "A cached plan may only execute against a live snapshot: its "
          "stamped snapshot id must be the serving catalog's current or "

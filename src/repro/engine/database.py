@@ -118,10 +118,12 @@ class Database:
               trace: bool = False,
               tracer: Tracer | None = None, *,
               params: dict | None = None,
-              timeout_ms: float | None = None) -> QueryResult:
+              timeout_ms: float | None = None,
+              parallelism: int | None = None) -> QueryResult:
         """Evaluate a query (see :meth:`Engine.query` for the options —
         the signatures are identical: the same ``strategy`` / ``params``
-        / ``timeout_ms`` spelling works here, on the engine and on
+        / ``timeout_ms`` / ``parallelism`` spelling works here, on the
+        engine and on
         :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`).
 
         When the slow-query log is enabled the call is timed and,
@@ -132,7 +134,8 @@ class Database:
                                      counters=counters,
                                      work_budget=work_budget,
                                      trace=trace, tracer=tracer,
-                                     params=params, timeout_ms=timeout_ms)
+                                     params=params, timeout_ms=timeout_ms,
+                                     parallelism=parallelism)
         counters = counters if counters is not None else ScanCounters()
         before = counters.snapshot()
         started = time.perf_counter_ns()
@@ -141,7 +144,8 @@ class Database:
                                        counters=counters,
                                        work_budget=work_budget,
                                        trace=trace, tracer=tracer,
-                                       params=params, timeout_ms=timeout_ms)
+                                       params=params, timeout_ms=timeout_ms,
+                                       parallelism=parallelism)
         finally:
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
             snapshot = counters.snapshot()
@@ -150,9 +154,11 @@ class Database:
                                   elapsed_ms, delta)
         return result
 
-    def prepare(self, text: str, strategy: str = "auto") -> PreparedQuery:
+    def prepare(self, text: str, strategy: str = "auto", *,
+                parallelism: int | None = None) -> PreparedQuery:
         """Compile once for repeated execution (see :meth:`Engine.prepare`)."""
-        return self.engine.prepare(text, strategy=strategy)
+        return self.engine.prepare(text, strategy=strategy,
+                                   parallelism=parallelism)
 
     def explain_analyze(self, text: str, strategy: str = "auto",
                         work_budget: int | None = None, *,

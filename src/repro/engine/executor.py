@@ -49,6 +49,7 @@ from repro.physical.nested_loop import (
     naive_nested_loop_join,
 )
 from repro.physical.nok_merge import merged_scan
+from repro.physical.parallel_scan import parallel_merged_scan
 from repro.physical.pipelined_join import caching_desc_join, pipelined_desc_join
 from repro.physical.stack_join import stack_desc_join
 from repro.physical.structural import JoinResult, left_projection
@@ -88,6 +89,20 @@ class FLWORExecutor:
         Optional :class:`~repro.obs.trace.Tracer`.  When given, each of
         the four pipeline phases opens a span, with one child span per
         NoK scan and per inter-NoK join; defaults to the no-op tracer.
+    index:
+        Optional shared :class:`~repro.xmlkit.index.TagIndex` over
+        ``doc`` (serving snapshots cache one per version); passed to
+        the TwigStack operator instead of letting it build its own.
+    parallelism:
+        Partition count for the match phase.  With ``parallelism > 1``
+        the merged NoK scan runs partition-parallel
+        (:func:`~repro.physical.parallel_scan.parallel_merged_scan`);
+        the default of 1 keeps the serial scan.
+    scan_executor:
+        Executor for partition scan tasks (``None`` uses the shared
+        process-wide pool; the query service passes its own).
+    doc_stats:
+        Precomputed statistics of ``doc``, used to size partitions.
     """
 
     def __init__(self, doc: Document,
@@ -95,7 +110,9 @@ class FLWORExecutor:
                  join_algorithm: str = "auto",
                  counters: ScanCounters | None = None,
                  recursive_hint: bool | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 *, index=None, parallelism: int = 1,
+                 scan_executor=None, doc_stats=None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         if join_algorithm != "auto" and join_algorithm not in JOIN_ALGORITHMS:
@@ -105,6 +122,10 @@ class FLWORExecutor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._tracing = self.tracer is not NULL_TRACER
         self._recursive_hint = recursive_hint
+        self.index = index
+        self.parallelism = max(1, parallelism)
+        self.scan_executor = scan_executor
+        self._doc_stats = doc_stats
         self._direct = DirectEvaluator(doc, self.resolve_doc)
         #: (parent_vid, child_vid) -> JoinResult, filled during execute()
         self._adjacency: dict[tuple[int, int], JoinResult] = {}
@@ -184,8 +205,11 @@ class FLWORExecutor:
             raise CompileError("TwigStack strategy only runs bare path queries")
         with self.tracer.span("twigstack") as span:
             before = self.counters.snapshot()
-            operator = TwigStackOperator(tree, self._doc_for_root(tree.roots[0]),
-                                         counters=self.counters)
+            target = self._doc_for_root(tree.roots[0])
+            operator = TwigStackOperator(
+                tree, target,
+                index=self.index if target is self.doc else None,
+                counters=self.counters)
             output = tree.var_vertex[RESULT_VAR]
             nodes = list(operator.matching_nodes(output))
             span.set(matches=len(nodes),
@@ -205,18 +229,29 @@ class FLWORExecutor:
             doc = self._doc_for_nok(dec, nok)
             by_doc.setdefault(id(doc), (doc, []))[1].append(nok)
         matches: dict[int, list[NLEntry]] = {}
+        parallel = self.parallelism > 1
         for doc, noks in by_doc.values():
             self.plan_notes.append(
-                f"merged scan: {len(noks)} NoK(s) in one pass over "
+                f"{'partition-parallel' if parallel else 'merged'} scan: "
+                f"{len(noks)} NoK(s) in one pass over "
                 f"{len(doc.nodes)} nodes")
             with self.tracer.span("merged-scan", noks=len(noks),
-                                  doc_nodes=len(doc.nodes)) as scan_span:
+                                  doc_nodes=len(doc.nodes),
+                                  parallelism=self.parallelism) as scan_span:
                 before_nodes = self.counters.nodes_scanned
                 before_cmp = self.counters.comparisons
                 per_nok: dict[int, ScanCounters] | None = (
                     {} if self._tracing else None)
                 started = time.perf_counter_ns()
-                result = merged_scan(noks, doc, self.counters, per_nok)
+                if parallel:
+                    result = parallel_merged_scan(
+                        noks, doc, self.counters, per_nok,
+                        parallelism=self.parallelism,
+                        stats=self._doc_stats if doc is self.doc else None,
+                        executor=self.scan_executor,
+                        tracer=self.tracer if self._tracing else None)
+                else:
+                    result = merged_scan(noks, doc, self.counters, per_nok)
                 wall_ms = (time.perf_counter_ns() - started) / 1e6
                 scan_nodes = self.counters.nodes_scanned - before_nodes
                 scan_span.set(

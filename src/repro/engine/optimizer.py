@@ -27,14 +27,21 @@ from repro.pattern.blossom import BlossomTree
 from repro.physical.twigstack import twig_supported
 from repro.xmlkit.stats import DocumentStats
 
-__all__ = ["PlanChoice", "choose_strategy"]
+__all__ = ["PlanChoice", "choose_strategy", "PARALLEL_SCAN_THRESHOLD"]
+
+#: Minimum arena size (in nodes) before ``auto`` trades the serial
+#: merged scan for partition-parallel scans when the caller offers
+#: ``parallelism > 1``.  Below this the per-partition hand-off costs
+#: more than the scan itself; the threshold sits near where the
+#: partitioner's own minimum partition size stops cutting anyway.
+PARALLEL_SCAN_THRESHOLD = 4_096
 
 
 @dataclass(frozen=True)
 class PlanChoice:
     """The optimizer's decision and its reasoning (for ``explain``)."""
 
-    strategy: str        # "pipelined" | "stack" | "bnlj" | "twigstack" | "naive"
+    strategy: str        # "pipelined" | "stack" | "bnlj" | "twigstack" | "naive" | "parallel"
     reason: str
 
     def __str__(self) -> str:
@@ -43,7 +50,8 @@ class PlanChoice:
 
 def choose_strategy(stats: DocumentStats, tree: BlossomTree | None,
                     is_bare_path: bool, has_index: bool,
-                    tracer: Tracer | None = None) -> PlanChoice:
+                    tracer: Tracer | None = None,
+                    parallelism: int = 1) -> PlanChoice:
     """Pick the physical strategy for a compiled query.
 
     Parameters
@@ -61,17 +69,26 @@ def choose_strategy(stats: DocumentStats, tree: BlossomTree | None,
     tracer:
         Optional tracer; records an ``optimize`` span whose attributes
         carry the decision and its reasoning.
+    parallelism:
+        Partition budget the caller is willing to spend on the match
+        phase.  With ``parallelism > 1`` and a document past
+        :data:`PARALLEL_SCAN_THRESHOLD`, the non-recursive merged-scan
+        plan upgrades to the ``parallel`` strategy (partition-parallel
+        scans, Theorem 1 concatenation); recursive documents keep
+        their stack/twigstack choice — the parallel upgrade only
+        replaces the pipelined outcome.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     with tracer.span("optimize") as span:
-        choice = _choose(stats, tree, is_bare_path, has_index)
+        choice = _choose(stats, tree, is_bare_path, has_index, parallelism)
         span.set(strategy=choice.strategy, reason=choice.reason,
                  recursive=stats.recursive)
     return choice
 
 
 def _choose(stats: DocumentStats, tree: BlossomTree | None,
-            is_bare_path: bool, has_index: bool) -> PlanChoice:
+            is_bare_path: bool, has_index: bool,
+            parallelism: int = 1) -> PlanChoice:
     if tree is None:
         return PlanChoice("naive", "query outside the pattern-matching subset")
     if stats.recursive:
@@ -84,6 +101,12 @@ def _choose(stats: DocumentStats, tree: BlossomTree | None,
             "stack",
             f"recursive document (degree {stats.recursion_degree}); "
             "pipelined merge is unsound, stack merge bounds memory by depth")
+    if parallelism > 1 and stats.n_nodes >= PARALLEL_SCAN_THRESHOLD:
+        return PlanChoice(
+            "parallel",
+            f"non-recursive document of {stats.n_nodes} nodes >= "
+            f"{PARALLEL_SCAN_THRESHOLD}; partition-parallel merged scan "
+            f"across {parallelism} partitions (Theorem 1 concatenation)")
     return PlanChoice(
         "pipelined",
         "non-recursive document; index-free merge joins over ordered "

@@ -113,12 +113,16 @@ class PreparedQuery:
     """
 
     def __init__(self, engine, source: str, strategy: str,
-                 plan: CachedPlan, fingerprint: tuple) -> None:
+                 plan: CachedPlan, fingerprint: tuple,
+                 parallelism: int = 1) -> None:
         self._engine = engine
         self.source = source
         self.strategy = strategy
         self._plan = plan
         self._fingerprint = fingerprint
+        #: Partition budget pinned at prepare() time; ``execute()`` may
+        #: override it per call (which re-plans through the plan cache).
+        self.parallelism = parallelism
 
     @property
     def parameters(self) -> frozenset[str]:
@@ -134,10 +138,12 @@ class PreparedQuery:
                 counters=None, work_budget: int | None = None,
                 trace: bool = False, tracer=None, *,
                 timeout_ms: float | None = None,
+                parallelism: int | None = None,
                 bindings: dict | None = None):
         """Run the prepared plan; see :meth:`Engine.query` for the
         tracing/budget/deadline knobs.  ``params`` maps parameter names
-        (without ``$``) to values.
+        (without ``$``) to values.  ``parallelism`` overrides the value
+        pinned at prepare() time for this call.
 
         .. deprecated::
             ``bindings=`` is the pre-serving spelling of ``params=``;
@@ -158,7 +164,7 @@ class PreparedQuery:
         return self._engine._execute_prepared(
             self, bindings=params, counters=counters,
             work_budget=work_budget, trace=trace, tracer=tracer,
-            timeout_ms=timeout_ms)
+            timeout_ms=timeout_ms, parallelism=parallelism)
 
     def explain(self) -> str:
         """Describe the plan this prepared query runs."""

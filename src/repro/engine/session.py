@@ -35,6 +35,7 @@ strategy    meaning
 ``stack``   BlossomTree with stack-based merge joins
 ``bnlj``    BlossomTree with bounded nested-loop joins (the paper's NL)
 ``twigstack`` holistic twig join over the tag index (TS)
+``parallel`` BlossomTree with partition-parallel merged NoK scans
 ``naive``   direct per-iteration FLWOR semantics (the Section-1 strawman)
 ``xhive``   simulated commercial navigational engine (XH stand-in)
 ``cost``    pick by the Section-6 cost model (expected nodes touched)
@@ -75,6 +76,23 @@ from repro.engine.result import Item, QueryResult
 __all__ = ["Engine"]
 
 _BLOSSOM_STRATEGIES = {"pipelined", "caching", "stack", "bnlj", "nl"}
+
+#: Partition count used when ``strategy="parallel"`` is requested
+#: explicitly without a ``parallelism=`` value.
+DEFAULT_PARALLELISM = 4
+
+
+def _effective_parallelism(strategy: str, parallelism: int | None) -> int:
+    """Normalize the ``parallelism=`` kwarg to a concrete partition count.
+
+    ``None`` means "serial" unless the caller explicitly asked for the
+    ``parallel`` strategy, which implies :data:`DEFAULT_PARALLELISM`.
+    The normalized value is part of the plan-cache key, so a query
+    planned serially never aliases its parallel twin.
+    """
+    if parallelism is None:
+        return DEFAULT_PARALLELISM if strategy == "parallel" else 1
+    return max(1, int(parallelism))
 
 _QUERIES = REGISTRY.counter("repro_queries_total", "Queries executed")
 #: Plan verifications skipped because the identical plan-cache key
@@ -147,6 +165,10 @@ class Engine:
         self.documents = dict(documents or {})
         self.work_budget = work_budget
         self.index = TagIndex(doc)
+        #: Executor used for partition scan tasks of parallel plans
+        #: (``None`` = the shared process-wide pool; the query service
+        #: installs its own so partition tasks ride the serve workers).
+        self.scan_executor = None
         self._stats: DocumentStats | None = None
         self.last_plan: str | None = None
         #: Trace of the most recent ``trace=True`` query (also populated
@@ -187,12 +209,20 @@ class Engine:
               trace: bool = False,
               tracer: Tracer | None = None, *,
               params: dict | None = None,
-              timeout_ms: float | None = None) -> QueryResult:
+              timeout_ms: float | None = None,
+              parallelism: int | None = None) -> QueryResult:
         """Evaluate a query and return its result sequence.
 
         ``params`` binds the query's external ``$parameters`` (free
         variables) for this call — the same mapping
         :meth:`PreparedQuery.execute` takes.
+
+        ``parallelism`` offers the optimizer a partition budget for the
+        match phase: under ``strategy="auto"`` large non-recursive
+        documents upgrade to the ``parallel`` strategy
+        (partition-parallel merged scans, bit-identical to the serial
+        scan by Theorem 1); ``strategy="parallel"`` forces it.  The
+        normalized value joins the plan-cache key.
 
         ``timeout_ms`` sets a cooperative deadline: the physical
         operators checkpoint a
@@ -212,13 +242,14 @@ class Engine:
         says whether this call ``hit``, ``miss``-ed, or ``bypass``-ed
         the cache (pre-parsed expressions are never cached).
         """
+        effective = _effective_parallelism(strategy, parallelism)
         return self._shell(
-            lambda tr: self._plan_for(text, strategy, tr),
+            lambda tr: self._plan_for(text, strategy, tr, effective),
             text, strategy, counters, work_budget, trace, tracer,
-            bindings=params, timeout_ms=timeout_ms)
+            bindings=params, timeout_ms=timeout_ms, parallelism=effective)
 
-    def prepare(self, text: str | QueryExpr,
-                strategy: str = "auto") -> PreparedQuery:
+    def prepare(self, text: str | QueryExpr, strategy: str = "auto",
+                *, parallelism: int | None = None) -> PreparedQuery:
         """Compile ``text`` once for repeated execution.
 
         The full pipeline (parse → BlossomTree → NoK decomposition →
@@ -226,10 +257,14 @@ class Engine:
         :class:`~repro.engine.prepared.PreparedQuery` replays the plan
         on every ``execute(params=...)``.  Free ``$variables`` in the
         query become external parameters that ``execute`` must bind.
+        ``parallelism`` is pinned into the prepared plan (same semantics
+        as :meth:`query`).
         """
-        plan, _status = self._plan_for(text, strategy, NULL_TRACER)
+        effective = _effective_parallelism(strategy, parallelism)
+        plan, _status = self._plan_for(text, strategy, NULL_TRACER, effective)
         return PreparedQuery(self, text, strategy, plan,
-                             self.stats_fingerprint())
+                             self.stats_fingerprint(),
+                             parallelism=effective)
 
     def notify_update(self, report: object = None) -> None:
         """Invalidate derived state after a document mutation.
@@ -267,7 +302,8 @@ class Engine:
                work_budget: int | None, trace: bool,
                tracer: Tracer | None,
                bindings: dict | None = None,
-               timeout_ms: float | None = None) -> QueryResult:
+               timeout_ms: float | None = None,
+               parallelism: int = 1) -> QueryResult:
         """Counters/budget/tracing/metrics shell around one execution.
 
         ``plan_source(tracer) -> (CachedPlan, cache_status)`` supplies
@@ -306,7 +342,8 @@ class Engine:
                 qspan.set(**{"plan-cache": cache_status})
                 try:
                     result = self._execute_plan(plan, counters, budget,
-                                                tracer, bindings)
+                                                tracer, bindings,
+                                                parallelism=parallelism)
                     if counters.cancellation is not None:
                         counters.cancellation.check()
                 except DNFError as exc:
@@ -335,36 +372,46 @@ class Engine:
                           counters: ScanCounters | None,
                           work_budget: int | None, trace: bool,
                           tracer: Tracer | None,
-                          timeout_ms: float | None = None) -> QueryResult:
+                          timeout_ms: float | None = None,
+                          parallelism: int | None = None) -> QueryResult:
         """Run a prepared query, re-planning only if the document moved."""
+        effective = (prepared.parallelism if parallelism is None
+                     else _effective_parallelism(prepared.strategy,
+                                                 parallelism))
+
         def plan_source(tr):
             fingerprint = self.stats_fingerprint()
-            if prepared._fingerprint == fingerprint:
+            if prepared._fingerprint == fingerprint \
+                    and effective == prepared.parallelism:
                 return prepared._plan, "prepared"
-            # The document mutated since prepare(): the pinned plan is
+            # The document mutated since prepare() (or the caller asked
+            # for a different partition budget): the pinned plan is
             # still *correct* (plans are document-independent) but its
             # strategy choice may be stale — re-plan through the cache.
             plan, status = self._plan_for(prepared.source,
-                                          prepared.strategy, tr)
-            prepared._plan = plan
-            prepared._fingerprint = fingerprint
+                                          prepared.strategy, tr, effective)
+            if effective == prepared.parallelism:
+                prepared._plan = plan
+                prepared._fingerprint = fingerprint
             return plan, f"prepared-{status}"
 
         return self._shell(plan_source, prepared.source, prepared.strategy,
                            counters, work_budget, trace, tracer,
-                           bindings=bindings, timeout_ms=timeout_ms)
+                           bindings=bindings, timeout_ms=timeout_ms,
+                           parallelism=effective)
 
     # ------------------------------------------------------------------
     # Planning.
     # ------------------------------------------------------------------
 
     def _plan_for(self, text: str | QueryExpr, strategy: str,
-                  tracer) -> tuple[CachedPlan, str]:
+                  tracer, parallelism: int = 1) -> tuple[CachedPlan, str]:
         """Get a plan from the cache or compile one; returns
         ``(plan, "hit" | "miss" | "bypass")``."""
         if not isinstance(text, str):
-            return self._build_plan(text, strategy, tracer), "bypass"
-        key = (normalize_query_text(text), strategy,
+            return self._build_plan(text, strategy, tracer,
+                                    parallelism=parallelism), "bypass"
+        key = (normalize_query_text(text), strategy, parallelism,
                self.stats_fingerprint())
         plan = self.plan_cache.get(key)
         if plan is not None:
@@ -374,12 +421,14 @@ class Engine:
                 # execution.  Raises PlanInvariantError.
                 self.plan_gate(plan)
             return plan, "hit"
-        plan = self._build_plan(text, strategy, tracer, memo_key=key)
+        plan = self._build_plan(text, strategy, tracer, memo_key=key,
+                                parallelism=parallelism)
         self.plan_cache.put(key, plan)
         return plan, "miss"
 
     def _build_plan(self, text: str | QueryExpr, strategy: str,
-                    tracer, memo_key: object = None) -> CachedPlan:
+                    tracer, memo_key: object = None,
+                    parallelism: int = 1) -> CachedPlan:
         """The full compile pipeline: parse → analyze → BlossomTree →
         strategy choice → reusable pattern artifacts.
 
@@ -395,13 +444,29 @@ class Engine:
 
             analyze(compiled.flwor,
                     external=compiled.parameters).raise_errors(compiled.source)
-        choice = self._resolve_strategy(compiled, strategy, tracer)
+        choice = self._resolve_strategy(compiled, strategy, tracer,
+                                        parallelism)
         artifacts = None
         if compiled.tree is not None \
                 and choice.strategy not in ("naive", "xhive"):
             with tracer.span("prepare-artifacts") as span:
                 artifacts = prepare_artifacts(compiled.tree)
                 span.set(noks=len(artifacts.decomposition.noks))
+        if choice.strategy == "parallel" and strategy == "auto" \
+                and artifacts is not None:
+            from repro.analysis.passes import partition_unsafe_noks
+
+            if partition_unsafe_noks(artifacts.decomposition):
+                # The decomposition (only now available) revealed a NoK
+                # whose match work bypasses the partitioned scan (rule
+                # PL004), so the auto upgrade quietly steps back to the
+                # serial plan.  An *explicit* strategy="parallel"
+                # request keeps the choice and lets the verifier refuse
+                # it with PL004.
+                choice = PlanChoice(
+                    "pipelined",
+                    "parallel upgrade withdrawn: plan has non-partition-"
+                    "safe NoKs (PL004); serial merged scan instead")
         plan = CachedPlan(compiled, choice, artifacts, strategy,
                           snapshot_id=self.snapshot_id)
         # Validate-on-compile: every stage of the compiled artifact is
@@ -431,7 +496,8 @@ class Engine:
 
     def _execute_plan(self, plan: CachedPlan, counters: ScanCounters,
                       budget: int | None, tracer,
-                      bindings: dict | None) -> QueryResult:
+                      bindings: dict | None,
+                      parallelism: int = 1) -> QueryResult:
         """Run one compiled plan (the execution half of the pipeline)."""
         compiled, choice = plan.compiled, plan.choice
         self.last_plan = str(choice)
@@ -454,11 +520,17 @@ class Engine:
         assert compiled.flwor is not None and compiled.tree is not None
         executor = FLWORExecutor(
             self.doc, self._resolve_doc,
-            join_algorithm=("auto" if choice.strategy == "twigstack"
+            join_algorithm=("auto" if choice.strategy in ("twigstack",
+                                                          "parallel")
                             else choice.strategy),
             counters=counters,
             recursive_hint=self.stats.recursive,
-            tracer=tracer)
+            tracer=tracer,
+            index=self.index,
+            parallelism=(max(2, parallelism)
+                         if choice.strategy == "parallel" else 1),
+            scan_executor=self.scan_executor,
+            doc_stats=self.stats)
         try:
             with tracer.span("execute", plan=choice.strategy):
                 if choice.strategy == "twigstack":
@@ -648,11 +720,20 @@ class Engine:
         return self.documents.get(uri, self.doc)
 
     def _resolve_strategy(self, compiled: CompiledQuery, strategy: str,
-                          tracer: Tracer | None = None) -> PlanChoice:
+                          tracer: Tracer | None = None,
+                          parallelism: int = 1) -> PlanChoice:
         if strategy == "auto":
             return choose_strategy(self.stats, compiled.tree,
                                    compiled.is_bare_path, has_index=True,
-                                   tracer=tracer)
+                                   tracer=tracer, parallelism=parallelism)
+        if strategy == "parallel":
+            if compiled.tree is None or compiled.flwor is None:
+                raise CompileError(
+                    f"parallel strategy unavailable: "
+                    f"{compiled.compile_error or 'no FLWOR core'}")
+            return PlanChoice(
+                "parallel",
+                f"explicitly requested ({max(2, parallelism)} partitions)")
         if strategy == "cost":
             return self._cost_based_choice(compiled)
         if strategy in ("naive", "xhive"):

@@ -51,6 +51,10 @@ name                                           type       labels
 ``repro_plan_retries_total``                   counter    —
 ``repro_result_cache_hits_total``              counter    —
 ``repro_result_cache_misses_total``            counter    —
+``repro_partition_splits_total``               counter    —
+``repro_partition_scans_total``                counter    —
+``repro_partition_fallbacks_total``            counter    —
+``repro_tag_index_builds_total``               counter    —
 =============================================  =========  ==============================
 
 The plan-cache family is registered by :mod:`repro.engine.plancache`
@@ -63,7 +67,13 @@ attributes tie a trace to the analyzer's counters.  The serving
 families (``repro_snapshot_*`` / ``repro_service_*`` /
 ``repro_result_cache_*`` plus the timeout and retry counters) are
 registered by :mod:`repro.serve` — the wait/run histograms split a
-served query's latency into queue time and execution time.
+served query's latency into queue time and execution time.  The
+partition family comes from :mod:`repro.xmlkit.partition` (subtree
+splits of skewed documents) and :mod:`repro.physical.parallel_scan`
+(per-partition scan tasks and single-partition fallbacks to the serial
+scan); ``repro_tag_index_builds_total`` counts full-document tag-index
+materializations — the serving catalog caches one index per snapshot,
+so this should rise at most once per version.
 """
 
 from __future__ import annotations

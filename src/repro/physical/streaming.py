@@ -35,15 +35,38 @@ from repro.xpath.ast import Comparison, Literal, LocationPath, NumberLiteral, Ro
 __all__ = ["StreamingNoKMatcher", "stream_count"]
 
 
+def _atoms_equal(expected: str | float, observed: str) -> bool:
+    """XPath ``=`` between a literal and an observed string.
+
+    Mirrors the tree evaluator's comparison semantics: a numeric
+    literal (``NumberLiteral.value`` is a float) coerces the observed
+    string to a number, and a string that does not parse is simply
+    unequal — never an error.  String literals keep the exact
+    comparison the stream tests always used.
+    """
+    if isinstance(expected, float):
+        try:
+            return float(observed.strip()) == expected
+        except ValueError:
+            return False
+    return expected == observed
+
+
 @dataclass
 class _AttrTest:
     name: str
-    value: str
+    value: str | float
+
+    def matches(self, observed: str | None) -> bool:
+        return observed is not None and _atoms_equal(self.value, observed)
 
 
 @dataclass
 class _TextTest:
-    value: str
+    value: str | float
+
+    def matches(self, text: str) -> bool:
+        return _atoms_equal(self.value, text.strip())
 
 
 def _compile_predicate(vertex: BlossomVertex):
@@ -55,7 +78,8 @@ def _compile_predicate(vertex: BlossomVertex):
         path, literal = predicate.left, predicate.right
         if isinstance(path, (Literal, NumberLiteral)):
             path, literal = literal, path
-        if not isinstance(path, LocationPath) or not isinstance(literal, Literal):
+        if not isinstance(path, LocationPath) \
+                or not isinstance(literal, (Literal, NumberLiteral)):
             raise CompileError(f"predicate {predicate} is not streamable")
         if not isinstance(path.root, RootContext) or path.root.absolute:
             raise CompileError(f"predicate {predicate} is not streamable")
@@ -89,7 +113,7 @@ class _OpenMatch:
                     edge.child.vid not in self.matched_children:
                 return False
         text = "".join(self.text_parts)
-        return all(test.value == text.strip() for test in self.text_tests)
+        return all(test.matches(text) for test in self.text_tests)
 
 
 class StreamingNoKMatcher(ContentHandler):
@@ -136,7 +160,7 @@ class StreamingNoKMatcher(ContentHandler):
             if not vertex.matches_tag(tag):
                 return
             for test in self._attr_tests[vertex.vid]:
-                if attrs.get(test.name) != test.value:
+                if not test.matches(attrs.get(test.name)):
                     return
             new_frame.append(_OpenMatch(vertex, parent,
                                         text_tests=self._text_tests[vertex.vid]))

@@ -34,6 +34,7 @@ from repro.engine.session import Engine
 from repro.errors import UsageError
 from repro.obs.metrics import REGISTRY
 from repro.serve.snapshot import Snapshot, SnapshotUpdater
+from repro.xmlkit.index import TagIndex
 from repro.xmlkit.parser import parse
 from repro.xmlkit.stats import compute_stats
 from repro.xmlkit.tree import Document
@@ -56,7 +57,7 @@ class _Entry:
     """Per-document state; all fields guarded by the catalog lock."""
 
     __slots__ = ("name", "current", "pins", "dropped", "plan_cache",
-                 "engines")
+                 "engines", "tag_indexes")
 
     def __init__(self, name: str, snapshot: Snapshot,
                  plan_cache_capacity: int) -> None:
@@ -70,6 +71,13 @@ class _Entry:
         self.plan_cache = PlanCache(plan_cache_capacity)
         #: snapshot_id -> Engine bound to that version.
         self.engines: dict[int, Engine] = {}
+        #: snapshot_id -> the version's one TagIndex.  Snapshots are
+        #: immutable, so the index never needs invalidation — it is
+        #: built at most once per version and dropped with it.  Cached
+        #: here (not only on the engine) so cost-model and twigstack
+        #: paths share the materialized lists however the engine is
+        #: (re)created.
+        self.tag_indexes: dict[int, TagIndex] = {}
 
 
 class Catalog:
@@ -168,6 +176,11 @@ class Catalog:
                                 snapshot_id=sid)
                 engine._stats = snapshot.stats
                 engine.plan_gate = self._make_gate(entry)
+                index = entry.tag_indexes.get(sid)
+                if index is None:
+                    index = entry.tag_indexes[sid] = engine.index
+                else:
+                    engine.index = index
                 entry.engines[sid] = engine
             return engine
 
@@ -278,6 +291,7 @@ class Catalog:
         sid = snapshot.snapshot_id
         entry.dropped.add(sid)
         entry.engines.pop(sid, None)
+        entry.tag_indexes.pop(sid, None)
         _RETIRES.inc()
         _LIVE.set(self._live_count())
         return snapshot

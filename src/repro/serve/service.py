@@ -35,11 +35,12 @@ import threading
 import time
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Mapping
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.engine.plancache import normalize_query_text
 from repro.engine.result import QueryResult
+from repro.engine.session import _effective_parallelism
 from repro.errors import (
     PlanInvariantError,
     QueryCancelledError,
@@ -119,11 +120,13 @@ class _Request:
     """One queued execution (one future; possibly many submitters)."""
 
     __slots__ = ("text", "norm_text", "doc", "strategy", "params", "trace",
-                 "timeout_ms", "deadline", "submitted", "future", "key")
+                 "timeout_ms", "deadline", "submitted", "future", "key",
+                 "parallelism")
 
     def __init__(self, text: str, doc: str, strategy: str,
                  params: Mapping | None, trace: bool,
-                 timeout_ms: float | None) -> None:
+                 timeout_ms: float | None,
+                 parallelism: int | None = None) -> None:
         self.text = text
         self.norm_text = normalize_query_text(text)
         self.doc = doc
@@ -131,13 +134,17 @@ class _Request:
         self.params = dict(params) if params else None
         self.trace = trace
         self.timeout_ms = timeout_ms
+        self.parallelism = parallelism
         self.submitted = time.perf_counter()
         self.deadline = (self.submitted + timeout_ms / 1000.0
                          if timeout_ms is not None else None)
         self.future: Future = Future()
         #: Coalescing identity; ``None`` disables coalescing and result
         #: caching (parameterized or traced requests are never shared).
-        self.key = ((doc, self.norm_text, strategy)
+        #: ``parallelism`` is part of the identity: a serial and a
+        #: parallel run of one query return identical items but differ
+        #: in trace/counters, so they never share an execution.
+        self.key = ((doc, self.norm_text, strategy, parallelism)
                     if params is None and not trace else None)
 
 
@@ -187,6 +194,13 @@ class QueryService:
         self._inflight_count = 0
         self._inflight: dict[tuple, Future] = {}
         self._closed = False
+        #: Lazily created pool for intra-query partition scans.  It is
+        #: distinct from the serve workers on purpose: scheduling
+        #: partition tasks onto the bounded request pool could deadlock
+        #: (every worker blocked waiting for partitions no worker is
+        #: free to run).
+        self._scan_lock = threading.Lock()
+        self._scan_executor: ThreadPoolExecutor | None = None
 
         self._result_cache_size = result_cache_size
         self._result_lock = threading.Lock()
@@ -207,29 +221,38 @@ class QueryService:
     def submit(self, text: str, *, doc: str | None = None,
                strategy: str = "auto", params: Mapping | None = None,
                timeout_ms: float | None = None,
-               trace: bool = False) -> Future:
+               trace: bool = False,
+               parallelism: int | None = None) -> Future:
         """Enqueue one query; returns a future of :class:`ServeResult`.
 
         An identical un-parameterized, un-traced request already queued
         or executing is *coalesced*: the same future is returned and the
-        query runs once.  Raises
-        :class:`~repro.errors.ServiceOverloadedError` when the queue is
-        full and :class:`~repro.errors.UsageError` after :meth:`close`.
+        query runs once.  ``parallelism`` is the intra-query partition
+        budget (see :meth:`Engine.query`); partition scans run on a
+        scan pool the service owns, separate from the serve workers, so
+        parallel queries never deadlock against admission control.
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        queue is full and :class:`~repro.errors.UsageError` after
+        :meth:`close`.
         """
         return self._enqueue([self._request(text, doc, strategy, params,
-                                            timeout_ms, trace)])[0]
+                                            timeout_ms, trace,
+                                            parallelism)])[0]
 
     def query(self, text: str, *, doc: str | None = None,
               strategy: str = "auto", params: Mapping | None = None,
               timeout_ms: float | None = None,
-              trace: bool = False) -> ServeResult:
+              trace: bool = False,
+              parallelism: int | None = None) -> ServeResult:
         """Synchronous :meth:`submit` — blocks for the result."""
         return self.submit(text, doc=doc, strategy=strategy, params=params,
-                           timeout_ms=timeout_ms, trace=trace).result()
+                           timeout_ms=timeout_ms, trace=trace,
+                           parallelism=parallelism).result()
 
     def query_batch(self, queries: Iterable[str | Mapping], *,
                     doc: str | None = None, strategy: str = "auto",
-                    timeout_ms: float | None = None) -> list[ServeResult]:
+                    timeout_ms: float | None = None,
+                    parallelism: int | None = None) -> list[ServeResult]:
         """Submit a batch atomically and wait for every result.
 
         ``queries`` items are query strings or mappings with ``text``
@@ -248,7 +271,8 @@ class QueryService:
             requests.append(self._request(
                 spec["text"], spec.get("doc", doc),
                 spec.get("strategy", strategy), spec.get("params"),
-                spec.get("timeout_ms", timeout_ms), False))
+                spec.get("timeout_ms", timeout_ms), False,
+                spec.get("parallelism", parallelism)))
         futures = self._enqueue(requests)
         return [future.result() for future in futures]
 
@@ -284,6 +308,10 @@ class QueryService:
                     QueryCancelledError("service closed before execution"))
         for thread in self._workers:
             thread.join()
+        with self._scan_lock:
+            pool, self._scan_executor = self._scan_executor, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     @property
     def closed(self) -> bool:
@@ -312,11 +340,12 @@ class QueryService:
 
     def _request(self, text: str, doc: str | None, strategy: str,
                  params: Mapping | None, timeout_ms: float | None,
-                 trace: bool) -> _Request:
+                 trace: bool, parallelism: int | None = None) -> _Request:
         if timeout_ms is None:
             timeout_ms = self.default_timeout_ms
         return _Request(text, doc or self.default_document, strategy,
-                        params, trace, timeout_ms)
+                        params, trace, timeout_ms,
+                        _effective_parallelism(strategy, parallelism))
 
     def _enqueue(self, requests: list[_Request]) -> list[Future]:
         with self._cond:
@@ -406,18 +435,22 @@ class QueryService:
                 cache_key = None
                 if request.key is not None and self._result_cache_size:
                     cache_key = (request.doc, snapshot.snapshot_id,
-                                 request.norm_text, request.strategy)
+                                 request.norm_text, request.strategy,
+                                 request.parallelism)
                     cached = self._result_get(cache_key)
                     if cached is not None:
                         run_ms = (time.perf_counter() - started) * 1e3
                         return ServeResult(cached, snapshot, wait_ms, run_ms,
                                            attempts, cached=True)
                 engine = self.catalog.engine_for(snapshot)
+                if request.parallelism > 1:
+                    engine.scan_executor = self._scan_pool()
                 try:
                     result = engine.query(
                         request.text, strategy=request.strategy,
                         trace=request.trace, params=request.params,
-                        timeout_ms=self._remaining_ms(request))
+                        timeout_ms=self._remaining_ms(request),
+                        parallelism=request.parallelism)
                 except PlanInvariantError as exc:
                     if attempts == 1 and "SV001" in exc.rule_ids:
                         # A cached plan raced a snapshot flip: purge the
@@ -433,6 +466,16 @@ class QueryService:
                                    attempts, cached=False)
             finally:
                 self.catalog.unpin(snapshot)
+
+    def _scan_pool(self) -> ThreadPoolExecutor:
+        """The shared partition-scan pool, created on first parallel
+        query and sized to the serve worker count."""
+        with self._scan_lock:
+            if self._scan_executor is None:
+                self._scan_executor = ThreadPoolExecutor(
+                    max_workers=max(2, len(self._workers)),
+                    thread_name_prefix="repro-scan")
+            return self._scan_executor
 
     def _remaining_ms(self, request: _Request) -> float | None:
         """Deadline budget left for execution (measured from submit)."""

@@ -15,9 +15,15 @@ materialization of structural relationships.
 from __future__ import annotations
 
 
+from repro.obs.metrics import REGISTRY
 from repro.xmlkit.tree import Document, Node
 
 __all__ = ["TagIndex", "TagStream"]
+
+_BUILDS = REGISTRY.counter(
+    "repro_tag_index_builds_total",
+    "Tag-index materializations (full document passes); one engine/"
+    "snapshot should pay this at most once between invalidations")
 
 
 class TagIndex:
@@ -31,6 +37,7 @@ class TagIndex:
     def build(self) -> TagIndex:
         """Materialize all per-tag lists (idempotent)."""
         if not self._built:
+            _BUILDS.inc()
             table: dict[str, list[Node]] = {}
             for node in self.doc.elements():
                 table.setdefault(node.tag, []).append(node)  # type: ignore[arg-type]

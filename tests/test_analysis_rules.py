@@ -241,6 +241,31 @@ class TestPlanRules:
                                    recursive_document=False)
         assert report.clean
 
+    def test_pl004_parallel_on_partition_unsafe_plan(self):
+        # /bib/book keeps its all-child-axis chain inside the #root NoK
+        # (matched navigationally, never by the sequential scan), so the
+        # parallel strategy must be refused with exactly PL004.
+        artifacts = artifacts_for("for $a in /bib/book return $a")
+        report = analyze_artifacts(artifacts, strategy="parallel",
+                                   recursive_document=False)
+        assert report.rule_ids() == ["PL004"]
+        assert not report.ok    # error severity: validate-on-compile blocks
+
+    def test_pl004_silent_on_partition_safe_plan(self):
+        # //book decomposes into a trivial #root anchor plus a scannable
+        # book NoK — the coordinator matches the anchor once; clean.
+        artifacts = artifacts_for(TWIG)
+        report = analyze_artifacts(artifacts, strategy="parallel",
+                                   recursive_document=False)
+        assert report.clean
+
+    def test_pl004_verify_gate_raises(self):
+        artifacts = artifacts_for("for $a in /bib/book return $a")
+        with pytest.raises(PlanInvariantError) as excinfo:
+            verify_artifacts(artifacts, strategy="parallel",
+                             recursive_document=False)
+        assert "PL004" in excinfo.value.rule_ids
+
 
 class TestEnforcementGates:
     def test_verify_artifacts_raises_with_rule_ids(self):
@@ -300,7 +325,7 @@ class TestCatalogue:
             "BT001", "BT002", "BT003", "BT004", "BT005", "BT006",
             "NK001", "NK002", "NK003",
             "DW001", "DW002",
-            "PL001", "PL002", "PL003",
+            "PL001", "PL002", "PL003", "PL004",
             "SV001",
         }
 

@@ -1,0 +1,297 @@
+"""Partition-parallel merged scans: partitioning, bit-identity, edges.
+
+The differential tests here are the PR's acceptance gate: for every
+generated document (including skewed single-subtree shapes) and every
+query, the parallel operator's per-NoK match lists must equal the
+serial merged scan's — order included — because Theorem 1 makes
+partition-order concatenation reproduce the serial scan exactly.
+"""
+
+import pytest
+
+from repro.errors import DNFError, PlanInvariantError
+from repro.pattern import build_from_path, decompose
+from repro.physical import merged_scan
+from repro.physical.parallel_scan import parallel_merged_scan
+from repro.xmlkit import parse
+from repro.xmlkit.partition import (
+    DEFAULT_MIN_PARTITION_NODES,
+    Partition,
+    partition_document,
+)
+from repro.xmlkit.storage import ScanCounters
+from repro.xpath import parse_xpath
+
+
+def wide_doc(n_books: int = 200) -> str:
+    return "<bib>" + "".join(
+        f"<shelf><book year='{1990 + i % 20}'><author>a{i % 7}</author>"
+        f"<title>t{i}</title><price>{i % 50}</price></book></shelf>"
+        for i in range(n_books)) + "</bib>"
+
+
+def skewed_doc(n_items: int = 300) -> str:
+    """One giant child subtree holding nearly every node, plus crumbs —
+    the shape that defeats naive top-level-subtree partitioning."""
+    giant = "".join(f"<item><name>n{i}</name><price>{i % 9}</price></item>"
+                    for i in range(n_items))
+    return f"<root><tiny/><giant>{giant}</giant><tail><item/></tail></root>"
+
+
+def noks_for(path_text: str):
+    tree = build_from_path(parse_xpath(path_text))
+    return decompose(tree).noks
+
+
+def fine_partitions(doc, k: int):
+    return partition_document(doc, k, min_nodes=1)
+
+
+class TestPartitioner:
+    def test_partitions_tile_the_arena(self):
+        doc = parse(wide_doc(200))
+        for k in (2, 3, 4, 7):
+            parts = partition_document(doc, k, min_nodes=1)
+            assert parts[0].start_nid == 0
+            assert parts[-1].stop_nid == len(doc.nodes)
+            for a, b in zip(parts, parts[1:]):
+                assert a.stop_nid == b.start_nid     # disjoint, ordered
+                assert b.index == a.index + 1
+            assert sum(p.n_nodes for p in parts) == len(doc.nodes)
+
+    def test_single_partition_below_min_nodes(self):
+        doc = parse("<a><b/><c/></a>")
+        parts = partition_document(doc, 8)
+        assert parts == [Partition(0, 0, len(doc.nodes))]
+
+    def test_single_partition_for_serial_parallelism(self):
+        doc = parse(wide_doc(200))
+        assert len(partition_document(doc, 1, min_nodes=1)) == 1
+
+    def test_default_min_keeps_small_documents_whole(self):
+        doc = parse(wide_doc(10))
+        assert len(doc.nodes) <= DEFAULT_MIN_PARTITION_NODES
+        assert len(partition_document(doc, 4)) == 1
+
+    def test_skewed_single_subtree_is_split(self):
+        doc = parse(skewed_doc(300))
+        parts = partition_document(doc, 4, min_nodes=1)
+        # Without splitting, the giant child would force one partition.
+        assert len(parts) > 1
+        assert parts[-1].stop_nid == len(doc.nodes)
+        assert sum(p.n_nodes for p in parts) == len(doc.nodes)
+
+    def test_stats_drive_the_target_size(self):
+        from repro.xmlkit.stats import compute_stats
+
+        doc = parse(wide_doc(200))
+        with_stats = partition_document(doc, 4, min_nodes=1,
+                                        stats=compute_stats(doc,
+                                                            with_size=False))
+        without = partition_document(doc, 4, min_nodes=1)
+        assert [(p.start_nid, p.stop_nid) for p in with_stats] == \
+            [(p.start_nid, p.stop_nid) for p in without]
+
+
+QUERIES = ["//book", "//book/author", "//shelf//title",
+           "//book[@year = '1995']", "//book[price > 25]/title", "//*"]
+SKEW_QUERIES = ["//item", "//item/name", "//item[price = 3]", "//giant//name"]
+
+
+class TestDifferentialBitIdentity:
+    """Parallel output == serial output, match list by match list."""
+
+    def assert_identical(self, doc, path_text, k):
+        noks = noks_for(path_text)
+        serial = merged_scan(noks, doc)
+        noks2 = noks_for(path_text)
+        parallel = parallel_merged_scan(noks2, doc,
+                                        partitions=fine_partitions(doc, k))
+        assert set(serial) == {n.nok_id for n in noks}
+        for nok_id, entries in serial.items():
+            got = parallel[nok_id]
+            # nid sequences compare order as well as membership.
+            assert [e.node.nid for e in got] == \
+                [e.node.nid for e in entries], (path_text, nok_id, k)
+
+    @pytest.mark.parametrize("path_text", QUERIES)
+    def test_wide_document(self, path_text):
+        doc = parse(wide_doc(150))
+        for k in (2, 3, 5):
+            self.assert_identical(doc, path_text, k)
+
+    @pytest.mark.parametrize("path_text", SKEW_QUERIES)
+    def test_skewed_single_subtree_document(self, path_text):
+        doc = parse(skewed_doc(250))
+        for k in (2, 4):
+            self.assert_identical(doc, path_text, k)
+
+    def test_recursive_document(self, recursive_doc):
+        self.assert_identical(recursive_doc, "//section", 3)
+
+    def test_counters_match_serial_totals(self):
+        doc = parse(wide_doc(150))
+        noks = noks_for("//book/author")
+        serial = ScanCounters()
+        merged_scan(noks, doc, serial)
+        parallel = ScanCounters()
+        parts = fine_partitions(doc, 4)
+        parallel_merged_scan(noks_for("//book/author"), doc, parallel,
+                             partitions=parts)
+        # Every arena slot is charged exactly once either way; only the
+        # scan count differs (one SequentialScan per partition).
+        assert parallel.nodes_scanned == serial.nodes_scanned
+        assert parallel.comparisons == serial.comparisons
+        assert parallel.scans_started == len(parts)
+
+    def test_single_partition_degenerates_to_serial(self):
+        doc = parse(wide_doc(20))
+        counters = ScanCounters()
+        results = parallel_merged_scan(noks_for("//book"), doc, counters,
+                                       parallelism=4)
+        assert counters.scans_started == 1     # fallback path
+        noks = noks_for("//book")
+        serial = merged_scan(noks, doc)
+        book_id = next(n.nok_id for n in noks if n.root.name == "book")
+        assert [e.node.nid for e in results[book_id]] == \
+            [e.node.nid for e in serial[book_id]]
+
+    def test_per_nok_attribution_folds_into_shared(self):
+        doc = parse(wide_doc(150))
+        counters = ScanCounters()
+        per_nok = {}
+        parallel_merged_scan(noks_for("//book[price > 25]/title"), doc,
+                             counters, per_nok,
+                             partitions=fine_partitions(doc, 3))
+        assert per_nok
+        assert counters.comparisons == \
+            sum(c.comparisons for c in per_nok.values())
+
+    def test_budget_is_enforced_per_partition(self):
+        doc = parse(wide_doc(150))
+        counters = ScanCounters(budget=10)
+        with pytest.raises(DNFError):
+            parallel_merged_scan(noks_for("//book"), doc, counters,
+                                 partitions=fine_partitions(doc, 3))
+        assert counters.budget_trips >= 1
+
+
+class TestMergedScanEdges:
+    """Serial merged-scan edge paths the parallel loop replicates."""
+
+    def test_wildcard_and_named_roots_share_one_scan(self):
+        doc = parse(wide_doc(30))
+        # One decomposition yields a named NoK (book) and a wildcard
+        # NoK (*) with distinct nok_ids sharing one scan.
+        noks = [n for n in noks_for("//book//*") if n.root.name != "#root"]
+        book_nok = next(n for n in noks if n.root.name == "book")
+        star_nok = next(n for n in noks if n.root.name == "*")
+        counters = ScanCounters()
+        results = merged_scan(noks, doc, counters)
+        assert counters.scans_started == 1
+        # Dispatch must offer a "book" element to BOTH the named and the
+        # wildcard NoK, and each list must stay in document order.
+        book_nids = [e.node.nid for e in results[book_nok.nok_id]]
+        star_nids = [e.node.nid for e in results[star_nok.nok_id]]
+        assert book_nids == sorted(book_nids)
+        assert star_nids == sorted(star_nids)
+        assert len(book_nids) == 30
+        assert set(book_nids) <= set(star_nids)
+        # Individual NoKMatcher runs over the same NoKs agree exactly.
+        for nok in (book_nok, star_nok):
+            solo = merged_scan([nok], doc)
+            assert [e.node.nid for e in solo[nok.nok_id]] == \
+                [e.node.nid for e in results[nok.nok_id]]
+
+    def test_wildcard_only_dispatch(self):
+        doc = parse("<a><b/><c/></a>")
+        star = noks_for("//*")
+        star_nok = next(n for n in star if n.root.name == "*")
+        results = merged_scan([star_nok], doc)
+        assert len(results[star_nok.nok_id]) == 3
+
+    def test_budget_trip_still_folds_per_nok_counters(self):
+        doc = parse(wide_doc(150))
+        noks = [n for n in noks_for("//book/author")
+                if n.root.name != "#root"]
+        counters = ScanCounters(budget=50)
+        per_nok = {}
+        with pytest.raises(DNFError):
+            merged_scan(noks, doc, counters, per_nok)
+        # The finally block folded the partial per-NoK match work into
+        # the shared totals despite the abort.
+        assert counters.budget_trips == 1
+        assert per_nok
+        assert counters.comparisons == \
+            sum(c.comparisons for c in per_nok.values())
+        assert counters.comparisons > 0
+
+
+class TestEngineParallelStrategy:
+    def make_engine(self, xml):
+        from repro.engine.session import Engine
+
+        return Engine(parse(xml))
+
+    def test_auto_upgrade_and_bit_identity(self):
+        engine = self.make_engine(wide_doc(600))
+        serial = engine.query("//book[price > 10]/title").items
+        parallel = engine.query("//book[price > 10]/title",
+                                parallelism=4).items
+        assert "parallel" in engine.last_plan
+        assert [n.nid for n in serial] == [n.nid for n in parallel]
+
+    def test_auto_stays_serial_below_threshold(self):
+        engine = self.make_engine(wide_doc(20))
+        engine.query("//book", parallelism=4)
+        assert "parallel" not in engine.last_plan
+
+    def test_explicit_parallel_strategy(self):
+        engine = self.make_engine(wide_doc(100))
+        result = engine.query("//book", strategy="parallel")
+        assert "parallel" in engine.last_plan
+        assert len(result.items) == 100
+
+    def test_auto_withdraws_for_partition_unsafe_plan(self):
+        engine = self.make_engine(wide_doc(600))
+        engine.query("/bib/shelf", parallelism=4)
+        assert "withdrawn" in engine.last_plan
+        assert "PL004" in engine.last_plan
+
+    def test_explicit_parallel_refused_with_pl004(self):
+        engine = self.make_engine(wide_doc(100))
+        with pytest.raises(PlanInvariantError) as excinfo:
+            engine.query("/bib/shelf", strategy="parallel")
+        assert "PL004" in excinfo.value.rule_ids
+
+    def test_plan_cache_keys_include_parallelism(self):
+        engine = self.make_engine(wide_doc(600))
+        engine.query("//book")
+        engine.query("//book")
+        engine.query("//book", parallelism=4)    # distinct key: a miss
+        engine.query("//book", parallelism=4)    # now a hit
+        stats = engine.plan_cache.stats()
+        assert stats["size"] >= 2
+
+    def test_prepared_query_pins_parallelism(self):
+        engine = self.make_engine(wide_doc(600))
+        prepared = engine.prepare("//book", parallelism=4)
+        assert prepared.parallelism == 4
+        parallel = prepared.execute().items
+        assert "parallel" in engine.last_plan
+        serial = prepared.execute(parallelism=1).items
+        assert "parallel" not in engine.last_plan
+        assert [n.nid for n in serial] == [n.nid for n in parallel]
+
+    def test_skewed_document_through_the_engine(self):
+        engine = self.make_engine(skewed_doc(900))
+        serial = engine.query("//item/name").items
+        parallel = engine.query("//item/name", parallelism=4).items
+        assert "parallel" in engine.last_plan
+        assert [n.nid for n in serial] == [n.nid for n in parallel]
+
+    def test_partition_spans_in_trace(self):
+        engine = self.make_engine(wide_doc(600))
+        result = engine.query("//book", parallelism=4, trace=True)
+        names = [span.name for _, span in result.trace.walk()]
+        assert "partition-scan" in names

@@ -300,7 +300,7 @@ class TestPlanInvalidationRace:
         # exactly what an entry that raced a publish looks like.
         engine.query(text)
         cache = catalog.plan_cache("main")
-        key = (normalize_query_text(text), "auto",
+        key = (normalize_query_text(text), "auto", 1,
                engine.stats_fingerprint())
         cache.get(key).snapshot_id = 1
 
@@ -325,7 +325,7 @@ class TestPlanInvalidationRace:
         engine = catalog.engine_for(snapshot)
         text = "//book/author"
         engine.query(text)
-        key = (normalize_query_text(text), "auto",
+        key = (normalize_query_text(text), "auto", 1,
                engine.stats_fingerprint())
         catalog.plan_cache("main").get(key).snapshot_id = 1
         with pytest.raises(PlanInvariantError) as exc_info:
@@ -378,3 +378,62 @@ class TestCloseSemantics:
                    for q in ("//book/title", "//book/author", "//shelf")]
         service.close(drain=True)
         assert [len(f.result()) for f in futures] == [3, 3, 2]
+
+
+_INDEX_BUILDS = REGISTRY.counter("repro_tag_index_builds_total", "")
+
+
+def big_library(n_books: int = 800) -> str:
+    """A corpus large enough to clear the parallel-scan threshold."""
+    return "<library>" + "".join(
+        f"<shelf><book><author>a{i % 11}</author>"
+        f"<title>t{i}</title></book></shelf>"
+        for i in range(n_books)) + "</library>"
+
+
+class TestParallelismAndIndexLifecycle:
+    def test_parallel_request_bit_identical_to_serial(self):
+        with QueryService(big_library(), workers=2) as service:
+            serial = service.query("//book/title")
+            parallel = service.query("//book/title", parallelism=4)
+        assert serial.snapshot_id == parallel.snapshot_id
+        assert [n.nid for n in serial.items] == \
+            [n.nid for n in parallel.items]
+
+    def test_result_cache_key_separates_parallelism(self):
+        with make_service(workers=1) as service:
+            serial = service.query("//book/title")
+            parallel = service.query("//book/title", parallelism=4)
+            again = service.query("//book/title", parallelism=4)
+        assert not serial.cached
+        # A serially-computed cached result must not answer a request
+        # asking for a different parallelism: the keys differ.
+        assert not parallel.cached
+        assert again.cached
+        assert [n.nid for n in serial.items] == \
+            [n.nid for n in parallel.items]
+
+    def test_batch_accepts_parallelism_overrides(self):
+        with QueryService(big_library(), workers=2) as service:
+            plain, parallel = service.query_batch([
+                {"text": "//book/author"},
+                {"text": "//book/author", "parallelism": 4},
+            ])
+        assert [n.nid for n in plain.items] == \
+            [n.nid for n in parallel.items]
+
+    def test_tag_index_built_at_most_once_per_snapshot(self):
+        queries = ["//book[author]/title", "//shelf[book]//author",
+                   "//book[title]/author"]
+        before = _INDEX_BUILDS.value()
+        with make_service(workers=1) as service:
+            for q in queries:           # distinct plans, one shared index
+                service.query(q, strategy="twigstack")
+            assert _INDEX_BUILDS.value() <= before + 1
+            with service.updater() as up:
+                shelf = [c for c in up.doc.root.children
+                         if c.tag is not None][0]
+                up.delete_subtree(shelf)
+            for q in queries:           # new snapshot: one more build
+                service.query(q, strategy="twigstack")
+        assert _INDEX_BUILDS.value() <= before + 2

@@ -8,6 +8,10 @@ or cache aliasing shows up as a serialization mismatch.
 
 ``REPRO_STRESS_SECONDS`` (default 5) bounds the wall time; CI runs the
 same test under ``PYTHONDEVMODE=1`` in the concurrency-smoke job.
+``REPRO_STRESS_PARALLELISM`` > 1 makes every read request ask for
+intra-query partition-parallel scans over a larger corpus (the
+parallel-smoke job runs with 4): the serial-replay comparison then
+doubles as the Theorem-1 bit-identity check under concurrent publishes.
 """
 
 import os
@@ -20,6 +24,7 @@ from repro.serve import Catalog, QueryService
 from repro.xmlkit.tree import DocumentBuilder
 
 STRESS_SECONDS = float(os.environ.get("REPRO_STRESS_SECONDS", "5"))
+STRESS_PARALLELISM = int(os.environ.get("REPRO_STRESS_PARALLELISM", "1"))
 N_WRITERS = 4
 N_READERS = 8
 
@@ -65,7 +70,10 @@ def elems(node, tag=None):
 
 def test_concurrent_readers_match_serial_replay_exactly():
     catalog = Catalog()
-    catalog.register("main", build_library())
+    # With intra-query parallelism requested, use a corpus big enough
+    # to clear the optimizer's parallel-scan threshold.
+    catalog.register("main", build_library() if STRESS_PARALLELISM <= 1
+                     else build_library(shelves=40, books=30))
     service = QueryService(catalog, workers=N_READERS,
                            max_queue=256, result_cache_size=128)
     deadline = time.monotonic() + STRESS_SECONDS
@@ -101,7 +109,10 @@ def test_concurrent_readers_match_serial_replay_exactly():
         while not stop.is_set():
             text = rng.choice(QUERIES)
             try:
-                served = service.query(text, timeout_ms=30_000)
+                served = service.query(
+                    text, timeout_ms=30_000,
+                    parallelism=STRESS_PARALLELISM
+                    if STRESS_PARALLELISM > 1 else None)
                 # Differential check: replay serially on the *pinned*
                 # snapshot the service claims it used.  Snapshots are
                 # immutable, so the replay must be bit-identical.

@@ -100,3 +100,42 @@ class TestStreamingSpecifics:
         # stream_count parses raw text: no Document is ever built.
         nok = nok_for("//a/b")
         assert stream_count("<r><a><b/><b/></a><a/></r>", nok) == 1
+
+
+class TestNumericPredicates:
+    """Numeric equality literals: stream and tree matchers must agree.
+
+    Regression: ``NumberLiteral`` predicates used to be rejected as
+    non-streamable because the literal check only accepted ``Literal``.
+    """
+
+    NUMERIC_PATTERNS = [
+        "//book[@year = 2000]",
+        "//book[2000 = @year]",
+        "//book[@year = 1850]",
+        "//book/price[. = 39.95]",
+        "//book/price[39.95 = .]",
+        "//book/price[. = 100]",
+    ]
+
+    @pytest.mark.parametrize("pattern", NUMERIC_PATTERNS)
+    def test_counts_agree_with_tree_matcher(self, small_bib, pattern):
+        nok = nok_for(pattern)
+        assert stream_count(SMALL_BIB, nok) == tree_count(small_bib, nok)
+
+    def test_attribute_number_both_operand_orders(self):
+        assert stream_count(SMALL_BIB, nok_for("//book[@year = 2000]")) == 1
+        assert stream_count(SMALL_BIB, nok_for("//book[2000 = @year]")) == 1
+
+    def test_text_number_matches_despite_formatting(self):
+        xml = "<r><a> 5 </a><a>5.0</a><a>4</a></r>"
+        assert stream_count(xml, nok_for("//a[. = 5]")) == 2
+
+    def test_unparsable_value_is_unequal_not_an_error(self):
+        from repro.xmlkit import parse
+
+        xml = '<r><a x="n/a">word</a><a x="5">5</a></r>'
+        for pattern in ("//a[@x = 5]", "//a[. = 5]"):
+            nok = nok_for(pattern)
+            assert stream_count(xml, nok) == 1
+            assert tree_count(parse(xml), nok_for(pattern)) == 1
