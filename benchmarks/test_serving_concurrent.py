@@ -1,14 +1,24 @@
 """Serving throughput: 8-worker QueryService vs a serial engine loop.
 
-The PR-4 acceptance benchmark: a read-heavy workload of repeated
-queries (the serving sweet spot — hot plans, hot results) must sustain
-at least 2x the aggregate QPS of a serial ``Engine.query`` loop over
-the same request stream.  The win is GIL-honest: it comes from the
-snapshot-keyed result cache and in-flight coalescing, not from
-pretending Python threads parallelise compute.
+The PR-4 acceptance benchmark, in two modes:
 
-Writes ``BENCH_PR4.json`` at the repo root (the concurrency-smoke CI
-job uploads it as an artifact).
+* **read-heavy (cache-friendly)** — repeated queries (the serving
+  sweet spot: hot plans, hot results) must sustain at least 2x the
+  aggregate QPS of a serial ``Engine.query`` loop over the same
+  request stream.  The win is GIL-honest: it comes from the
+  snapshot-keyed result cache and in-flight coalescing, not from
+  pretending Python threads parallelise compute — which also means the
+  headline speedup measures the *cache*, not execution.
+* **unique-params (cache-bypass)** — every request carries a distinct
+  parameter binding, so coalescing and the result cache are out of the
+  picture and every request truly executes.  This is the honest
+  number: real execution QPS under the worker pool (expected *near or
+  below* serial on CPython — threads share the GIL), reported with
+  p50/p99 run and end-to-end latencies.
+
+Both modes merge into ``BENCH_PR4.json`` at the repo root (the
+concurrency-smoke CI job uploads it as an artifact), so the honest
+number sits next to the headline one.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ def build_corpus(shelves: int = 40, books: int = 50) -> Document:
             builder.start_element("book", {"id": f"b{serial}"})
             builder.element("author", f"author-{serial % 211}")
             builder.element("title", f"title-{serial}")
+            builder.element("price", str(serial % 97))
             builder.end_element()
         builder.end_element()
     builder.end_element()
@@ -57,6 +68,24 @@ def build_corpus(shelves: int = 40, books: int = 50) -> Document:
 
 def request_stream(n: int) -> list[str]:
     return [QUERY_MIX[i % len(QUERY_MIX)] for i in range(n)]
+
+
+def merge_bench(update: dict) -> None:
+    """Read-modify-write ``BENCH_PR4.json`` so the two modes coexist."""
+    payload: dict = {}
+    if BENCH_PR4_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PR4_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(update)
+    BENCH_PR4_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
 
 
 def test_concurrent_service_beats_serial_by_2x():
@@ -96,7 +125,7 @@ def test_concurrent_service_beats_serial_by_2x():
     assert served_checksum == serial_checksum
 
     speedup = concurrent_qps / serial_qps
-    BENCH_PR4_PATH.write_text(json.dumps({
+    merge_bench({
         "benchmark": "serving_concurrent_read_heavy",
         "workers": WORKERS,
         "n_requests": len(stream),
@@ -105,9 +134,71 @@ def test_concurrent_service_beats_serial_by_2x():
         "serial_qps": round(serial_qps, 1),
         "concurrent_qps": round(concurrent_qps, 1),
         "speedup": round(speedup, 2),
-        "service_stats": stats,
-    }, indent=2) + "\n", encoding="utf-8")
+        "service_stats": {k: stats[k] for k in
+                          ("queue_depth", "inflight", "result_cache_size",
+                           "workers")},
+    })
 
     assert speedup >= 2.0, (
         f"aggregate QPS speedup {speedup:.2f}x < 2x "
         f"(serial {serial_qps:.0f} qps, concurrent {concurrent_qps:.0f} qps)")
+
+
+def test_unique_params_mode_reports_honest_execution_qps():
+    """Cache-bypass mode: distinct parameter bindings per request, so
+    every request executes — no coalescing, no result-cache hits.  No
+    speedup bar here (CPython threads share the GIL); the assertion is
+    that the *measurement* is honest: zero cache hits, every request
+    really ran, and the latency quantiles are reported."""
+    doc = build_corpus()
+    text = "for $b in //book where $b/price < $p return $b/title"
+    n_requests = max(100, N_REQUESTS // 3)
+    bindings = [{"p": float(i % 97)} for i in range(n_requests)]
+
+    engine = Engine(doc)
+    engine.query(text, params=bindings[0])     # warm the plan cache
+    started = time.perf_counter()
+    serial_checksum = 0
+    for params in bindings:
+        serial_checksum += len(engine.query(text, params=params))
+    serial_s = time.perf_counter() - started
+    serial_qps = n_requests / serial_s
+
+    catalog = Catalog()
+    catalog.register("main", doc)
+    service = QueryService(catalog, workers=WORKERS,
+                           max_queue=max(64, n_requests),
+                           result_cache_size=64)
+    service.query(text, params=bindings[0])    # identical warmup
+    started = time.perf_counter()
+    futures = [service.submit(text, params=params, timeout_ms=60_000)
+               for params in bindings]
+    wait(futures)
+    concurrent_s = time.perf_counter() - started
+    results = [f.result() for f in futures]
+    stats = service.stats()
+    service.close()
+
+    assert sum(len(r) for r in results) == serial_checksum
+    # The honesty checks: nothing was coalesced or served from cache.
+    assert all(not r.cached for r in results)
+    assert stats["counters"]["coalesced"] == 0
+    assert stats["counters"]["result_cache_hits"] == 0
+    assert stats["counters"]["completed"] >= n_requests
+
+    run_ms = sorted(r.run_ms for r in results)
+    total_ms = sorted(r.wait_ms + r.run_ms for r in results)
+    merge_bench({"unique_params_mode": {
+        "query": text,
+        "n_requests": n_requests,
+        "workers": WORKERS,
+        "serial_qps": round(serial_qps, 1),
+        "concurrent_qps": round(n_requests / concurrent_s, 1),
+        "speedup": round((n_requests / concurrent_s) / serial_qps, 2),
+        "run_ms_p50": round(quantile(run_ms, 0.50), 3),
+        "run_ms_p99": round(quantile(run_ms, 0.99), 3),
+        "latency_ms_p50": round(quantile(total_ms, 0.50), 3),
+        "latency_ms_p99": round(quantile(total_ms, 0.99), 3),
+        "result_cache_hits": stats["counters"]["result_cache_hits"],
+        "coalesced": stats["counters"]["coalesced"],
+    }})

@@ -8,7 +8,9 @@ surface the :mod:`repro.obs` package offers:
 * ``Engine.explain_analyze`` — per-operator measured work next to the
   cost model's estimates,
 * the process-wide metrics registry in Prometheus text exposition,
-* the slow-query log on a :class:`~repro.engine.database.Database`.
+* the slow-query log on a :class:`~repro.engine.database.Database`,
+* the runtime statistics store and the feedback loop it powers
+  (``db.stats()``, strategy demotions, ``python -m repro.obs``).
 
 Run with::
 
@@ -52,6 +54,23 @@ def main() -> None:
     db.query("//book/title", strategy="pipelined")
     for record in db.slow_log.entries:
         print(f"  {record.describe()}")
+
+    print("\n== 6. The runtime statistics store & feedback ==")
+    fb = Database(doc, feedback=True)
+    for _ in range(6):                      # probe both arms, then settle
+        fb.query("//book[author]/title")
+    store = fb.engine.stats_store
+    for entry in store.top_queries(3):
+        print(f"  {entry['strategy']:<10} n={entry['executions']}"
+              f" mean={entry['mean_ms']:.3f}ms  {entry['query']}")
+    snapshot = fb.stats(top=3)
+    plan_cache = snapshot["plan_cache"]
+    print(f"  plan cache: {plan_cache['hits']} hits,"
+          f" {plan_cache['misses']} misses")
+    settled = sorted(set(snapshot["statstore"]["settled"].values()))
+    print(f"  demotions so far: {len(store.demotions)}"
+          f" (settled on: {', '.join(settled)})")
+    print("  (try `python -m repro.obs demo` for the full rendered view)")
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ measurement.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.pattern.blossom import BlossomTree
@@ -61,14 +62,25 @@ class CostEstimate:
 
 
 class CostModel:
-    """Ranks the physical strategies for one compiled query."""
+    """Ranks the physical strategies for one compiled query.
+
+    ``observed`` is the feedback loop's entry point: a mapping of tag →
+    measured match cardinality (what the runtime statistics store
+    aggregates from executed NoK scans).  When present it overrides the
+    tag-index cardinalities, so re-costing a cached plan ranks the
+    strategies against observed selectivities instead of the static
+    estimates — the paper's Table-3 observation that algorithm choice
+    is selectivity-dependent, closed into a loop.
+    """
 
     def __init__(self, doc: Document, stats: DocumentStats,
-                 index: TagIndex | None = None) -> None:
+                 index: TagIndex | None = None,
+                 observed: Mapping[str, float] | None = None) -> None:
         self.doc = doc
         self.stats = stats
         self.index = index if index is not None else TagIndex(doc)
         self.n_nodes = len(doc.nodes)
+        self.observed = dict(observed) if observed else {}
 
     # ------------------------------------------------------------------
     # Public API.
@@ -141,6 +153,9 @@ class CostModel:
     # ------------------------------------------------------------------
 
     def _cardinality(self, tag: str) -> int:
+        observed = self.observed.get(tag)
+        if observed is not None:
+            return max(1, round(observed))
         if tag == "*" or tag == "#root":
             return max(1, self.stats.n_elements)
         return self.index.cardinality(tag)

@@ -64,9 +64,10 @@ class Database:
     """
 
     def __init__(self, doc: Document,
-                 slow_query_ms: float | None = None) -> None:
+                 slow_query_ms: float | None = None,
+                 feedback: bool = False) -> None:
         self.doc = doc
-        self.engine = Engine(doc)
+        self.engine = Engine(doc, feedback=feedback)
         self._updater: DocumentUpdater | None = None
         self._service: QueryService | None = None
         self._closed = False
@@ -174,8 +175,49 @@ class Database:
         return self.engine.explain(text, strategy)
 
     @property
-    def stats(self) -> DocumentStats:
+    def doc_stats(self) -> DocumentStats:
+        """Structural statistics of the stored document (Table 1 row)."""
         return self.engine.stats
+
+    def stats(self, top: int = 20) -> dict:
+        """A structured JSON snapshot of the database's runtime state.
+
+        One call, one dict — what an operator (or ``python -m
+        repro.obs report``) needs to see where time goes: the document
+        summary, plan-cache hit ratios, the runtime statistics store
+        (top ``top`` plans by accumulated time, per-strategy win/loss,
+        feedback demotions), the slow-query log, and the serving
+        layer's own :meth:`QueryService.stats
+        <repro.serve.service.QueryService.stats>` when :meth:`serve` is
+        active.
+
+        .. note:: this used to be a property aliasing the document
+           statistics; those now live at :attr:`doc_stats`.
+        """
+        doc_stats = self.engine.stats
+        return {
+            "document": {
+                "n_nodes": doc_stats.n_nodes,
+                "n_elements": doc_stats.n_elements,
+                "n_distinct_tags": doc_stats.n_distinct_tags,
+                "max_depth": doc_stats.max_depth,
+                "recursive": doc_stats.recursive,
+                "recursion_degree": doc_stats.recursion_degree,
+                "fingerprint": "/".join(
+                    str(part) for part in self.engine.stats_fingerprint()),
+            },
+            "plan_cache": self.engine.plan_cache.stats(),
+            "statstore": self.engine.stats_store.snapshot(top=top),
+            "slow_queries": (
+                None if self.slow_log is None else {
+                    "threshold_ms": self.slow_log.threshold_ms,
+                    "entries": len(self.slow_log),
+                }),
+            "service": (self._service.stats()
+                        if self._service is not None
+                        and not self._service.closed else None),
+            "feedback": self.engine.feedback,
+        }
 
     def updater(self) -> DocumentUpdater:
         """The document updater, wired for cache coherence: structural
@@ -226,12 +268,13 @@ class Database:
         from repro.serve.catalog import Catalog
         from repro.serve.service import QueryService
 
-        catalog = Catalog()
+        catalog = Catalog(feedback=self.engine.feedback)
         catalog.register("main", self.doc)
         self._service = QueryService(
             catalog, workers=workers, max_queue=max_queue,
             default_timeout_ms=default_timeout_ms,
-            result_cache_size=result_cache_size)
+            result_cache_size=result_cache_size,
+            slow_log=self.slow_log)
         return self._service
 
     def close(self) -> None:
@@ -259,7 +302,7 @@ class Database:
         return self.engine._stats
 
     def __repr__(self) -> str:  # pragma: no cover
-        stats = self.stats
+        stats = self.doc_stats
         return (f"<Database {stats.n_elements} elements, "
                 f"{stats.n_distinct_tags} tags, "
                 f"{'recursive' if stats.recursive else 'flat'}>")

@@ -16,18 +16,29 @@ the decision rules its experiments support (Section 5.2):
 
 :func:`choose_strategy` encodes those rules; the engine session calls
 it when the caller asks for ``strategy="auto"``.
+
+:class:`StrategyAdvisor` layers measurement on top of the rules: when
+the engine runs with feedback enabled, the advisor probes the static
+choice against one plausible alternative (a few executions each, read
+from the runtime :class:`~repro.obs.statstore.StatsStore`), then
+settles on whichever measured faster — demoting the static choice with
+hysteresis when the alternative wins (the BENCH_PR5 case: ``parallel``
+auto-selected yet measurably slower than the serial pipelined scan).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.statstore import DemotionRecord, StatsStore
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pattern.blossom import BlossomTree
 from repro.physical.twigstack import twig_supported
 from repro.xmlkit.stats import DocumentStats
 
-__all__ = ["PlanChoice", "choose_strategy", "PARALLEL_SCAN_THRESHOLD"]
+__all__ = ["PlanChoice", "StrategyAdvisor", "choose_strategy",
+           "PARALLEL_SCAN_THRESHOLD", "MIN_FEEDBACK_SAMPLES",
+           "DEMOTE_MARGIN", "REPROMOTE_MARGIN"]
 
 #: Minimum arena size (in nodes) before ``auto`` trades the serial
 #: merged scan for partition-parallel scans when the caller offers
@@ -111,3 +122,157 @@ def _choose(stats: DocumentStats, tree: BlossomTree | None,
         "pipelined",
         "non-recursive document; index-free merge joins over ordered "
         "NoK streams (Theorem 2)")
+
+
+# ----------------------------------------------------------------------
+# Feedback: measured strategy selection over the static rules.
+# ----------------------------------------------------------------------
+
+#: Observations of an arm before its mean is trusted for a decision.
+MIN_FEEDBACK_SAMPLES = 2
+
+#: The alternative must measure at least this factor faster before the
+#: static choice is demoted.  BENCH_PR5's parallel/serial ratio is
+#: ~1.04, so 2% keeps that regression demotable while absorbing timer
+#: noise on genuinely-equal arms.
+DEMOTE_MARGIN = 1.02
+
+#: Hysteresis: once settled, the decision only flips if the settled arm's
+#: measured mean degrades past this factor of the other arm — a much
+#: wider band than the demotion margin, so the choice cannot flap on
+#: run-to-run noise.
+REPROMOTE_MARGIN = 1.25
+
+
+class StrategyAdvisor:
+    """Explore-then-commit strategy selection from measured latencies.
+
+    For each plan-cache key the advisor compares the static rule-based
+    choice against **one** alternative strategy (the pair the paper's
+    experiments show is workload-dependent): it runs each arm
+    :data:`MIN_FEEDBACK_SAMPLES` times, then settles on the measured
+    winner.  Settling *against* the static choice is a demotion —
+    counted in ``repro_strategy_demotions_total`` and recorded on the
+    store for the introspection surface.  All state lives in the
+    :class:`~repro.obs.statstore.StatsStore`, so advice is a pure
+    function of recorded history: deterministic, and shared across the
+    serving layer's snapshot engines exactly like the observations.
+    """
+
+    def __init__(self, store: StatsStore) -> None:
+        self.store = store
+
+    @staticmethod
+    def alternative(static: str, stats: DocumentStats,
+                    tree: BlossomTree | None, is_bare_path: bool,
+                    has_index: bool) -> str | None:
+        """The one strategy worth measuring against the static choice.
+
+        ``parallel`` probes the serial pipelined scan it upgraded from
+        (the partition overhead question); on bare twig-supported paths
+        the merge-join choices probe TwigStack and vice versa (the
+        Table-3 selectivity question).  ``None`` means the rules have
+        no credible contender and feedback stays out of the way.
+        """
+        if tree is None:
+            return None
+        if static == "parallel":
+            return "pipelined"
+        twig_ok = is_bare_path and has_index and twig_supported(tree)
+        if not twig_ok:
+            return None
+        if static in ("pipelined", "stack"):
+            return "twigstack"
+        if static == "twigstack":
+            return "stack" if stats.recursive else "pipelined"
+        return None
+
+    def advise(self, text: str, fingerprint: tuple, parallelism: int,
+               static: PlanChoice, alternative: str | None) -> PlanChoice:
+        """The strategy to execute now, given the measured history.
+
+        Phases per key: settled decision (with hysteresis re-check) →
+        probe the static arm → probe the alternative arm → settle on
+        the measured winner.  Safe to call repeatedly for one
+        execution — nothing is recorded here, only read (and a settle
+        written once both arms are measured).
+        """
+        if alternative is None or alternative == static.strategy:
+            return static
+        settled = self.store.settled_strategy(text, fingerprint, parallelism)
+        arms = self.store.arms(text, fingerprint, parallelism)
+        if settled is not None:
+            return self._hold_or_flip(text, fingerprint, parallelism,
+                                      static, alternative, settled, arms)
+        static_arm = arms.get(static.strategy)
+        static_n = static_arm.successes if static_arm else 0
+        if static_n < MIN_FEEDBACK_SAMPLES:
+            return PlanChoice(static.strategy, static.reason)
+        alt_arm = arms.get(alternative)
+        alt_n = alt_arm.successes if alt_arm else 0
+        if alt_n < MIN_FEEDBACK_SAMPLES:
+            return PlanChoice(
+                alternative,
+                f"feedback probe {alt_n + 1}/{MIN_FEEDBACK_SAMPLES} of "
+                f"{alternative} vs static {static.strategy} "
+                f"({static_arm.mean_ms:.3f} ms measured)")
+        return self._settle(text, fingerprint, parallelism, static,
+                            static_arm, alt_arm)
+
+    # -- decision phases ---------------------------------------------------
+
+    def _settle(self, text: str, fingerprint: tuple, parallelism: int,
+                static: PlanChoice, static_arm, alt_arm) -> PlanChoice:
+        """Both arms measured: commit to the winner (maybe demoting)."""
+        static_ms = static_arm.mean_ms
+        alt_ms = alt_arm.mean_ms
+        if alt_ms * DEMOTE_MARGIN < static_ms:
+            reason = (f"feedback: demoted {static.strategy} "
+                      f"({static_ms:.3f} ms measured) to "
+                      f"{alt_arm.strategy} ({alt_ms:.3f} ms)")
+            record = DemotionRecord(
+                query=text, fingerprint="/".join(map(str, fingerprint)),
+                parallelism=parallelism, from_strategy=static.strategy,
+                to_strategy=alt_arm.strategy, from_mean_ms=static_ms,
+                to_mean_ms=alt_ms,
+                executions=static_arm.executions + alt_arm.executions,
+                reason=reason)
+            self.store.settle(text, fingerprint, parallelism,
+                              alt_arm.strategy, record)
+            return PlanChoice(alt_arm.strategy, reason)
+        self.store.settle(text, fingerprint, parallelism, static.strategy)
+        return PlanChoice(
+            static.strategy,
+            f"{static.reason}; feedback confirmed ({static_ms:.3f} ms vs "
+            f"{alt_arm.strategy} {alt_ms:.3f} ms)")
+
+    def _hold_or_flip(self, text: str, fingerprint: tuple, parallelism: int,
+                      static: PlanChoice, alternative: str, settled: str,
+                      arms: dict) -> PlanChoice:
+        """Settled decision: hold unless it degraded past the hysteresis."""
+        other = alternative if settled == static.strategy else static.strategy
+        settled_arm = arms.get(settled)
+        other_arm = arms.get(other)
+        if (settled_arm and other_arm
+                and settled_arm.successes >= MIN_FEEDBACK_SAMPLES
+                and other_arm.successes >= MIN_FEEDBACK_SAMPLES
+                and settled_arm.mean_ms > other_arm.mean_ms * REPROMOTE_MARGIN):
+            reason = (f"feedback: settled {settled} degraded to "
+                      f"{settled_arm.mean_ms:.3f} ms vs {other} "
+                      f"{other_arm.mean_ms:.3f} ms; flipping")
+            record = None
+            if other != static.strategy:   # flip away from static = demotion
+                record = DemotionRecord(
+                    query=text, fingerprint="/".join(map(str, fingerprint)),
+                    parallelism=parallelism, from_strategy=settled,
+                    to_strategy=other, from_mean_ms=settled_arm.mean_ms,
+                    to_mean_ms=other_arm.mean_ms,
+                    executions=settled_arm.executions + other_arm.executions,
+                    reason=reason)
+            self.store.settle(text, fingerprint, parallelism, other, record)
+            return PlanChoice(other, reason)
+        if settled == static.strategy:
+            return PlanChoice(settled, f"{static.reason}; feedback holds")
+        return PlanChoice(
+            settled,
+            f"feedback: measured winner over static {static.strategy}")

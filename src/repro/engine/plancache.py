@@ -151,8 +151,9 @@ class PlanCache:
             CACHE_INVALIDATIONS.inc(dropped, reason=reason)
         return dropped
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | float | None]:
         """This cache's counters, for ``explain``-style introspection."""
+        lookups = self.hits + self.misses
         return {
             "size": len(self._entries),
             "capacity": self.capacity,
@@ -160,4 +161,5 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "hit_ratio": round(self.hits / lookups, 4) if lookups else None,
         }

@@ -48,12 +48,14 @@ with crossing edges) raise :class:`~repro.errors.CompileError`;
 
 from __future__ import annotations
 
+import sys
 import time
 
 from repro.analysis import verify_plan
 from repro.analysis.analyzer import VERIFY_RUNS
 from repro.errors import CompileError, DNFError, QueryTimeoutError, UsageError
 from repro.obs.metrics import REGISTRY
+from repro.obs.statstore import STATS_RECOSTS, StatsStore
 from repro.obs.trace import NULL_TRACER, QueryTrace, Tracer
 from repro.pattern.artifact import prepare_artifacts
 from repro.xmlkit.index import TagIndex
@@ -64,7 +66,11 @@ from repro.xquery.ast import FLWOR, QueryExpr
 from repro.engine.compiler import CompiledQuery, compile_query
 from repro.engine.construct import DirectEvaluator
 from repro.engine.executor import FLWORExecutor
-from repro.engine.optimizer import PlanChoice, choose_strategy
+from repro.engine.optimizer import (
+    PlanChoice,
+    StrategyAdvisor,
+    choose_strategy,
+)
 from repro.engine.plancache import PlanCache, normalize_query_text
 from repro.engine.prepared import (
     CachedPlan,
@@ -153,6 +159,21 @@ class Engine:
         immutable :class:`~repro.serve.snapshot.Snapshot`: the id keys
         the shared plan cache (instead of the mutation counter) and is
         stamped into every plan this engine compiles.
+    stats_store:
+        An externally owned :class:`~repro.obs.statstore.StatsStore` to
+        record into (the serving catalog shares one per document,
+        exactly like the plan cache); by default the engine owns a
+        private store.
+    record_stats:
+        Record per-plan actuals (latency, work counters, observed NoK
+        selectivities) into the store on every execution.  On by
+        default — the recording cost is a dictionary update per query.
+    feedback:
+        Let measured latencies override the static strategy rules for
+        ``strategy="auto"`` queries (see
+        :class:`~repro.engine.optimizer.StrategyAdvisor`).  Off by
+        default: feedback deliberately *probes* a slower alternative a
+        few times per query shape, which callers must opt into.
     """
 
     def __init__(self, doc: Document,
@@ -160,7 +181,10 @@ class Engine:
                  work_budget: int | None = None,
                  plan_cache_capacity: int = 128,
                  plan_cache: PlanCache | None = None,
-                 snapshot_id: int | None = None) -> None:
+                 snapshot_id: int | None = None,
+                 stats_store: StatsStore | None = None,
+                 record_stats: bool = True,
+                 feedback: bool = False) -> None:
         self.doc = doc
         self.documents = dict(documents or {})
         self.work_budget = work_budget
@@ -182,6 +206,16 @@ class Engine:
                            else PlanCache(plan_cache_capacity))
         #: Snapshot binding (serving layer); ``None`` for a plain engine.
         self.snapshot_id = snapshot_id
+        #: Runtime statistics: per-plan actuals recorded on every
+        #: execution, keyed like the plan cache.
+        self.stats_store = (stats_store if stats_store is not None
+                            else StatsStore())
+        self.record_stats = record_stats
+        self.feedback = feedback
+        self._advisor = StrategyAdvisor(self.stats_store)
+        #: Observed NoK selectivities of the most recent execution
+        #: (``(root tag, matches)`` pairs), fed to the stats store.
+        self._last_match_summary: list[tuple[str, int]] = []
         #: Optional hook called with every plan served from the cache
         #: *before* execution; the serving catalog installs the SV001
         #: dropped-snapshot gate here.  Raise to refuse the plan.
@@ -323,6 +357,9 @@ class Engine:
         tracing = tracer is not NULL_TRACER
         self.last_trace = None
         self._last_strategy = strategy
+        self._last_match_summary = []
+        cache_status: str | None = None
+        items: int | None = None
         before = counters.snapshot()
         started = time.perf_counter_ns()
         try:
@@ -356,11 +393,15 @@ class Engine:
                               nodes_scanned=counters.nodes_scanned)
                     _TIMEOUTS.inc()
                     raise
-                qspan.set(plan=self.last_plan, items=len(result))
+                items = len(result)
+                qspan.set(plan=self.last_plan, items=items)
         finally:
             counters.cancellation = previous_token
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
             self._publish_metrics(counters, before, elapsed_ms)
+            if self.record_stats:
+                self._record_run(source, counters, before, elapsed_ms,
+                                 parallelism, cache_status, items)
             if tracing:
                 self.last_trace = tracer.finish()
         result.trace = self.last_trace
@@ -420,6 +461,20 @@ class Engine:
                 # snapshot that raced retirement between key lookup and
                 # execution.  Raises PlanInvariantError.
                 self.plan_gate(plan)
+            if self.feedback and strategy == "auto":
+                advised = self._advised_choice(plan, key[0], parallelism)
+                if advised is not None \
+                        and advised.strategy != plan.choice.strategy:
+                    # Re-cost on hit: the measured history now points at
+                    # a different strategy than the cached plan runs, so
+                    # rebuild (deterministically landing on the advised
+                    # choice) and replace the entry in place.
+                    STATS_RECOSTS.inc()
+                    plan = self._build_plan(text, strategy, tracer,
+                                            memo_key=key,
+                                            parallelism=parallelism)
+                    self.plan_cache.put(key, plan)
+                    return plan, "recost"
             return plan, "hit"
         plan = self._build_plan(text, strategy, tracer, memo_key=key,
                                 parallelism=parallelism)
@@ -467,6 +522,13 @@ class Engine:
                     "pipelined",
                     "parallel upgrade withdrawn: plan has non-partition-"
                     "safe NoKs (PL004); serial merged scan instead")
+        if self.feedback and strategy == "auto" and isinstance(text, str) \
+                and compiled.tree is not None:
+            # The advisor only ever moves between pattern strategies
+            # (pipelined/stack/twigstack/parallel), whose artifacts were
+            # built above regardless of which of them was static.
+            choice = self._advise(compiled, choice,
+                                  normalize_query_text(text), parallelism)
         plan = CachedPlan(compiled, choice, artifacts, strategy,
                           snapshot_id=self.snapshot_id)
         # Validate-on-compile: every stage of the compiled artifact is
@@ -489,6 +551,69 @@ class Engine:
                 self._verified_keys[memo_key] = None
         plan.verified = True
         return plan
+
+    # ------------------------------------------------------------------
+    # Feedback (measured strategy selection; opt-in via feedback=True).
+    # ------------------------------------------------------------------
+
+    def _advise(self, compiled: CompiledQuery, static: PlanChoice,
+                norm_text: str, parallelism: int) -> PlanChoice:
+        """Let measured history adjust the static choice for one build."""
+        alternative = StrategyAdvisor.alternative(
+            static.strategy, self.stats, compiled.tree,
+            compiled.is_bare_path, has_index=True)
+        return self._advisor.advise(norm_text, self.stats_fingerprint(),
+                                    parallelism, static, alternative)
+
+    def _advised_choice(self, plan: CachedPlan, norm_text: str,
+                        parallelism: int) -> PlanChoice | None:
+        """What feedback would choose *now* for a cached plan's query.
+
+        Mirrors the decision sequence of :meth:`_build_plan` (static
+        rules → PL004 withdrawal → advisor) against the cached plan's
+        compiled artifacts, without rebuilding anything — the cheap
+        check that decides whether a cache hit must be re-costed.
+        """
+        compiled = plan.compiled
+        if compiled.tree is None:
+            return None
+        static = choose_strategy(self.stats, compiled.tree,
+                                 compiled.is_bare_path, has_index=True,
+                                 parallelism=parallelism)
+        if static.strategy == "parallel" and plan.artifacts is not None:
+            from repro.analysis.passes import partition_unsafe_noks
+
+            if partition_unsafe_noks(plan.artifacts.decomposition):
+                static = PlanChoice(
+                    "pipelined",
+                    "parallel upgrade withdrawn: plan has non-partition-"
+                    "safe NoKs (PL004); serial merged scan instead")
+        return self._advise(compiled, static, norm_text, parallelism)
+
+    def recost(self, text: str | QueryExpr, *,
+               parallelism: int | None = None) -> list:
+        """Rank the strategies against *observed* selectivities.
+
+        Like the ``strategy="cost"`` ranking, but with every tag
+        cardinality the stats store has measured (mean NoK matches per
+        pattern root tag, this document version) overriding the static
+        estimate.  Returns the
+        :class:`~repro.engine.cost.CostEstimate` list, cheapest first;
+        falls back to purely static estimates when nothing was observed
+        yet.
+        """
+        from repro.engine.cost import CostModel
+
+        compiled = compile_query(text)
+        if compiled.tree is None:
+            raise CompileError(
+                f"recost unavailable: {compiled.compile_error or 'no tree'}")
+        observed = self.stats_store.observed_cardinalities(
+            self.stats_fingerprint())
+        STATS_RECOSTS.inc()
+        model = CostModel(self.doc, self.stats, self.index,
+                          observed=observed)
+        return model.rank(compiled.tree)
 
     # ------------------------------------------------------------------
     # Execution.
@@ -552,6 +677,7 @@ class Engine:
                 return QueryResult(
                     evaluator.eval_query_expr(compiled.query, dict(values)))
         self.last_plan = str(choice) + "; " + "; ".join(executor.plan_notes)
+        self._last_match_summary = executor.match_summary
 
         if compiled.query is compiled.flwor:
             return QueryResult(items)
@@ -577,6 +703,39 @@ class Engine:
         _INTERMEDIATE.inc(counters.intermediate_results
                           - before["intermediate_results"])
         _PEAK.max(counters.peak_buffered)
+
+    def _record_run(self, source, counters: ScanCounters,
+                    before: dict[str, int], elapsed_ms: float,
+                    parallelism: int, cache_status: str | None,
+                    items: int | None) -> None:
+        """Feed the stats store with this run's actuals (never raises).
+
+        Recorded under the plan-cache key shape — (normalized text,
+        *executed* strategy, fingerprint, parallelism) — so the
+        feedback loop can compare strategies of the same query like the
+        cache compares plans.  Runs for pre-parsed expressions record
+        under the ``<expr>`` pseudo-text (they bypass the cache too).
+        """
+        error = sys.exc_info()[0]
+        try:
+            text = (normalize_query_text(source) if isinstance(source, str)
+                    else "<expr>")
+            after = counters.snapshot()
+            self.stats_store.record(
+                text, self._last_strategy, self.stats_fingerprint(),
+                parallelism, elapsed_ms=elapsed_ms,
+                counters={name: after[name] - before[name]
+                          for name in ("nodes_scanned", "comparisons",
+                                       "intermediate_results")},
+                items=items,
+                nok_matches=self._last_match_summary or None,
+                cache_status=cache_status,
+                error=error.__name__ if error is not None else None)
+        except Exception:
+            # Statistics are an observer: a recording failure must not
+            # mask the query's own outcome (we may already be unwinding
+            # a user-visible exception here).
+            pass
 
     def explain(self, text: str | QueryExpr, strategy: str = "auto") -> str:
         """Describe the plan that ``query`` would run (without running it)."""
@@ -606,6 +765,15 @@ class Engine:
             model = CostModel(self.doc, self.stats, self.index)
             for estimate in model.rank(compiled.tree):
                 lines.append(f"  {estimate}")
+            observed = self.stats_store.observed_cardinalities(
+                self.stats_fingerprint())
+            if observed:
+                lines.append("re-cost against observed selectivities "
+                             "(measured NoK matches):")
+                measured = CostModel(self.doc, self.stats, self.index,
+                                     observed=observed)
+                for estimate in measured.rank(compiled.tree):
+                    lines.append(f"  {estimate}")
         elif compiled.compile_error:
             lines.append(f"fallback reason: {compiled.compile_error}")
         return "\n".join(lines)

@@ -20,7 +20,13 @@ from __future__ import annotations
 import json
 from collections.abc import Sequence
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+)
 from repro.obs.trace import QueryTrace, Span
 
 __all__ = ["render_span_tree", "trace_to_jsonl", "prometheus_text",
@@ -121,6 +127,18 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(f"{metric.name}_bucket{_labels_text(inf_key)} {count}")
                 lines.append(f"{metric.name}_sum{_labels_text(key)} {_num(total)}")
                 lines.append(f"{metric.name}_count{_labels_text(key)} {count}")
+                # Pre-computed quantile estimates (strictly speaking a
+                # summary-style sample, but scrape-side tooling is not
+                # always there to run histogram_quantile()).
+                for q in (0.5, 0.95, 0.99):
+                    estimate = bucket_quantile(metric.buckets, counts,
+                                               count, q)
+                    if estimate is None:
+                        continue
+                    q_key = key + (("quantile", _num(q)),)
+                    lines.append(f"{metric.name}_quantile"
+                                 f"{_labels_text(q_key)} "
+                                 f"{_num(round(estimate, 6))}")
     return "\n".join(lines) + "\n"
 
 

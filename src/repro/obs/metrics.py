@@ -55,6 +55,11 @@ name                                           type       labels
 ``repro_partition_scans_total``                counter    —
 ``repro_partition_fallbacks_total``            counter    —
 ``repro_tag_index_builds_total``               counter    —
+``repro_stats_records_total``                  counter    —
+``repro_stats_recost_total``                   counter    —
+``repro_strategy_demotions_total``             counter    ``from_strategy``, ``to_strategy``
+``repro_service_worker_utilization``           gauge      —
+``repro_service_timeouts_total``               counter    —
 =============================================  =========  ==============================
 
 The plan-cache family is registered by :mod:`repro.engine.plancache`
@@ -73,7 +78,12 @@ splits of skewed documents) and :mod:`repro.physical.parallel_scan`
 (per-partition scan tasks and single-partition fallbacks to the serial
 scan); ``repro_tag_index_builds_total`` counts full-document tag-index
 materializations — the serving catalog caches one index per snapshot,
-so this should rise at most once per version.
+so this should rise at most once per version.  The statistics family
+(``repro_stats_*`` and the demotion counter) is registered by
+:mod:`repro.obs.statstore`: every execution recorded into a
+:class:`~repro.obs.statstore.StatsStore`, every re-costing against
+observed selectivities, and every strategy the feedback loop demoted
+after a measured latency regression.
 """
 
 from __future__ import annotations
@@ -83,7 +93,7 @@ from collections.abc import Iterable
 from typing import Any
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
-           "get_registry"]
+           "bucket_quantile", "get_registry"]
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -201,12 +211,57 @@ class Histogram:
         cell = self._cells.get(_label_key(labels))
         return cell[1] if cell else 0.0
 
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Estimate the ``q``-quantile (0 ≤ q ≤ 1) from the buckets.
+
+        Prometheus ``histogram_quantile`` semantics: linear
+        interpolation inside the bucket the rank falls into, and the
+        last finite bucket bound when the rank lands in the ``+Inf``
+        overflow bucket (the histogram has no upper bound to
+        interpolate toward).  ``None`` when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        cell = self._cells.get(_label_key(labels))
+        if cell is None:
+            return None
+        counts, _total, n = cell
+        return bucket_quantile(self.buckets, counts, n, q)
+
     def cells(self) -> dict[LabelKey, tuple[list[int], float, int]]:
         return dict(self._cells)
 
     def clear(self) -> None:
         with self._lock:
             self._cells.clear()
+
+
+def bucket_quantile(buckets: tuple[float, ...], counts: list[int],
+                    n: int, q: float) -> float | None:
+    """Quantile estimate over cumulative bucket counts.
+
+    Shared by :meth:`Histogram.quantile` and the Prometheus exposition
+    (which reads raw cells), so the two views can never disagree.
+    """
+    if n <= 0:
+        return None
+    rank = q * n
+    if rank <= 0:
+        # q == 0: the estimate is the floor of the first non-empty
+        # bucket; a vanishing positive rank lands exactly there.
+        rank = 1e-9
+    prev_bound, prev_count = 0.0, 0
+    for bound, cumulative in zip(buckets, counts, strict=True):
+        if cumulative >= rank:
+            span = cumulative - prev_count
+            if span <= 0:       # degenerate: rank on an empty bucket edge
+                return bound
+            fraction = (rank - prev_count) / span
+            return prev_bound + fraction * (bound - prev_bound)
+        prev_bound, prev_count = bound, cumulative
+    # The rank falls in the +Inf overflow bucket: no finite upper bound
+    # to interpolate toward, so report the largest finite bound.
+    return buckets[-1] if buckets else None
 
 
 class MetricsRegistry:

@@ -33,7 +33,16 @@ _SLOW = REGISTRY.counter("repro_slow_queries_total",
 
 @dataclass
 class SlowQueryRecord:
-    """One slow query: what ran, how it was planned, what it cost."""
+    """One slow query: what ran, how it was planned, what it cost.
+
+    ``snapshot_id`` and ``deadline_state`` are filled by the serving
+    layer (queries routed through
+    :class:`~repro.serve.service.QueryService`): which immutable
+    snapshot served the query, and where its deadline stood when the
+    record was made — ``"none"`` (no deadline set), ``"ok"`` (finished
+    within it) or ``"expired"`` (the query timed out).  Plain
+    ``Database`` queries leave both at their defaults.
+    """
 
     query: str
     strategy: str
@@ -41,6 +50,8 @@ class SlowQueryRecord:
     elapsed_ms: float
     counters: dict[str, int] = field(default_factory=dict)
     timestamp: float = 0.0
+    snapshot_id: int | None = None
+    deadline_state: str = "none"
 
     def to_json(self) -> str:
         return json.dumps({
@@ -50,10 +61,17 @@ class SlowQueryRecord:
             "strategy": self.strategy,
             "plan": self.plan,
             "counters": self.counters,
+            "snapshot_id": self.snapshot_id,
+            "deadline_state": self.deadline_state,
         })
 
     def describe(self) -> str:
-        return (f"[{self.elapsed_ms:.1f} ms] strategy={self.strategy} "
+        tags = ""
+        if self.snapshot_id is not None:
+            tags += f" snapshot={self.snapshot_id}"
+        if self.deadline_state != "none":
+            tags += f" deadline={self.deadline_state}"
+        return (f"[{self.elapsed_ms:.1f} ms] strategy={self.strategy}{tags} "
                 f"plan={self.plan!r} counters={self.counters} "
                 f"query={self.query!r}")
 
@@ -76,8 +94,9 @@ class SlowQueryLog:
 
     def observe(self, query: str, strategy: str, plan: str,
                 elapsed_ms: float,
-                counters: dict[str, int] | None = None
-                ) -> SlowQueryRecord | None:
+                counters: dict[str, int] | None = None, *,
+                snapshot_id: int | None = None,
+                deadline_state: str = "none") -> SlowQueryRecord | None:
         """Record the query iff it crossed the threshold.
 
         Returns the record when one was made, ``None`` otherwise.
@@ -87,7 +106,9 @@ class SlowQueryLog:
         record = SlowQueryRecord(query=query, strategy=strategy, plan=plan,
                                  elapsed_ms=elapsed_ms,
                                  counters=dict(counters or {}),
-                                 timestamp=time.time())
+                                 timestamp=time.time(),
+                                 snapshot_id=snapshot_id,
+                                 deadline_state=deadline_state)
         self.entries.append(record)
         if len(self.entries) > self.max_entries:
             del self.entries[:len(self.entries) - self.max_entries]

@@ -33,6 +33,7 @@ from repro.engine.prepared import CachedPlan
 from repro.engine.session import Engine
 from repro.errors import UsageError
 from repro.obs.metrics import REGISTRY
+from repro.obs.statstore import StatsStore
 from repro.serve.snapshot import Snapshot, SnapshotUpdater
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.parser import parse
@@ -57,7 +58,7 @@ class _Entry:
     """Per-document state; all fields guarded by the catalog lock."""
 
     __slots__ = ("name", "current", "pins", "dropped", "plan_cache",
-                 "engines", "tag_indexes")
+                 "engines", "tag_indexes", "stats_store")
 
     def __init__(self, name: str, snapshot: Snapshot,
                  plan_cache_capacity: int) -> None:
@@ -69,6 +70,10 @@ class _Entry:
         self.dropped: set[int] = set()
         #: one plan cache shared by every version's engine.
         self.plan_cache = PlanCache(plan_cache_capacity)
+        #: one runtime statistics store shared the same way: recorded
+        #: actuals (and feedback decisions) survive snapshot churn —
+        #: entries are keyed by fingerprint, so versions never mix.
+        self.stats_store = StatsStore()
         #: snapshot_id -> Engine bound to that version.
         self.engines: dict[int, Engine] = {}
         #: snapshot_id -> the version's one TagIndex.  Snapshots are
@@ -83,11 +88,15 @@ class _Entry:
 class Catalog:
     """A registry of named documents with snapshot-isolated versions."""
 
-    def __init__(self, plan_cache_capacity: int = 128) -> None:
+    def __init__(self, plan_cache_capacity: int = 128,
+                 feedback: bool = False) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, _Entry] = {}
         self._next_id = 1
         self._plan_cache_capacity = plan_cache_capacity
+        #: Feedback-driven strategy selection for every snapshot engine
+        #: this catalog creates (see :class:`repro.engine.session.Engine`).
+        self.feedback = feedback
         self._retire_listeners: list[Callable[[Snapshot], None]] = []
 
     # ------------------------------------------------------------------
@@ -173,7 +182,9 @@ class Catalog:
             engine = entry.engines.get(sid)
             if engine is None:
                 engine = Engine(snapshot.doc, plan_cache=entry.plan_cache,
-                                snapshot_id=sid)
+                                snapshot_id=sid,
+                                stats_store=entry.stats_store,
+                                feedback=self.feedback)
                 engine._stats = snapshot.stats
                 engine.plan_gate = self._make_gate(entry)
                 index = entry.tag_indexes.get(sid)
@@ -243,6 +254,11 @@ class Catalog:
         """The shared plan cache of one document (introspection/tests)."""
         with self._lock:
             return self._entry(name).plan_cache
+
+    def stats_store(self, name: str) -> StatsStore:
+        """The shared runtime statistics store of one document."""
+        with self._lock:
+            return self._entry(name).stats_store
 
     def purge_snapshot_plans(self, name: str, snapshot_id: int) -> int:
         """Eagerly drop plans compiled against one snapshot.

@@ -49,6 +49,7 @@ from repro.errors import (
     UsageError,
 )
 from repro.obs.metrics import REGISTRY
+from repro.obs.slowlog import SlowQueryLog
 from repro.serve.catalog import Catalog
 from repro.serve.snapshot import Snapshot, SnapshotUpdater
 from repro.xmlkit.tree import Document
@@ -80,6 +81,18 @@ _WAIT_MS = REGISTRY.histogram(
     "repro_service_wait_ms", "Queue wait before execution, milliseconds")
 _RUN_MS = REGISTRY.histogram(
     "repro_service_run_ms", "Execution time on a worker, milliseconds")
+_UTILIZATION = REGISTRY.gauge(
+    "repro_service_worker_utilization",
+    "Fraction of worker-seconds spent executing since service start")
+_SERVICE_TIMEOUTS = REGISTRY.counter(
+    "repro_service_timeouts_total",
+    "Served queries that missed their deadline (in queue or executing)")
+
+#: Per-service telemetry counter names (the local mirror of the
+#: process-wide families above, so two services never mix numbers).
+_SERVICE_COUNTERS = ("submitted", "completed", "failed", "timeouts",
+                     "rejections", "coalesced", "result_cache_hits",
+                     "result_cache_misses", "slow_queries")
 
 
 @dataclass
@@ -169,13 +182,23 @@ class QueryService:
     default_document:
         Name used when calls omit ``doc`` (and for registering a
         non-catalog ``source``).
+    slow_query_ms / slow_log:
+        Route served queries through a slow-query log: either a
+        threshold for a service-owned log, or an existing
+        :class:`~repro.obs.slowlog.SlowQueryLog` to share (what
+        :meth:`Database.serve <repro.engine.database.Database.serve>`
+        passes).  Served records are tagged with the snapshot id, the
+        executed strategy and the deadline state (``none``/``ok``/
+        ``expired``).
     """
 
     def __init__(self, source: Catalog | Document | str, *,
                  workers: int = 4, max_queue: int = 64,
                  default_timeout_ms: float | None = None,
                  result_cache_size: int = 256,
-                 default_document: str = "main") -> None:
+                 default_document: str = "main",
+                 slow_query_ms: float | None = None,
+                 slow_log: SlowQueryLog | None = None) -> None:
         if workers < 1:
             raise UsageError(f"workers must be >= 1, got {workers}")
         if max_queue < 1:
@@ -206,6 +229,16 @@ class QueryService:
         self._result_lock = threading.Lock()
         self._result_cache: OrderedDict[tuple, QueryResult] = OrderedDict()
         self.catalog.on_retire(self._purge_results)
+
+        self.slow_log = (slow_log if slow_log is not None
+                         else SlowQueryLog(slow_query_ms)
+                         if slow_query_ms is not None else None)
+        #: Per-service telemetry (the process metrics aggregate across
+        #: services; these stay local so ``stats()`` is *this* service).
+        self._count_lock = threading.Lock()
+        self._counts = dict.fromkeys(_SERVICE_COUNTERS, 0)
+        self._started = time.perf_counter()
+        self._busy_ns = 0
 
         self._workers = [
             threading.Thread(target=self._worker, name=f"repro-serve-{i}",
@@ -280,6 +313,16 @@ class QueryService:
         """A copy-on-write update batch (see :meth:`Catalog.updater`)."""
         return self.catalog.updater(doc or self.default_document)
 
+    def configure_slow_log(self, threshold_ms: float = 100.0,
+                           path=None, max_entries: int = 1000) -> SlowQueryLog:
+        """Enable (or reconfigure) the service's slow-query log."""
+        self.slow_log = SlowQueryLog(threshold_ms, path, max_entries)
+        return self.slow_log
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._count_lock:
+            self._counts[name] += amount
+
     def close(self, drain: bool = True) -> None:
         """Stop the service. Idempotent.
 
@@ -324,15 +367,59 @@ class QueryService:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def stats(self) -> dict[str, int]:
-        """Queue/inflight/cache occupancy, for introspection."""
+    def stats(self, top: int = 10) -> dict:
+        """A structured JSON snapshot of the serving state.
+
+        The legacy flat occupancy keys (``queue_depth`` / ``inflight``
+        / ``result_cache_size`` / ``workers``) stay at the top level;
+        on top of them: service uptime and worker utilization (busy
+        worker-seconds over elapsed worker-seconds), the per-service
+        telemetry counters, result-cache hit ratios, and one section
+        per registered document with its current snapshot id, shared
+        plan-cache statistics and the runtime statistics store's
+        snapshot (top ``top`` plans by accumulated time).
+        """
         with self._cond:
             depth, inflight = len(self._queue), self._inflight_count
+            busy_ns = self._busy_ns
         with self._result_lock:
             cached = len(self._result_cache)
-        return {"queue_depth": depth, "inflight": inflight,
-                "result_cache_size": cached,
-                "workers": len(self._workers)}
+        with self._count_lock:
+            counts = dict(self._counts)
+        uptime_s = max(time.perf_counter() - self._started, 1e-9)
+        utilization = min(
+            busy_ns / 1e9 / (uptime_s * len(self._workers)), 1.0)
+        _UTILIZATION.set(utilization)
+        lookups = counts["result_cache_hits"] + counts["result_cache_misses"]
+        documents = {}
+        for name in self.catalog.names():
+            documents[name] = {
+                "snapshot_id": self.catalog.current(name).snapshot_id,
+                "plan_cache": self.catalog.plan_cache(name).stats(),
+                "statstore": self.catalog.stats_store(name).snapshot(top=top),
+            }
+        return {
+            "queue_depth": depth, "inflight": inflight,
+            "result_cache_size": cached,
+            "workers": len(self._workers),
+            "uptime_s": round(uptime_s, 3),
+            "worker_utilization": round(utilization, 4),
+            "counters": counts,
+            "result_cache": {
+                "size": cached,
+                "capacity": self._result_cache_size,
+                "hits": counts["result_cache_hits"],
+                "misses": counts["result_cache_misses"],
+                "hit_ratio": (round(counts["result_cache_hits"] / lookups, 4)
+                              if lookups else None),
+            },
+            "documents": documents,
+            "slow_queries": (
+                None if self.slow_log is None else {
+                    "threshold_ms": self.slow_log.threshold_ms,
+                    "entries": len(self.slow_log),
+                }),
+        }
 
     # ------------------------------------------------------------------
     # Admission.
@@ -361,6 +448,8 @@ class QueryService:
                               or batch_keys.get(request.key))
                 if shared is not None:
                     _COALESCED.inc()
+                    self._count("submitted")
+                    self._count("coalesced")
                     futures.append(shared)
                     continue
                 fresh.append(request)
@@ -369,8 +458,10 @@ class QueryService:
                     batch_keys[request.key] = request.future
             if len(self._queue) + len(fresh) > self.max_queue:
                 _REJECTIONS.inc(len(fresh))
+                self._count("rejections", len(fresh))
                 raise ServiceOverloadedError(queue_depth=len(self._queue))
             for request in fresh:
+                self._count("submitted")
                 self._queue.append(request)
                 if request.key is not None:
                     self._inflight[request.key] = request.future
@@ -393,10 +484,13 @@ class QueryService:
                 _QUEUE_DEPTH.set(len(self._queue))
                 self._inflight_count += 1
                 _INFLIGHT.set(self._inflight_count)
+            busy_started = time.perf_counter_ns()
             try:
                 self._serve(request)
             finally:
+                busy = time.perf_counter_ns() - busy_started
                 with self._cond:
+                    self._busy_ns += busy
                     self._inflight_count -= 1
                     _INFLIGHT.set(self._inflight_count)
                     if request.key is not None and \
@@ -413,6 +507,12 @@ class QueryService:
         _WAIT_MS.observe(wait_ms)
         if request.deadline is not None and now >= request.deadline:
             _TIMEOUTS.inc()
+            _SERVICE_TIMEOUTS.inc()
+            self._count("timeouts")
+            if self.slow_log is not None:
+                self.slow_log.observe(
+                    request.text, request.strategy, "(expired in queue)",
+                    wait_ms, deadline_state="expired")
             future.set_exception(QueryTimeoutError(
                 "query expired in the service queue",
                 timeout_ms=request.timeout_ms))
@@ -420,8 +520,13 @@ class QueryService:
         try:
             served = self._execute(request, wait_ms)
         except BaseException as exc:  # the future is the error channel
+            if isinstance(exc, QueryTimeoutError):
+                _SERVICE_TIMEOUTS.inc()
+                self._count("timeouts")
+            self._count("failed")
             future.set_exception(exc)
         else:
+            self._count("completed")
             _RUN_MS.observe(served.run_ms)
             future.set_result(served)
 
@@ -459,9 +564,19 @@ class QueryService:
                         self.catalog.purge_stale_plans(request.doc)
                         continue
                     raise
+                except QueryTimeoutError:
+                    self._observe_slow(request, engine, snapshot,
+                                       (time.perf_counter() - started) * 1e3,
+                                       None, deadline_state="expired")
+                    raise
                 if cache_key is not None:
                     self._result_put(cache_key, result)
                 run_ms = (time.perf_counter() - started) * 1e3
+                self._observe_slow(
+                    request, engine, snapshot, run_ms,
+                    result.counters.snapshot() if result.counters else None,
+                    deadline_state=("none" if request.deadline is None
+                                    else "ok"))
                 return ServeResult(result, snapshot, wait_ms, run_ms,
                                    attempts, cached=False)
             finally:
@@ -483,6 +598,20 @@ class QueryService:
             return None
         return max((request.deadline - time.perf_counter()) * 1e3, 0.0)
 
+    def _observe_slow(self, request: _Request, engine, snapshot: Snapshot,
+                      elapsed_ms: float, counters: dict | None, *,
+                      deadline_state: str) -> None:
+        """Route one served execution through the slow-query log."""
+        if self.slow_log is None:
+            return
+        record = self.slow_log.observe(
+            request.text, request.strategy, engine.last_plan or "?",
+            elapsed_ms, counters,
+            snapshot_id=snapshot.snapshot_id,
+            deadline_state=deadline_state)
+        if record is not None:
+            self._count("slow_queries")
+
     # ------------------------------------------------------------------
     # Snapshot-keyed result cache.
     # ------------------------------------------------------------------
@@ -490,11 +619,14 @@ class QueryService:
     def _result_get(self, key: tuple) -> QueryResult | None:
         with self._result_lock:
             result = self._result_cache.get(key)
-            if result is None:
-                _RESULT_MISSES.inc()
-                return None
-            self._result_cache.move_to_end(key)
+            if result is not None:
+                self._result_cache.move_to_end(key)
+        if result is None:
+            _RESULT_MISSES.inc()
+            self._count("result_cache_misses")
+            return None
         _RESULT_HITS.inc()
+        self._count("result_cache_hits")
         return result
 
     def _result_put(self, key: tuple, result: QueryResult) -> None:

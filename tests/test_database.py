@@ -24,8 +24,8 @@ class TestPersistence:
 
     def test_stats_available(self):
         db = Database.from_xml(SMALL_BIB)
-        assert db.stats.n_elements == 17
-        assert not db.stats.recursive
+        assert db.doc_stats.n_elements == 17
+        assert not db.doc_stats.recursive
 
 
 class TestUpdateIntegration:
@@ -45,7 +45,7 @@ class TestUpdateIntegration:
         from repro.xmlkit import parse
 
         db = Database.from_xml("<r><a/></r>")
-        assert not db.stats.recursive
+        assert not db.doc_stats.recursive
         db.updater().insert_subtree(db.doc.elements_by_tag("a")[0],
                                     parse("<a/>").root)
         stats = db.refresh_stats()
