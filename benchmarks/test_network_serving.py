@@ -1,0 +1,269 @@
+"""Network serving under load: the PR-7 acceptance benchmark.
+
+A load generator drives the TCP front end three ways and records the
+results to ``BENCH_PR7.json`` (the server-smoke CI job uploads it):
+
+* **closed-loop** — K client connections, each issuing requests
+  back-to-back (offered load adapts to service speed, the classic
+  think-time-zero closed system).  Reports sustained QPS and p50/p99
+  end-to-end latency.
+* **open-loop** — requests fired on a fixed arrival schedule
+  regardless of completions (the arrival process does not slow down
+  when the server does — the regime where queues explode).  Offered
+  rate is set well above the closed-loop capacity.
+* **overload behavior** — the point of adaptive admission: under
+  open-loop overpressure the server must *shed* excess load with fast
+  ``OVERLOADED`` rejections instead of queueing it, keeping the p99 of
+  *served* requests bounded.  The test asserts both: rejections
+  happened, and served p99 stayed within ``P99_BOUND_MS``.
+
+``REPRO_NET_BENCH_QUICK=1`` shrinks the request counts for CI smoke
+runs; the recorded JSON notes which mode produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ReproError, ServiceOverloadedError
+from repro.serve import client as client_mod
+from repro.serve.server import Server
+from repro.serve.service import QueryService
+from repro.xmlkit.tree import Document, DocumentBuilder
+
+BENCH_PR7_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+QUICK = os.environ.get("REPRO_NET_BENCH_QUICK", "") not in ("", "0")
+
+CLIENTS = 4
+CLOSED_REQUESTS = 60 if QUICK else 300        # per client
+OPEN_REQUESTS = 150 if QUICK else 600         # total arrivals
+#: Serving-side workers; admission shrinks to what they sustain.
+WORKERS = 4
+#: Bound asserted on the p99 of *served* requests under overload.
+P99_BOUND_MS = 2_000.0
+
+QUERY_MIX = (
+    "//book/title",
+    "//book[author]/title",
+    "//shelf/book/author",
+    "for $b in //book where $b/author return $b/title",
+)
+
+
+def build_corpus(shelves: int = 20, books: int = 40) -> Document:
+    builder = DocumentBuilder()
+    builder.start_element("library")
+    serial = 0
+    for s in range(shelves):
+        builder.start_element("shelf", {"genre": f"g{s % 7}"})
+        for _ in range(books):
+            serial += 1
+            builder.start_element("book", {"id": f"b{serial}"})
+            builder.element("author", f"author-{serial % 211}")
+            builder.element("title", f"title-{serial}")
+            builder.element("price", str(serial % 97))
+            builder.end_element()
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def merge_bench(update: dict) -> None:
+    """Read-modify-write ``BENCH_PR7.json`` so the modes coexist."""
+    payload: dict = {}
+    if BENCH_PR7_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PR7_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(update)
+    payload["quick_mode"] = QUICK
+    BENCH_PR7_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class LoadStats:
+    """Thread-safe accumulator for one load-generation run."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies_ms: list[float] = []
+        self.shed = 0
+        self.errors = 0
+        self.items = 0
+
+    def record(self, latency_ms: float, n_items: int) -> None:
+        with self.lock:
+            self.latencies_ms.append(latency_ms)
+            self.items += n_items
+
+    def record_shed(self) -> None:
+        with self.lock:
+            self.shed += 1
+
+    def record_error(self) -> None:
+        with self.lock:
+            self.errors += 1
+
+    def summary(self) -> dict:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "served": len(ordered),
+            "shed": self.shed,
+            "errors": self.errors,
+            "latency_ms_p50": round(quantile(ordered, 0.50), 3)
+            if ordered else None,
+            "latency_ms_p99": round(quantile(ordered, 0.99), 3)
+            if ordered else None,
+        }
+
+
+def closed_loop(server: Server, n_clients: int,
+                requests_each: int) -> tuple[LoadStats, float]:
+    """K connections, zero think time, back-to-back requests."""
+    stats = LoadStats()
+
+    def worker(seed: int) -> None:
+        with client_mod.connect(*server.address) as cl:
+            for i in range(requests_each):
+                text = QUERY_MIX[(seed + i) % len(QUERY_MIX)]
+                started = time.perf_counter()
+                try:
+                    result = cl.query(text, timeout_ms=60_000)
+                except ServiceOverloadedError:
+                    stats.record_shed()
+                    continue
+                stats.record((time.perf_counter() - started) * 1e3,
+                             len(result))
+
+    threads = [threading.Thread(target=worker, args=(k,))
+               for k in range(n_clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return stats, time.perf_counter() - started
+
+
+def open_loop(server: Server, n_requests: int, rate_qps: float,
+              n_lanes: int = 16) -> tuple[LoadStats, float]:
+    """Fixed arrival schedule, independent of completions.
+
+    ``n_lanes`` connections take arrivals round-robin; a lane that is
+    still waiting on a response simply fires its next arrival late,
+    which under overload only *understates* the pressure — the shed
+    assertion is conservative.
+    """
+    stats = LoadStats()
+    interval = 1.0 / rate_qps
+    epoch = time.perf_counter() + 0.05
+
+    def lane(lane_id: int) -> None:
+        with client_mod.connect(*server.address) as cl:
+            for n in range(lane_id, n_requests, n_lanes):
+                due = epoch + n * interval
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                text = QUERY_MIX[n % len(QUERY_MIX)]
+                started = time.perf_counter()
+                try:
+                    result = cl.query(text, timeout_ms=60_000)
+                except ServiceOverloadedError:
+                    stats.record_shed()
+                    continue
+                except ReproError:
+                    stats.record_error()
+                    continue
+                stats.record((time.perf_counter() - started) * 1e3,
+                             len(result))
+
+    threads = [threading.Thread(target=lane, args=(k,))
+               for k in range(n_lanes)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return stats, time.perf_counter() - started
+
+
+def test_closed_loop_throughput():
+    service = QueryService(build_corpus(), workers=WORKERS,
+                           result_cache_size=64)
+    try:
+        with Server(service, target_ms=100.0) as server:
+            # Warm plans out of the timed region.
+            with client_mod.connect(*server.address) as cl:
+                for text in QUERY_MIX:
+                    cl.query(text)
+            stats, elapsed = closed_loop(server, CLIENTS, CLOSED_REQUESTS)
+            admission = server.admission.stats()
+    finally:
+        service.close()
+
+    summary = stats.summary()
+    total = CLIENTS * CLOSED_REQUESTS
+    qps = summary["served"] / elapsed
+    merge_bench({"closed_loop": {
+        "clients": CLIENTS, "requests": total, "qps": round(qps, 1),
+        **summary, "admission": admission,
+    }})
+    # Closed-loop offered load tracks capacity: (nearly) nothing shed,
+    # everything answered.
+    assert summary["served"] + summary["shed"] == total
+    assert summary["errors"] == 0
+    assert summary["served"] >= total * 0.9
+    assert qps > 0
+
+
+def test_open_loop_overload_sheds_and_bounds_p99():
+    """The tentpole claim: overpressure is shed, served p99 bounded."""
+    service = QueryService(build_corpus(), workers=WORKERS,
+                           result_cache_size=0)     # every request runs
+    try:
+        # A tight latency target and a small window ceiling make the
+        # admission controller the binding constraint, deterministically.
+        with Server(service, target_ms=20.0, start_window=2,
+                    max_window=8) as server:
+            with client_mod.connect(*server.address) as cl:
+                for text in QUERY_MIX:
+                    cl.query(text)
+                # Measure single-stream capacity to set the overpressure
+                # rate: offer several times what one stream sustains.
+                probe_started = time.perf_counter()
+                probe_n = 20
+                for i in range(probe_n):
+                    cl.query(QUERY_MIX[i % len(QUERY_MIX)])
+                base_qps = probe_n / (time.perf_counter() - probe_started)
+            rate = max(50.0, base_qps * 8)
+            stats, elapsed = open_loop(server, OPEN_REQUESTS, rate)
+            admission = server.admission.stats()
+    finally:
+        service.close()
+
+    summary = stats.summary()
+    merge_bench({"open_loop_overload": {
+        "requests": OPEN_REQUESTS,
+        "offered_qps": round(rate, 1),
+        "achieved_qps": round(summary["served"] / elapsed, 1),
+        **summary, "admission": admission,
+    }})
+    # Pressure was real and the server shed rather than queued:
+    assert summary["shed"] > 0, "open-loop overpressure never shed load"
+    assert admission["rejected"] == summary["shed"]
+    # ...and what it did serve, it served with bounded tail latency.
+    assert summary["served"] > 0
+    assert summary["latency_ms_p99"] <= P99_BOUND_MS, (
+        f"served p99 {summary['latency_ms_p99']}ms exceeds "
+        f"{P99_BOUND_MS}ms under overload — load queued instead of shed")

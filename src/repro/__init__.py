@@ -28,6 +28,15 @@ For concurrent traffic, start the snapshot-isolated query service::
         with service.updater() as up:      # copy-on-write update batch
             up.delete_subtree(up.doc.root.children[0])
 
+For remote traffic, put the network front end on a socket — adaptive
+latency-targeting admission, per-request deadlines, streamed results::
+
+    with repro.connect("library.xml") as db:
+        server = db.listen()               # or repro.listen(source)
+        client = repro.serve.client.connect(*server.address)
+        print(client.query('//book[author]/title',
+                           timeout_ms=100).serialize())
+
 ``__all__`` below is the supported public surface; everything else —
 including the :class:`Engine` behind ``db.engine`` — is internal and
 may change between releases.
@@ -38,10 +47,12 @@ from __future__ import annotations
 __version__ = "1.0.0"
 
 from repro.errors import (
+    WIRE_CODES,
     BindingError,
     CompileError,
     DNFError,
     ExecutionError,
+    ProtocolError,
     QueryCancelledError,
     QuerySyntaxError,
     QueryTimeoutError,
@@ -51,6 +62,8 @@ from repro.errors import (
     UpdateError,
     UsageError,
     XMLSyntaxError,
+    error_for_code,
+    wire_code,
 )
 from repro.xmlkit import parse, parse_file, serialize
 
@@ -62,6 +75,7 @@ __all__ = [
     "CompileError",
     "DNFError",
     "ExecutionError",
+    "ProtocolError",
     "QueryCancelledError",
     "QuerySyntaxError",
     "QueryTimeoutError",
@@ -71,6 +85,10 @@ __all__ = [
     "UpdateError",
     "UsageError",
     "XMLSyntaxError",
+    # the network wire contract (error class <-> stable code)
+    "WIRE_CODES",
+    "error_for_code",
+    "wire_code",
     # engine facades
     "Database",
     "Engine",
@@ -82,6 +100,10 @@ __all__ = [
     "ServeResult",
     "Snapshot",
     "SnapshotUpdater",
+    # network serving layer
+    "Client",
+    "Server",
+    "listen",
     # xml toolkit
     "parse",
     "parse_file",
@@ -100,6 +122,9 @@ _LAZY = {
     "ServeResult": ("repro.serve.service", "ServeResult"),
     "Snapshot": ("repro.serve.snapshot", "Snapshot"),
     "SnapshotUpdater": ("repro.serve.snapshot", "SnapshotUpdater"),
+    "Client": ("repro.serve.client", "Client"),
+    "Server": ("repro.serve.server", "Server"),
+    "listen": ("repro.serve.server", "listen"),
 }
 
 

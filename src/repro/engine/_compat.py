@@ -1,0 +1,44 @@
+"""One-release compatibility shims for the unified query-call API.
+
+PR 7 made the query options — ``strategy`` / ``params`` /
+``timeout_ms`` / ``parallelism`` and the diagnostics knobs — strictly
+keyword-only on every call surface (``Engine.query``,
+``Database.query``, ``PreparedQuery.execute``, ``QueryService.submit``
+and the network ``Client.query``), so the five surfaces expose
+*identical* signatures (a contract test pins this).  Positional call
+sites from earlier releases keep working for one release through
+:func:`absorb_positional`, which maps leading positional values onto
+their keywords and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.errors import UsageError
+
+__all__ = ["absorb_positional"]
+
+
+def absorb_positional(surface: str, names: tuple[str, ...],
+                      args: tuple, current: tuple) -> tuple:
+    """Map deprecated positional option values onto their keywords.
+
+    ``names`` is the pre-unification positional order, ``current`` the
+    keyword values the call actually passed (signature defaults where
+    it did not).  Positional values win over their keyword twins — the
+    historical call sites this shim exists for never passed both.
+    Returns the merged value tuple in ``names`` order.
+    """
+    if len(args) > len(names):
+        raise UsageError(
+            f"{surface}() takes at most {len(names)} deprecated positional "
+            f"options ({', '.join(names)}), got {len(args)}")
+    taken = ", ".join(names[:len(args)])
+    warnings.warn(
+        f"passing {taken} positionally to {surface}() is deprecated; "
+        "these options are keyword-only — the spelling shared by "
+        "Engine.query, Database.query, PreparedQuery.execute, "
+        "QueryService.submit and the network Client.query",
+        DeprecationWarning, stacklevel=3)
+    return args + current[len(args):]

@@ -44,11 +44,13 @@ from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xmlkit.update import DocumentUpdater
+from repro.engine._compat import absorb_positional
 from repro.engine.prepared import PreparedQuery
 from repro.engine.result import QueryResult
 from repro.engine.session import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve -> engine)
+    from repro.serve.server import Server
     from repro.serve.service import QueryService
 
 __all__ = ["Database"]
@@ -70,6 +72,7 @@ class Database:
         self.engine = Engine(doc, feedback=feedback)
         self._updater: DocumentUpdater | None = None
         self._service: QueryService | None = None
+        self._server: Server | None = None
         self._closed = False
         self.slow_log: SlowQueryLog | None = (
             SlowQueryLog(slow_query_ms) if slow_query_ms is not None else None)
@@ -113,23 +116,33 @@ class Database:
     # Queries and updates.
     # ------------------------------------------------------------------
 
-    def query(self, text: str, strategy: str = "auto",
+    def query(self, text: str, *args,
+              strategy: str = "auto",
               counters: ScanCounters | None = None,
               work_budget: int | None = None,
               trace: bool = False,
-              tracer: Tracer | None = None, *,
+              tracer: Tracer | None = None,
               params: dict | None = None,
               timeout_ms: float | None = None,
               parallelism: int | None = None) -> QueryResult:
         """Evaluate a query (see :meth:`Engine.query` for the options —
-        the signatures are identical: the same ``strategy`` / ``params``
-        / ``timeout_ms`` / ``parallelism`` spelling works here, on the
-        engine and on
-        :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`).
+        the signatures are identical: the same keyword-only
+        ``strategy`` / ``params`` / ``timeout_ms`` / ``parallelism``
+        spelling works here, on the engine, on
+        :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`
+        and on the network
+        :meth:`Client.query <repro.serve.client.Client.query>`).
 
         When the slow-query log is enabled the call is timed and,
         past the threshold, recorded with plan and counters.
         """
+        if args:
+            strategy, counters, work_budget, trace, tracer = \
+                absorb_positional(
+                    "Database.query",
+                    ("strategy", "counters", "work_budget", "trace",
+                     "tracer"),
+                    args, (strategy, counters, work_budget, trace, tracer))
         if self.slow_log is None:
             return self.engine.query(text, strategy=strategy,
                                      counters=counters,
@@ -155,9 +168,12 @@ class Database:
                                   elapsed_ms, delta)
         return result
 
-    def prepare(self, text: str, strategy: str = "auto", *,
+    def prepare(self, text: str, *args, strategy: str = "auto",
                 parallelism: int | None = None) -> PreparedQuery:
         """Compile once for repeated execution (see :meth:`Engine.prepare`)."""
+        if args:
+            (strategy,) = absorb_positional(
+                "Database.prepare", ("strategy",), args, (strategy,))
         return self.engine.prepare(text, strategy=strategy,
                                    parallelism=parallelism)
 
@@ -179,7 +195,7 @@ class Database:
         """Structural statistics of the stored document (Table 1 row)."""
         return self.engine.stats
 
-    def stats(self, top: int = 20) -> dict:
+    def stats(self, top: int = 10) -> dict:
         """A structured JSON snapshot of the database's runtime state.
 
         One call, one dict — what an operator (or ``python -m
@@ -191,11 +207,18 @@ class Database:
         <repro.serve.service.QueryService.stats>` when :meth:`serve` is
         active.
 
+        The payload is versioned: ``"schema": 1`` at the top level
+        (shared with ``QueryService.stats()`` and the network ``stats``
+        frame; the schema is documented in DESIGN.md and ``python -m
+        repro.obs report`` refuses versions it does not know).  The
+        ``top`` default is 10 on every stats surface.
+
         .. note:: this used to be a property aliasing the document
            statistics; those now live at :attr:`doc_stats`.
         """
         doc_stats = self.engine.stats
         return {
+            "schema": 1,
             "document": {
                 "n_nodes": doc_stats.n_nodes,
                 "n_elements": doc_stats.n_elements,
@@ -277,14 +300,43 @@ class Database:
             slow_log=self.slow_log)
         return self._service
 
+    def listen(self, host: str = "127.0.0.1", port: int = 0, *,
+               workers: int = 4, **options) -> Server:
+        """Start the network serving front end for this database.
+
+        Starts (or reuses) the in-process service via :meth:`serve`
+        and binds a :class:`~repro.serve.server.Server` speaking the
+        v1 frame protocol on ``host:port`` (port 0 picks an ephemeral
+        port — read it back from ``server.address``).  Remote clients
+        connect with :func:`repro.serve.client.connect`, which mirrors
+        this API's keyword spelling exactly.  Remaining ``options`` are
+        :class:`~repro.serve.server.Server` knobs (``target_ms``,
+        ``max_window``, ``default_timeout_ms``, ...).  The server is
+        owned by the database: :meth:`close` drains and stops it.
+        Calling ``listen()`` again while a server runs returns the
+        same instance (the knobs of the first call win).
+        """
+        if self._closed:
+            raise UsageError("database is closed")
+        if self._server is not None and not self._server.closed:
+            return self._server
+        from repro.serve.server import Server
+
+        self._server = Server(self.serve(workers=workers),
+                              host=host, port=port, **options)
+        return self._server
+
     def close(self) -> None:
-        """Drain and stop the query service (if any) and close the
-        slow-query log.  Idempotent; the database refuses new serving
-        after close, but plain :meth:`query` calls keep working (the
-        in-process engine holds no external resources)."""
+        """Drain and stop the network server and query service (if
+        any) and close the slow-query log.  Idempotent; the database
+        refuses new serving after close, but plain :meth:`query` calls
+        keep working (the in-process engine holds no external
+        resources)."""
         if self._closed:
             return
         self._closed = True
+        if self._server is not None:
+            self._server.close()
         if self._service is not None:
             self._service.close(drain=True)
         if self.slow_log is not None:

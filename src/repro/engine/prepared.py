@@ -5,7 +5,7 @@ BlossomTree → NoK decomposition (Algorithm 1) → Dewey assignment →
 strategy choice — and hands back a :class:`PreparedQuery` whose
 ``execute(params=None)`` replays the compiled plan any number of
 times.  External ``$parameters`` (variables the query references but
-never binds) get their values from ``bindings`` at execution time; the
+never binds) get their values from ``params`` at execution time; the
 compiled plan carries slots for them (residual where-conjuncts), so no
 recompilation happens between executions.
 
@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import BindingError
+from repro.engine._compat import absorb_positional
 from repro.engine.compiler import CompiledQuery
 from repro.engine.optimizer import PlanChoice
 from repro.pattern.artifact import PatternArtifacts
@@ -134,33 +135,27 @@ class PreparedQuery:
         """The optimizer's current choice, for introspection."""
         return str(self._plan.choice)
 
-    def execute(self, params: dict | None = None,
+    def execute(self, *args, params: dict | None = None,
                 counters=None, work_budget: int | None = None,
-                trace: bool = False, tracer=None, *,
+                trace: bool = False, tracer=None,
                 timeout_ms: float | None = None,
-                parallelism: int | None = None,
-                bindings: dict | None = None):
+                parallelism: int | None = None):
         """Run the prepared plan; see :meth:`Engine.query` for the
         tracing/budget/deadline knobs.  ``params`` maps parameter names
-        (without ``$``) to values.  ``parallelism`` overrides the value
-        pinned at prepare() time for this call.
-
-        .. deprecated::
-            ``bindings=`` is the pre-serving spelling of ``params=``;
-            it still works but warns.
+        (without ``$``) to values — keyword-only, the unified spelling
+        shared by every query surface (a leading positional mapping
+        still works for one release with a :class:`DeprecationWarning`;
+        the pre-serving ``bindings=`` alias has been removed).
+        ``parallelism`` overrides the value pinned at prepare() time
+        for this call.
         """
-        if bindings is not None:
-            if params is not None:
-                raise BindingError(
-                    "pass params= or bindings=, not both")
-            import warnings
-
-            warnings.warn(
-                "PreparedQuery.execute(bindings=...) is deprecated; "
-                "use params=... (the spelling shared by Engine.query, "
-                "Database.query and QueryService.submit)",
-                DeprecationWarning, stacklevel=2)
-            params = bindings
+        if args:
+            params, counters, work_budget, trace, tracer = \
+                absorb_positional(
+                    "PreparedQuery.execute",
+                    ("params", "counters", "work_budget", "trace",
+                     "tracer"),
+                    args, (params, counters, work_budget, trace, tracer))
         return self._engine._execute_prepared(
             self, bindings=params, counters=counters,
             work_budget=work_budget, trace=trace, tracer=tracer,

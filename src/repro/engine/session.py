@@ -63,6 +63,7 @@ from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import CancellationToken, ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xquery.ast import FLWOR, QueryExpr
+from repro.engine._compat import absorb_positional
 from repro.engine.compiler import CompiledQuery, compile_query
 from repro.engine.construct import DirectEvaluator
 from repro.engine.executor import FLWORExecutor
@@ -237,15 +238,24 @@ class Engine:
     # Public API.
     # ------------------------------------------------------------------
 
-    def query(self, text: str | QueryExpr, strategy: str = "auto",
+    def query(self, text: str | QueryExpr, *args,
+              strategy: str = "auto",
               counters: ScanCounters | None = None,
               work_budget: int | None = None,
               trace: bool = False,
-              tracer: Tracer | None = None, *,
+              tracer: Tracer | None = None,
               params: dict | None = None,
               timeout_ms: float | None = None,
               parallelism: int | None = None) -> QueryResult:
         """Evaluate a query and return its result sequence.
+
+        All options are keyword-only — the unified spelling shared by
+        :meth:`Database.query`, :meth:`PreparedQuery.execute`,
+        :meth:`QueryService.submit
+        <repro.serve.service.QueryService.submit>` and the network
+        :meth:`Client.query <repro.serve.client.Client.query>`
+        (positional options still work for one release with a
+        :class:`DeprecationWarning`).
 
         ``params`` binds the query's external ``$parameters`` (free
         variables) for this call — the same mapping
@@ -276,14 +286,22 @@ class Engine:
         says whether this call ``hit``, ``miss``-ed, or ``bypass``-ed
         the cache (pre-parsed expressions are never cached).
         """
+        if args:
+            strategy, counters, work_budget, trace, tracer = \
+                absorb_positional(
+                    "Engine.query",
+                    ("strategy", "counters", "work_budget", "trace",
+                     "tracer"),
+                    args, (strategy, counters, work_budget, trace, tracer))
         effective = _effective_parallelism(strategy, parallelism)
         return self._shell(
             lambda tr: self._plan_for(text, strategy, tr, effective),
             text, strategy, counters, work_budget, trace, tracer,
             bindings=params, timeout_ms=timeout_ms, parallelism=effective)
 
-    def prepare(self, text: str | QueryExpr, strategy: str = "auto",
-                *, parallelism: int | None = None) -> PreparedQuery:
+    def prepare(self, text: str | QueryExpr, *args,
+                strategy: str = "auto",
+                parallelism: int | None = None) -> PreparedQuery:
         """Compile ``text`` once for repeated execution.
 
         The full pipeline (parse → BlossomTree → NoK decomposition →
@@ -294,6 +312,9 @@ class Engine:
         ``parallelism`` is pinned into the prepared plan (same semantics
         as :meth:`query`).
         """
+        if args:
+            (strategy,) = absorb_positional(
+                "Engine.prepare", ("strategy",), args, (strategy,))
         effective = _effective_parallelism(strategy, parallelism)
         plan, _status = self._plan_for(text, strategy, NULL_TRACER, effective)
         return PreparedQuery(self, text, strategy, plan,

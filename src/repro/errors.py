@@ -9,6 +9,14 @@ forcing callers to know internal module structure.
 Parse- and compile-time errors carry the offending query text and
 position when the raising layer knows them, so API users can render a
 caret without re-threading context through every call site.
+
+The hierarchy is also the **wire contract** of the network serving
+layer (:mod:`repro.serve.server` / :mod:`repro.serve.client`): every
+class maps 1:1 onto a stable string code in :data:`WIRE_CODES`.  The
+server turns a raised error into an ``error`` frame via
+:func:`wire_code`; the client reconstructs the same class via
+:func:`error_for_code`, so ``except repro.QueryTimeoutError`` works
+identically against an in-process service and a remote one.
 """
 
 from __future__ import annotations
@@ -184,3 +192,65 @@ class DNFError(ExecutionError):
         if budget is not None:
             message = f"{message} (budget={budget})"
         super().__init__(message)
+
+
+class ProtocolError(ReproError):
+    """Raised for violations of the network wire protocol.
+
+    Covers both directions: a server rejecting a malformed, oversized
+    or wrong-version frame, and a client receiving bytes it cannot
+    decode.  Wire-level, not query-level — a well-formed frame whose
+    *query* fails raises the query's own error class instead.
+    """
+
+
+#: Stable wire codes for the error hierarchy, most specific first.
+#: The order matters: :func:`wire_code` walks this list and returns the
+#: first entry the exception is an instance of, so subclasses must
+#: precede their bases.  Codes are part of the v1 wire protocol —
+#: never renumber or reuse them.
+WIRE_CODES: tuple[tuple[str, type[ReproError]], ...] = (
+    ("TIMEOUT", QueryTimeoutError),
+    ("CANCELLED", QueryCancelledError),
+    ("DNF", DNFError),
+    ("EXECUTION", ExecutionError),
+    ("BINDING", BindingError),
+    ("STATIC", StaticError),
+    ("XML_SYNTAX", XMLSyntaxError),
+    ("QUERY_SYNTAX", QuerySyntaxError),
+    ("COMPILE", CompileError),
+    ("PLAN_INVARIANT", PlanInvariantError),
+    ("OVERLOADED", ServiceOverloadedError),
+    ("UPDATE", UpdateError),
+    ("PROTOCOL", ProtocolError),
+    ("USAGE", UsageError),
+    ("INTERNAL", ReproError),
+)
+
+_CODE_TO_CLASS: dict[str, type[ReproError]] = {
+    code: cls for code, cls in WIRE_CODES}
+
+
+def wire_code(error: BaseException) -> str:
+    """The stable wire code for an exception (``INTERNAL`` fallback).
+
+    Any exception is accepted: non-``ReproError`` failures inside the
+    server serialize as ``INTERNAL`` so a crash in one request never
+    leaks a raw traceback type onto the wire.
+    """
+    for code, cls in WIRE_CODES:
+        if isinstance(error, cls):
+            return code
+    return "INTERNAL"
+
+
+def error_for_code(code: str, message: str) -> ReproError:
+    """Reconstruct the error class a wire code stands for.
+
+    Unknown codes (a newer server speaking to an older client) degrade
+    to the root :class:`ReproError` rather than failing the decode.
+    """
+    cls = _CODE_TO_CLASS.get(code, ReproError)
+    if cls is PlanInvariantError:
+        return PlanInvariantError(message=message)
+    return cls(message)

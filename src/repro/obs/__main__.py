@@ -39,6 +39,12 @@ _RIGHT = ("par", "execs", "errors", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
           "total_ms", "items", "cache_hits", "wins", "losses", "executions")
 _QUERY_WIDTH = 48
 
+#: The ``stats()`` schema version this CLI understands.  Both
+#: ``Database.stats()`` and ``QueryService.stats()`` stamp their
+#: payloads with ``"schema": 1``; ``report`` rejects anything newer
+#: (or otherwise unknown) instead of silently mis-rendering it.
+STATS_SCHEMA = 1
+
 
 def _clip(text: object, width: int = _QUERY_WIDTH) -> str:
     text = str(text)
@@ -287,6 +293,12 @@ def _run_report(args: argparse.Namespace) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read stats from {args.stats!r}: {exc}",
               file=sys.stderr)
+        return 2
+    schema = payload.get("schema", STATS_SCHEMA)
+    if schema != STATS_SCHEMA:
+        print(f"error: stats payload declares schema {schema!r}; this "
+              f"reader understands schema {STATS_SCHEMA} only (upgrade "
+              "repro, or re-export the snapshot)", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(payload, indent=2))

@@ -40,8 +40,11 @@ class SlowQueryRecord:
     :class:`~repro.serve.service.QueryService`): which immutable
     snapshot served the query, and where its deadline stood when the
     record was made — ``"none"`` (no deadline set), ``"ok"`` (finished
-    within it) or ``"expired"`` (the query timed out).  Plain
-    ``Database`` queries leave both at their defaults.
+    within it) or ``"expired"`` (the query timed out).  ``client`` is
+    the caller identity the network server attaches
+    (``connection#request``), so remote slow queries are attributable
+    to the connection that sent them.  Plain ``Database`` queries
+    leave all three at their defaults.
     """
 
     query: str
@@ -52,6 +55,7 @@ class SlowQueryRecord:
     timestamp: float = 0.0
     snapshot_id: int | None = None
     deadline_state: str = "none"
+    client: str | None = None
 
     def to_json(self) -> str:
         return json.dumps({
@@ -63,6 +67,7 @@ class SlowQueryRecord:
             "counters": self.counters,
             "snapshot_id": self.snapshot_id,
             "deadline_state": self.deadline_state,
+            "client": self.client,
         })
 
     def describe(self) -> str:
@@ -71,6 +76,8 @@ class SlowQueryRecord:
             tags += f" snapshot={self.snapshot_id}"
         if self.deadline_state != "none":
             tags += f" deadline={self.deadline_state}"
+        if self.client is not None:
+            tags += f" client={self.client}"
         return (f"[{self.elapsed_ms:.1f} ms] strategy={self.strategy}{tags} "
                 f"plan={self.plan!r} counters={self.counters} "
                 f"query={self.query!r}")
@@ -96,7 +103,8 @@ class SlowQueryLog:
                 elapsed_ms: float,
                 counters: dict[str, int] | None = None, *,
                 snapshot_id: int | None = None,
-                deadline_state: str = "none") -> SlowQueryRecord | None:
+                deadline_state: str = "none",
+                client: str | None = None) -> SlowQueryRecord | None:
         """Record the query iff it crossed the threshold.
 
         Returns the record when one was made, ``None`` otherwise.
@@ -108,7 +116,8 @@ class SlowQueryLog:
                                  counters=dict(counters or {}),
                                  timestamp=time.time(),
                                  snapshot_id=snapshot_id,
-                                 deadline_state=deadline_state)
+                                 deadline_state=deadline_state,
+                                 client=client)
         self.entries.append(record)
         if len(self.entries) > self.max_entries:
             del self.entries[:len(self.entries) - self.max_entries]

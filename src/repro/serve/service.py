@@ -34,7 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -134,12 +134,13 @@ class _Request:
 
     __slots__ = ("text", "norm_text", "doc", "strategy", "params", "trace",
                  "timeout_ms", "deadline", "submitted", "future", "key",
-                 "parallelism")
+                 "parallelism", "client")
 
     def __init__(self, text: str, doc: str, strategy: str,
                  params: Mapping | None, trace: bool,
                  timeout_ms: float | None,
-                 parallelism: int | None = None) -> None:
+                 parallelism: int | None = None,
+                 client: str | None = None) -> None:
         self.text = text
         self.norm_text = normalize_query_text(text)
         self.doc = doc
@@ -148,6 +149,9 @@ class _Request:
         self.trace = trace
         self.timeout_ms = timeout_ms
         self.parallelism = parallelism
+        #: Caller identity (network connection + request id); tags the
+        #: slow-query log so remote offenders are attributable.
+        self.client = client
         self.submitted = time.perf_counter()
         self.deadline = (self.submitted + timeout_ms / 1000.0
                          if timeout_ms is not None else None)
@@ -233,6 +237,9 @@ class QueryService:
         self.slow_log = (slow_log if slow_log is not None
                          else SlowQueryLog(slow_query_ms)
                          if slow_query_ms is not None else None)
+        #: Extra ``stats()`` sections registered by collaborators (the
+        #: network server publishes its admission controller here).
+        self._stats_sections: dict[str, Callable[[], dict]] = {}
         #: Per-service telemetry (the process metrics aggregate across
         #: services; these stay local so ``stats()`` is *this* service).
         self._count_lock = threading.Lock()
@@ -255,7 +262,8 @@ class QueryService:
                strategy: str = "auto", params: Mapping | None = None,
                timeout_ms: float | None = None,
                trace: bool = False,
-               parallelism: int | None = None) -> Future:
+               parallelism: int | None = None,
+               client: str | None = None) -> Future:
         """Enqueue one query; returns a future of :class:`ServeResult`.
 
         An identical un-parameterized, un-traced request already queued
@@ -264,23 +272,26 @@ class QueryService:
         budget (see :meth:`Engine.query`); partition scans run on a
         scan pool the service owns, separate from the serve workers, so
         parallel queries never deadlock against admission control.
+        ``client`` is an opaque caller identity (the network server
+        passes connection#request ids) that tags slow-query records.
         Raises :class:`~repro.errors.ServiceOverloadedError` when the
         queue is full and :class:`~repro.errors.UsageError` after
         :meth:`close`.
         """
         return self._enqueue([self._request(text, doc, strategy, params,
                                             timeout_ms, trace,
-                                            parallelism)])[0]
+                                            parallelism, client)])[0]
 
     def query(self, text: str, *, doc: str | None = None,
               strategy: str = "auto", params: Mapping | None = None,
               timeout_ms: float | None = None,
               trace: bool = False,
-              parallelism: int | None = None) -> ServeResult:
+              parallelism: int | None = None,
+              client: str | None = None) -> ServeResult:
         """Synchronous :meth:`submit` — blocks for the result."""
         return self.submit(text, doc=doc, strategy=strategy, params=params,
                            timeout_ms=timeout_ms, trace=trace,
-                           parallelism=parallelism).result()
+                           parallelism=parallelism, client=client).result()
 
     def query_batch(self, queries: Iterable[str | Mapping], *,
                     doc: str | None = None, strategy: str = "auto",
@@ -367,17 +378,40 @@ class QueryService:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def add_stats_section(self, name: str,
+                          provider: Callable[[], dict]) -> None:
+        """Register an extra :meth:`stats` section under ``name``.
+
+        The network server uses this to publish its admission
+        controller's decisions inside ``service.stats()``.  Reserved
+        top-level keys cannot be shadowed.
+        """
+        if name in ("schema", "counters", "documents", "result_cache"):
+            raise UsageError(f"stats section name {name!r} is reserved")
+        self._stats_sections[name] = provider
+
+    def remove_stats_section(self, name: str) -> None:
+        """Drop a section registered with :meth:`add_stats_section`."""
+        self._stats_sections.pop(name, None)
+
     def stats(self, top: int = 10) -> dict:
         """A structured JSON snapshot of the serving state.
 
-        The legacy flat occupancy keys (``queue_depth`` / ``inflight``
-        / ``result_cache_size`` / ``workers``) stay at the top level;
-        on top of them: service uptime and worker utilization (busy
-        worker-seconds over elapsed worker-seconds), the per-service
-        telemetry counters, result-cache hit ratios, and one section
-        per registered document with its current snapshot id, shared
-        plan-cache statistics and the runtime statistics store's
-        snapshot (top ``top`` plans by accumulated time).
+        The payload is versioned: ``"schema": 1`` at the top level (the
+        shape shared with :meth:`Database.stats
+        <repro.engine.database.Database.stats>` and the ``stats`` wire
+        frame; documented in DESIGN.md — ``python -m repro.obs report``
+        refuses unknown versions).  The legacy flat occupancy keys
+        (``queue_depth`` / ``inflight`` / ``result_cache_size`` /
+        ``workers``) stay at the top level; on top of them: service
+        uptime and worker utilization (busy worker-seconds over elapsed
+        worker-seconds), the per-service telemetry counters,
+        result-cache hit ratios, one section per registered document
+        with its current snapshot id, shared plan-cache statistics and
+        the runtime statistics store's snapshot (top ``top`` plans by
+        accumulated time), plus any sections registered via
+        :meth:`add_stats_section` (the network server's ``server``
+        section, with the adaptive-admission state, appears here).
         """
         with self._cond:
             depth, inflight = len(self._queue), self._inflight_count
@@ -398,7 +432,8 @@ class QueryService:
                 "plan_cache": self.catalog.plan_cache(name).stats(),
                 "statstore": self.catalog.stats_store(name).snapshot(top=top),
             }
-        return {
+        payload = {
+            "schema": 1,
             "queue_depth": depth, "inflight": inflight,
             "result_cache_size": cached,
             "workers": len(self._workers),
@@ -420,6 +455,9 @@ class QueryService:
                     "entries": len(self.slow_log),
                 }),
         }
+        for name, provider in list(self._stats_sections.items()):
+            payload[name] = provider()
+        return payload
 
     # ------------------------------------------------------------------
     # Admission.
@@ -427,12 +465,14 @@ class QueryService:
 
     def _request(self, text: str, doc: str | None, strategy: str,
                  params: Mapping | None, timeout_ms: float | None,
-                 trace: bool, parallelism: int | None = None) -> _Request:
+                 trace: bool, parallelism: int | None = None,
+                 client: str | None = None) -> _Request:
         if timeout_ms is None:
             timeout_ms = self.default_timeout_ms
         return _Request(text, doc or self.default_document, strategy,
                         params, trace, timeout_ms,
-                        _effective_parallelism(strategy, parallelism))
+                        _effective_parallelism(strategy, parallelism),
+                        client)
 
     def _enqueue(self, requests: list[_Request]) -> list[Future]:
         with self._cond:
@@ -512,7 +552,8 @@ class QueryService:
             if self.slow_log is not None:
                 self.slow_log.observe(
                     request.text, request.strategy, "(expired in queue)",
-                    wait_ms, deadline_state="expired")
+                    wait_ms, deadline_state="expired",
+                    client=request.client)
             future.set_exception(QueryTimeoutError(
                 "query expired in the service queue",
                 timeout_ms=request.timeout_ms))
@@ -608,7 +649,8 @@ class QueryService:
             request.text, request.strategy, engine.last_plan or "?",
             elapsed_ms, counters,
             snapshot_id=snapshot.snapshot_id,
-            deadline_state=deadline_state)
+            deadline_state=deadline_state,
+            client=request.client)
         if record is not None:
             self._count("slow_queries")
 

@@ -8,7 +8,7 @@ import pytest
 import repro
 from repro.engine.database import Database
 from repro.engine.session import Engine
-from repro.errors import BindingError, UsageError
+from repro.errors import UsageError
 from repro.xmlkit.parser import parse
 
 LIBRARY = """
@@ -105,29 +105,53 @@ class TestDatabaseLifecycle:
             db.updater()  # allowed again once the service stops
 
 
-class TestUnifiedKeywords:
-    """One spelling everywhere: strategy / params / timeout_ms."""
+def _five_surfaces():
+    from repro.engine.prepared import PreparedQuery
+    from repro.serve.client import Client
+    from repro.serve.service import QueryService
 
-    SURFACES = [
-        (Database, "query"),
-        (Database, "explain_analyze"),
+    return [
         (Engine, "query"),
-        (Engine, "explain_analyze"),
+        (Database, "query"),
+        (PreparedQuery, "execute"),
+        (QueryService, "submit"),
+        (Client, "query"),
     ]
 
-    @pytest.mark.parametrize("owner, method", SURFACES,
-                             ids=[f"{o.__name__}.{m}" for o, m in SURFACES])
-    def test_query_surfaces_accept_the_unified_kwargs(self, owner, method):
+
+class TestUnifiedKeywords:
+    """One spelling everywhere: the contract test pinning the redesigned
+    v1 call surface.  ``strategy`` / ``params`` / ``timeout_ms`` /
+    ``parallelism`` must be spelled identically — and be keyword-only —
+    on all five query surfaces: ``Engine.query``, ``Database.query``,
+    ``PreparedQuery.execute``, ``QueryService.submit`` and the network
+    ``Client.query``."""
+
+    UNIFIED = ("params", "timeout_ms", "parallelism")
+
+    @pytest.mark.parametrize("owner, method",
+                             _five_surfaces(),
+                             ids=[f"{o.__name__}.{m}"
+                                  for o, m in _five_surfaces()])
+    def test_unified_kwargs_are_keyword_only_everywhere(self, owner, method):
+        sig = inspect.signature(getattr(owner, method))
+        # PreparedQuery pins strategy at prepare() time; every other
+        # surface takes it per call, spelled identically.
+        wanted = self.UNIFIED if method == "execute" \
+            else self.UNIFIED + ("strategy",)
+        for name in wanted:
+            where = f"{owner.__name__}.{method}"
+            assert name in sig.parameters, f"{where} is missing {name}"
+            assert sig.parameters[name].kind is inspect.Parameter.KEYWORD_ONLY, \
+                f"{where}({name}=...) must be keyword-only"
+
+    @pytest.mark.parametrize("owner, method", [
+        (Database, "explain_analyze"), (Engine, "explain_analyze")])
+    def test_diagnostic_surfaces_accept_the_unified_kwargs(self, owner,
+                                                           method):
         sig = inspect.signature(getattr(owner, method))
         for name in ("strategy", "params", "timeout_ms"):
             assert name in sig.parameters, f"{owner.__name__}.{method}"
-
-    def test_service_submit_accepts_the_unified_kwargs(self):
-        from repro.serve.service import QueryService
-
-        sig = inspect.signature(QueryService.submit)
-        for name in ("strategy", "params", "timeout_ms"):
-            assert name in sig.parameters
 
     def test_params_flow_through_database(self):
         with repro.connect(LIBRARY) as db:
@@ -140,16 +164,24 @@ class TestUnifiedKeywords:
             prepared = db.prepare("//book[author = $who]/title")
             assert len(prepared.execute(params={"who": "Codd"})) == 1
 
-    def test_bindings_spelling_is_deprecated_but_works(self):
+    def test_bindings_spelling_is_removed(self):
+        # The PR-4 ``bindings=`` alias completed its deprecation cycle;
+        # ``params=`` is the only spelling now (see README).
         with repro.connect(LIBRARY) as db:
             prepared = db.prepare("//book[author = $who]/title")
-            with pytest.warns(DeprecationWarning, match="params"):
-                result = prepared.execute(bindings={"who": "Gray"})
-            assert len(result) == 1
+            with pytest.raises(TypeError, match="bindings"):
+                prepared.execute(bindings={"who": "Gray"})
 
-    def test_both_spellings_together_is_an_error(self):
+    def test_positional_options_are_deprecated_but_work(self):
         with repro.connect(LIBRARY) as db:
+            with pytest.warns(DeprecationWarning, match="keyword-only"):
+                result = db.query("//book/title", "naive")
+            assert len(result) == 3
             prepared = db.prepare("//book[author = $who]/title")
-            with pytest.raises(BindingError, match="not both"):
-                prepared.execute(params={"who": "Gray"},
-                                 bindings={"who": "Codd"})
+            with pytest.warns(DeprecationWarning, match="keyword-only"):
+                assert len(prepared.execute({"who": "Gray"})) == 1
+
+    def test_too_many_positionals_is_a_usage_error(self):
+        with repro.connect(LIBRARY) as db:
+            with pytest.raises(UsageError, match="positional"):
+                db.query("//book", "auto", None, None, False, None, "extra")

@@ -1,0 +1,459 @@
+"""The network serving front end: wire protocol, error mapping,
+adaptive admission, robustness, and the differential bit-identity
+suite (network client vs in-process service on the same snapshot)."""
+
+import socket
+import struct
+import time
+
+import pytest
+
+import repro
+from repro.errors import (
+    WIRE_CODES,
+    BindingError,
+    ProtocolError,
+    QuerySyntaxError,
+    QueryTimeoutError,
+    ReproError,
+    ServiceOverloadedError,
+    UsageError,
+    error_for_code,
+    wire_code,
+)
+from repro.serve import client as client_mod
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameReader,
+    decode_frame,
+    decode_item,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.server import Server, listen
+from repro.serve.service import QueryService
+from repro.serve.throttle import AdmissionController
+
+LIBRARY = """
+<library>
+  <shelf genre="systems">
+    <book id="b1"><author>Gray</author><title>Transaction</title>
+      <price>45</price></book>
+    <book id="b2"><author>Codd</author><title>Relational</title>
+      <price>30</price></book>
+  </shelf>
+  <shelf genre="theory">
+    <book id="b3"><title>Automata</title><price>55</price></book>
+  </shelf>
+</library>
+"""
+
+
+@pytest.fixture
+def served():
+    """A service + server + connected client over an ephemeral port."""
+    with repro.connect(LIBRARY) as db:
+        server = db.listen()
+        with client_mod.connect(*server.address) as cl:
+            yield db, server, cl
+
+
+def _raw_connection(server):
+    """A raw socket to the server, hello frame already consumed."""
+    sock = socket.create_connection(server.address, timeout=5.0)
+    stream = sock.makefile("rwb")
+    hello = read_frame(stream)
+    assert hello["type"] == "hello"
+    return sock, stream
+
+
+# ----------------------------------------------------------------------
+# Protocol unit tests.
+# ----------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        data = encode_frame({"type": "ping", "id": 7})
+        length = struct.unpack(">I", data[:4])[0]
+        assert len(data) == 4 + length
+        frame = decode_frame(data[4:])
+        assert frame == {"v": PROTOCOL_VERSION, "type": "ping", "id": 7}
+
+    def test_wrong_version_is_refused(self):
+        data = encode_frame({"v": 99, "type": "ping"})
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(data[4:])
+
+    def test_non_object_is_refused(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1,2,3]")
+
+    def test_garbage_is_refused(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_frame(b"\xff\x00 not json")
+
+    def test_missing_type_is_refused(self):
+        with pytest.raises(ProtocolError, match="type"):
+            decode_frame(b'{"v": 1}')
+
+    def test_reader_reassembles_partial_feeds(self):
+        data = encode_frame({"type": "ping"}) + encode_frame({"type": "pong"})
+        reader = FrameReader()
+        frames = []
+        for i in range(0, len(data), 3):     # drip 3 bytes at a time
+            frames.extend(reader.feed(data[i:i + 3]))
+        assert [f["type"] for f in frames] == ["ping", "pong"]
+
+    def test_reader_refuses_oversized_length(self):
+        reader = FrameReader(max_frame_bytes=16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            reader.feed(struct.pack(">I", 17) + b"x" * 17)
+
+    def test_atom_items_widen_ints_to_float(self):
+        assert decode_item({"kind": "atom", "value": 3}) == ("atom", 3.0)
+        assert decode_item({"kind": "atom", "value": True}) == ("atom", True)
+
+    def test_unknown_item_kind_is_refused(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            decode_item({"kind": "blob", "value": "x"})
+
+
+class TestWireCodes:
+    def test_every_code_roundtrips_to_its_class(self):
+        for code, cls in WIRE_CODES:
+            error = error_for_code(code, "boom")
+            assert isinstance(error, cls), code
+            assert wire_code(error) == code
+
+    def test_subclasses_map_before_bases(self):
+        # QueryTimeoutError subclasses ExecutionError; the wire code
+        # must preserve the most specific class.
+        assert wire_code(QueryTimeoutError("t", timeout_ms=1)) == "TIMEOUT"
+
+    def test_unknown_code_degrades_to_the_root(self):
+        error = error_for_code("FROM_THE_FUTURE", "??")
+        assert type(error) is ReproError
+
+    def test_non_repro_errors_map_to_internal(self):
+        assert wire_code(ValueError("x")) == "INTERNAL"
+
+
+# ----------------------------------------------------------------------
+# End-to-end over a real socket.
+# ----------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_query_roundtrip(self, served):
+        db, _server, cl = served
+        result = cl.query("//book[author]/title")
+        assert result.serialize() == \
+            db.query("//book[author]/title").serialize()
+        assert result.snapshot_id >= 0
+        assert len(result) == 2
+
+    def test_params_flow_through(self, served):
+        _db, _server, cl = served
+        result = cl.query("//book[author = $who]/title",
+                          params={"who": "Gray"})
+        assert result.string_values() == ["Transaction"]
+
+    def test_errors_arrive_as_their_class(self, served):
+        _db, _server, cl = served
+        with pytest.raises(QuerySyntaxError):
+            cl.query("//book[")
+        # The connection survives an error frame.
+        assert cl.ping()
+
+    def test_binding_errors_cross_the_wire(self, served):
+        _db, _server, cl = served
+        with pytest.raises(BindingError, match="missing binding"):
+            cl.query("//book[author = $who]/title")
+
+    def test_stats_schema_and_server_section(self, served):
+        _db, _server, cl = served
+        cl.query("//book")
+        stats = cl.stats()
+        assert stats["schema"] == 1
+        section = stats["server"]
+        assert section["active_connections"] >= 1
+        assert section["admission"]["window"] >= 1
+        assert section["admission"]["admitted"] >= 1
+
+    def test_prepare_execute(self, served):
+        db, _server, cl = served
+        plan = cl.prepare("for $b in //book where $b/price < $max "
+                          "return $b/title")
+        assert plan.parameters == {"max"}
+        remote = plan.execute(params={"max": 40.0}).serialize()
+        local = db.prepare("for $b in //book where $b/price < $max "
+                           "return $b/title")
+        assert remote == local.execute(params={"max": 40.0}).serialize()
+
+    def test_unknown_prepared_handle(self, served):
+        _db, _server, cl = served
+        with pytest.raises(UsageError, match="prepared"):
+            client_mod.RemotePrepared(cl, 999, "//x", []).execute()
+
+    def test_pipelined_requests_demultiplex_by_id(self, served):
+        _db, _server, cl = served
+        # Interleave requests on one connection; responses carry ids.
+        for _ in range(5):
+            assert len(cl.query("//book")) == 3
+            assert cl.ping()
+
+    def test_module_level_listen_owns_its_service(self):
+        server = listen(LIBRARY, port=0)
+        try:
+            with client_mod.connect(*server.address) as cl:
+                assert len(cl.query("//book")) == 3
+        finally:
+            server.close()
+        assert server.service.closed
+
+    def test_database_listen_is_idempotent_while_running(self):
+        with repro.connect(LIBRARY) as db:
+            server = db.listen()
+            assert db.listen() is server
+            db.close()
+            assert server.closed
+
+    def test_front_door_exports(self):
+        assert repro.listen is listen
+        assert repro.Server is Server
+        assert repro.Client is client_mod.Client
+
+
+class TestDifferentialBitIdentity:
+    """Network results must be byte-for-byte the in-process results."""
+
+    QUERIES = [
+        "//book",
+        "//book[author]/title",
+        "//shelf/@genre",
+        "/library/shelf/book/price",
+        "count(//book)",
+        "for $b in //book where $b/price > 40 return $b/title",
+        "//book[price > $p]/title",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_wire_equals_in_process(self, served, query):
+        db, _server, cl = served
+        params = {"p": 30.0} if "$p" in query else None
+        service = db.serve()
+        remote = cl.query(query, params=params)
+        local = service.query(query, params=params)
+        assert remote.serialize() == local.serialize()
+        assert remote.snapshot_id == local.snapshot_id
+
+
+# ----------------------------------------------------------------------
+# Robustness: hostile bytes, vanishing peers, expiring deadlines.
+# ----------------------------------------------------------------------
+
+
+class TestRobustness:
+    def test_malformed_frame_gets_error_then_close(self, served):
+        _db, server, _cl = served
+        sock, stream = _raw_connection(server)
+        try:
+            body = b"this is not json"
+            stream.write(struct.pack(">I", len(body)) + body)
+            stream.flush()
+            reply = read_frame(stream)
+            assert reply["type"] == "error"
+            assert reply["code"] == "PROTOCOL"
+            with pytest.raises(EOFError):
+                read_frame(stream)       # server closed the connection
+        finally:
+            sock.close()
+
+    def test_oversized_frame_is_refused_unread(self, served):
+        _db, server, _cl = served
+        sock, stream = _raw_connection(server)
+        try:
+            stream.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            stream.flush()
+            reply = read_frame(stream)
+            assert reply["type"] == "error"
+            assert reply["code"] == "PROTOCOL"
+            assert "exceeds" in reply["message"]
+        finally:
+            sock.close()
+
+    def test_unknown_frame_type_keeps_the_connection(self, served):
+        _db, server, _cl = served
+        sock, stream = _raw_connection(server)
+        try:
+            stream.write(encode_frame({"type": "teleport", "id": 1}))
+            stream.write(encode_frame({"type": "ping", "id": 2}))
+            stream.flush()
+            first = read_frame(stream)
+            assert (first["type"], first["code"]) == ("error", "PROTOCOL")
+            second = read_frame(stream)
+            assert (second["type"], second["id"]) == ("pong", 2)
+        finally:
+            sock.close()
+
+    def test_mid_stream_disconnect_leaves_server_healthy(self, served):
+        _db, server, cl = served
+        sock, stream = _raw_connection(server)
+        stream.write(encode_frame({"type": "query", "id": 1,
+                                   "text": "//book"}))
+        stream.flush()
+        header = read_frame(stream)
+        assert header["type"] == "result_header"
+        sock.close()                     # vanish mid result stream
+        # The server keeps serving other connections.
+        assert cl.ping()
+        assert len(cl.query("//book")) == 3
+
+    def test_deadline_expires_mid_serialization(self):
+        service = QueryService(LIBRARY, workers=2)
+        try:
+            # One item per chunk and an artificial inter-chunk pause
+            # guarantee the stream outlives the deadline.
+            with Server(service, chunk_items=1,
+                        chunk_delay_s=0.08) as server:
+                with client_mod.connect(*server.address) as cl:
+                    with pytest.raises(QueryTimeoutError):
+                        cl.query("//book", timeout_ms=120)
+                    # The connection survives a mid-stream abort.
+                    assert cl.ping()
+        finally:
+            service.close()
+
+    def test_server_close_is_idempotent_and_drains(self, served):
+        _db, server, cl = served
+        assert len(cl.query("//book")) == 3
+        server.close()
+        server.close()
+        assert server.closed
+
+
+# ----------------------------------------------------------------------
+# The adaptive admission controller.
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_window_gates_admissions(self):
+        ctl = AdmissionController(start_window=2)
+        assert ctl.try_acquire() and ctl.try_acquire()
+        assert not ctl.try_acquire()     # window full → shed
+        ctl.release(1.0)
+        assert ctl.try_acquire()
+        assert ctl.stats()["rejected"] == 1
+
+    def test_grows_toward_target_when_fast(self):
+        ctl = AdmissionController(target_ms=50.0, start_window=2,
+                                  adjust_every=4)
+        for _ in range(12):
+            assert ctl.try_acquire()
+            ctl.release(5.0)             # p50 far below target
+        assert ctl.window > 2
+
+    def test_shrinks_when_slow(self):
+        ctl = AdmissionController(target_ms=10.0, start_window=16,
+                                  adjust_every=4)
+        for _ in range(8):
+            assert ctl.try_acquire()
+            ctl.release(100.0)           # p50 far above target
+        assert ctl.window < 16
+
+    def test_growth_is_slow_start_then_linear(self):
+        ctl = AdmissionController(target_ms=1000.0, start_window=2,
+                                  adjust_every=2, max_window=64)
+        ctl.try_acquire(); ctl.release(1.0)
+        ctl.try_acquire(); ctl.release(1.0)
+        assert ctl.window <= 4           # at most doubled per interval
+
+    def test_backoff_on_overload_and_slow_start_recovery(self):
+        ctl = AdmissionController(target_ms=50.0, start_window=16,
+                                  adjust_every=4, backoff_interval_s=0.0)
+        ctl.try_acquire()
+        ctl.release(overloaded=True)
+        assert ctl.window == 8           # multiplicative cut
+        before = ctl.window
+        # First interval after the cut saw the error: growth is refused.
+        # The next all-clear interval climbs back in slow-start.
+        for _ in range(8):
+            ctl.try_acquire()
+            ctl.release(1.0)
+        assert before < ctl.window <= 16     # climbing back, bounded
+
+    def test_timeout_counts_as_congestion(self):
+        ctl = AdmissionController(start_window=8, backoff_interval_s=0.0)
+        ctl.try_acquire()
+        ctl.release(timed_out=True)
+        assert ctl.window == 4
+        assert ctl.stats()["backoffs"] == 1
+
+    def test_no_growth_on_error_intervals(self):
+        ctl = AdmissionController(target_ms=50.0, start_window=4,
+                                  adjust_every=4,
+                                  backoff_interval_s=3600.0)
+        ctl.try_acquire()
+        ctl.release(overloaded=True)     # first backoff (refractory arms)
+        cut = ctl.window
+        ctl.try_acquire()
+        ctl.release(timed_out=True)      # inside refractory: no second cut
+        assert ctl.window == cut
+        for _ in range(4):               # fast samples, but interval saw
+            ctl.try_acquire()            # errors → growth is refused
+            ctl.release(1.0)
+        assert ctl.window == cut
+
+    def test_refractory_coalesces_backoff_bursts(self):
+        ctl = AdmissionController(start_window=16,
+                                  backoff_interval_s=3600.0)
+        for _ in range(5):
+            ctl.try_acquire()
+            ctl.release(overloaded=True)
+        assert ctl.stats()["backoffs"] == 1
+        assert ctl.window == 8           # one cut, not five
+
+    def test_bad_knobs_are_usage_errors(self):
+        with pytest.raises(UsageError):
+            AdmissionController(target_ms=0.0)
+        with pytest.raises(UsageError):
+            AdmissionController(start_window=0)
+        with pytest.raises(UsageError):
+            AdmissionController(backoff_factor=1.5)
+
+    def test_stats_shape(self):
+        ctl = AdmissionController()
+        stats = ctl.stats()
+        for key in ("window", "inflight", "target_ms", "observed_p50_ms",
+                    "admitted", "rejected", "backoffs", "adjustments"):
+            assert key in stats
+
+
+class TestOverloadShedding:
+    def test_window_full_sheds_with_overloaded_code(self):
+        service = QueryService(LIBRARY, workers=2)
+        try:
+            # A window of 1 plus a stalled stream occupies the only
+            # admission slot; the next query must be shed immediately.
+            with Server(service, start_window=1, chunk_items=1,
+                        chunk_delay_s=0.2) as server:
+                slow_sock, slow_stream = _raw_connection(server)
+                try:
+                    slow_stream.write(encode_frame(
+                        {"type": "query", "id": 1, "text": "//book"}))
+                    slow_stream.flush()
+                    header = read_frame(slow_stream)
+                    assert header["type"] == "result_header"
+                    with client_mod.connect(*server.address) as cl:
+                        started = time.perf_counter()
+                        with pytest.raises(ServiceOverloadedError):
+                            cl.query("//book")
+                        # Shed fast — no queueing behind the slow one.
+                        assert time.perf_counter() - started < 0.15
+                finally:
+                    slow_sock.close()
+        finally:
+            service.close()

@@ -537,3 +537,20 @@ class TestObsCli:
 
         assert main(["report", "--stats", str(tmp_path / "nope.json")]) == 2
         assert "cannot read stats" in capsys.readouterr().err
+
+    def test_report_rejects_unknown_schema_versions(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps({"schema": 99, "plans": []}),
+                        encoding="utf-8")
+        assert main(["report", "--stats", str(path)]) == 2
+        assert "schema 99" in capsys.readouterr().err
+
+    def test_stats_payloads_declare_schema_1(self):
+        import repro
+
+        with repro.connect("<a><b/></a>") as db:
+            assert db.stats()["schema"] == 1
+            service = db.serve(workers=1)
+            assert service.stats()["schema"] == 1
