@@ -6,7 +6,11 @@ would corrupt every subsequent execution.  This package walks each
 stage of a compiled query against a catalogue of declared invariants
 (stable rule IDs ``AST*``/``BT*``/``NK*``/``DW*``/``PL*``/``SV*`` — see
 :mod:`repro.analysis.rules`) and reports findings with severity,
-location and a remediation hint.
+location and a remediation hint.  The ``QL*`` family
+(:mod:`repro.analysis.query`) is different in kind: it checks the
+query against the *document's* structural summary, and its findings
+license rewrites (static-empty plans, pruned branches) rather than
+refusals.
 
 Three consumers:
 
@@ -28,17 +32,21 @@ from repro.analysis.analyzer import (
     verify_snapshot,
     verify_tree,
 )
+from repro.analysis.query import PruneDecision, QueryLintResult, analyze_query
 from repro.analysis.report import AnalysisReport, Finding
 from repro.analysis.rules import RULES, Rule, Severity, rule_table
 
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "PruneDecision",
+    "QueryLintResult",
     "RULES",
     "Rule",
     "Severity",
     "analyze_artifacts",
     "analyze_plan",
+    "analyze_query",
     "analyze_snapshot",
     "analyze_tree",
     "rule_table",

@@ -12,6 +12,7 @@ prefix    stage
 ``DW``    the Dewey returning-node assignment (Theorems 1 and 2)
 ``PL``    the physical plan (operator/strategy applicability)
 ``SV``    the serving layer (snapshot liveness of cached plans)
+``QL``    query-vs-data satisfiability (structural-summary lint)
 ========  ==========================================================
 
 Severities: an ``error`` means the artifact violates a correctness
@@ -175,6 +176,46 @@ _CATALOGUE: tuple[Rule, ...] = (
          "purge the snapshot's plans (Catalog.purge_snapshot_plans) and "
          "recompile; the query service does this automatically and "
          "retries once"),
+    # -- QL: query-vs-data satisfiability (structural-summary lint).
+    # Unlike the stages above, a QL *error* does not mean the plan is
+    # broken — it means the query provably matches nothing on this
+    # document, so the engine rewrites it (static empty result or a
+    # pruned pattern) instead of refusing it.
+    Rule("QL001", Severity.ERROR, "query", "unsatisfiable step label",
+         "A step's name test references an element label that never "
+         "occurs in the document's structural summary, so the step — "
+         "and every tuple that requires it — matches nothing.",
+         "drop the dead branch, or run with analyze_queries=False if "
+         "the document is about to gain the label"),
+    Rule("QL002", Severity.ERROR, "query", "label never under required ancestor",
+         "The step's label occurs in the document, but never in the "
+         "structural relationship the pattern requires (as a child of "
+         "its parent step's label, or as a descendant of its ancestor "
+         "step's label).",
+         "check the axis (child vs descendant) against the document "
+         "shape; the summary's path table lists where the label occurs"),
+    Rule("QL003", Severity.ERROR, "query", "contradictory value predicates",
+         "The step's value predicates can never hold simultaneously "
+         "after constant folding: equality on two different constants, "
+         "an empty numeric range (e.g. @a > 5 and @a < 3), or a "
+         "constant-false predicate.",
+         "fix the predicate constants; conjunctive predicates on one "
+         "step must be jointly satisfiable"),
+    Rule("QL004", Severity.ERROR, "query", "constant-false where clause",
+         "The FLWOR where clause folds to false for every tuple (a "
+         "constant comparison, or a path the structural summary proves "
+         "empty), so the whole expression returns the empty sequence.",
+         "remove the dead where conjunct, or fix the path it tests"),
+    Rule("QL005", Severity.WARNING, "query", "redundant always-true condition",
+         "A predicate or where clause folds to true for every tuple — "
+         "it filters nothing and only costs evaluation time.",
+         "drop the redundant condition from the query text"),
+    Rule("QL006", Severity.ERROR, "query", "attribute never present on label",
+         "A predicate tests or compares an attribute that the "
+         "structural summary never records on the step's label, so the "
+         "existential attribute test is false for every element.",
+         "check the attribute name against the document shape (XPath "
+         "comparisons over an absent attribute are false, not null)"),
 )
 
 #: rule id -> Rule, in catalogue order.

@@ -67,9 +67,11 @@ class Database:
 
     def __init__(self, doc: Document,
                  slow_query_ms: float | None = None,
-                 feedback: bool = False) -> None:
+                 feedback: bool = False,
+                 analyze_queries: bool = True) -> None:
         self.doc = doc
-        self.engine = Engine(doc, feedback=feedback)
+        self.engine = Engine(doc, feedback=feedback,
+                             analyze_queries=analyze_queries)
         self._updater: DocumentUpdater | None = None
         self._service: QueryService | None = None
         self._server: Server | None = None
@@ -240,6 +242,14 @@ class Database:
                         if self._service is not None
                         and not self._service.closed else None),
             "feedback": self.engine.feedback,
+            "querylint": {
+                "enabled": self.engine.analyze_queries,
+                "summary_paths": (len(self.engine.summary)
+                                  if self.engine.analyze_queries else None),
+                "summary_fingerprint": (
+                    self.engine.summary.fingerprint()
+                    if self.engine.analyze_queries else None),
+            },
         }
 
     def updater(self) -> DocumentUpdater:
@@ -291,7 +301,8 @@ class Database:
         from repro.serve.catalog import Catalog
         from repro.serve.service import QueryService
 
-        catalog = Catalog(feedback=self.engine.feedback)
+        catalog = Catalog(feedback=self.engine.feedback,
+                          analyze_queries=self.engine.analyze_queries)
         catalog.register("main", self.doc)
         self._service = QueryService(
             catalog, workers=workers, max_queue=max_queue,

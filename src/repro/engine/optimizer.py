@@ -32,13 +32,13 @@ from dataclasses import dataclass
 
 from repro.obs.statstore import DemotionRecord, StatsStore
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.pattern.blossom import BlossomTree
+from repro.pattern.blossom import MODE_OPTIONAL, BlossomTree, BlossomVertex
 from repro.physical.twigstack import twig_supported
 from repro.xmlkit.stats import DocumentStats
 
 __all__ = ["PlanChoice", "StrategyAdvisor", "choose_strategy",
-           "PARALLEL_SCAN_THRESHOLD", "MIN_FEEDBACK_SAMPLES",
-           "DEMOTE_MARGIN", "REPROMOTE_MARGIN"]
+           "prune_pattern", "PARALLEL_SCAN_THRESHOLD",
+           "MIN_FEEDBACK_SAMPLES", "DEMOTE_MARGIN", "REPROMOTE_MARGIN"]
 
 #: Minimum arena size (in nodes) before ``auto`` trades the serial
 #: merged scan for partition-parallel scans when the caller offers
@@ -276,3 +276,91 @@ class StrategyAdvisor:
         return PlanChoice(
             settled,
             f"feedback: measured winner over static {static.strategy}")
+
+
+# ----------------------------------------------------------------------
+# Query-lint pruning rewriter.
+# ----------------------------------------------------------------------
+
+def prune_pattern(tree: BlossomTree, prune_vids: list[int]
+                  ) -> tuple[BlossomTree | None, tuple[str, ...]]:
+    """Cut provably-empty optional branches out of a BlossomTree.
+
+    ``prune_vids`` anchors come from the query lint
+    (:func:`repro.analysis.query.analyze_query`): each names the
+    topmost vertex of an optional branch whose match is provably the
+    empty sequence.  A branch is *removable* only when cutting it
+    cannot change any tuple: no vertex in it binds a variable, is
+    returning (output / join endpoint / crossing endpoint), or anchors
+    a crossing edge.  After removal, parents left as inert optional
+    leaves (the BT006 shape) are cascaded away.
+
+    Returns ``(pruned copy, notes)`` — the input tree is never mutated
+    (cached compilations share it) — or ``(None, ())`` when no anchor
+    is removable.  The copy renumbers vertex ids densely and preserves
+    root order, variable bindings, crossing edges and residual
+    where-conjuncts, so it passes the same BT/NK/DW verification as a
+    freshly built tree.
+    """
+    by_vid = {v.vid: v for v in tree.vertices}
+    removed: set[int] = set()
+    notes: list[str] = []
+    for vid in prune_vids:
+        anchor = by_vid.get(vid)
+        if anchor is None or anchor.parent_edge is None \
+                or vid in removed:
+            continue
+        subtree = list(tree.iter_subtree(anchor))
+        if any(v.variables or v.returning for v in subtree):
+            continue
+        removed.update(v.vid for v in subtree)
+        notes.append(f"pruned empty branch at V{anchor.vid} "
+                     f"('{anchor.name}', {len(subtree)} vertex(es))")
+    if not removed:
+        return None, ()
+    # Cascade: a parent reduced to an inert optional leaf goes too.
+    changed = True
+    while changed:
+        changed = False
+        for vertex in tree.vertices:
+            if vertex.vid in removed or vertex.parent_edge is None:
+                continue
+            if vertex.parent_edge.mode != MODE_OPTIONAL:
+                continue
+            if vertex.variables or vertex.returning \
+                    or vertex.value_predicates:
+                continue
+            if all(c.vid in removed for c in vertex.children()):
+                removed.add(vertex.vid)
+                notes.append(f"cascaded inert optional leaf V{vertex.vid} "
+                             f"('{vertex.name}')")
+                changed = True
+    pruned = BlossomTree()
+    mapping: dict[int, BlossomVertex] = {}
+    for root in tree.roots:
+        for vertex in tree.iter_subtree(root):
+            if vertex.vid in removed:
+                continue
+            copy = (pruned.new_root(vertex.name)
+                    if vertex.parent_edge is None
+                    else pruned.new_vertex(vertex.name))
+            copy.value_predicates = list(vertex.value_predicates)
+            mapping[vertex.vid] = copy
+    for edge in tree.tree_edges:
+        if edge.parent.vid in mapping and edge.child.vid in mapping:
+            pruned.add_edge(mapping[edge.parent.vid],
+                            mapping[edge.child.vid], edge.axis, edge.mode)
+    for vertex in tree.vertices:
+        if vertex.vid not in mapping:
+            continue
+        for name in vertex.variables:
+            pruned.bind_variable(name, mapping[vertex.vid],
+                                 vertex.var_kinds[name])
+    for crossing in tree.crossing_edges:
+        pruned.add_crossing(mapping[crossing.u.vid], mapping[crossing.v.vid],
+                            crossing.relation, crossing.negated)
+    for vertex in tree.vertices:          # returning flags last (upward
+        if vertex.vid in mapping:         # closure already held)
+            mapping[vertex.vid].returning = vertex.returning
+    pruned.residual_where = list(tree.residual_where)
+    return pruned, tuple(notes)

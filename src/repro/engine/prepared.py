@@ -56,6 +56,17 @@ class CachedPlan:
     #: outside the serving layer).  The catalog's SV001 gate compares
     #: it against the dropped-snapshot set before reusing the plan.
     snapshot_id: int | None = None
+    #: Query lint proved the pattern matches nothing on this document
+    #: shape: execution short-circuits to the empty sequence without
+    #: scanning (the artifacts slot is ``None``).
+    static_empty: bool = False
+    #: Human-readable notes of the pruning rewrites applied while
+    #: building this plan (empty when the plan runs the tree as
+    #: compiled); surfaced by ``explain``/``explain_analyze``.
+    rewrites: tuple[str, ...] = ()
+    #: QL rule IDs the lint pass reported for this query (findings,
+    #: whether or not they led to a rewrite).
+    lint_rules: tuple[str, ...] = ()
 
 
 def normalize_bindings(parameters: frozenset[str],

@@ -50,9 +50,11 @@ from __future__ import annotations
 
 import sys
 import time
+from collections import OrderedDict
 
 from repro.analysis import verify_plan
 from repro.analysis.analyzer import VERIFY_RUNS
+from repro.analysis.query import QueryLintResult, analyze_query
 from repro.errors import CompileError, DNFError, QueryTimeoutError, UsageError
 from repro.obs.metrics import REGISTRY
 from repro.obs.statstore import STATS_RECOSTS, StatsStore
@@ -61,6 +63,7 @@ from repro.pattern.artifact import prepare_artifacts
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import CancellationToken, ScanCounters
+from repro.xmlkit.summary import StructuralSummary, build_summary
 from repro.xmlkit.tree import Document
 from repro.xquery.ast import FLWOR, QueryExpr
 from repro.engine._compat import absorb_positional
@@ -71,6 +74,7 @@ from repro.engine.optimizer import (
     PlanChoice,
     StrategyAdvisor,
     choose_strategy,
+    prune_pattern,
 )
 from repro.engine.plancache import PlanCache, normalize_query_text
 from repro.engine.prepared import (
@@ -121,6 +125,12 @@ _INTERMEDIATE = REGISTRY.counter("repro_intermediate_results_total",
                                  "NestedLists buffered between operators")
 _PEAK = REGISTRY.gauge("repro_peak_buffered",
                        "Peak NestedLists held in memory (max over queries)")
+_QUERYLINT_EMPTY = REGISTRY.counter(
+    "repro_querylint_static_empty_total",
+    "Queries answered by the static-empty rewrite (no scan executed)")
+
+#: Shared empty foreign-uri set (the common no-extra-documents case).
+_NO_FOREIGN: frozenset[str] = frozenset()
 
 
 class _SubstitutingEvaluator(DirectEvaluator):
@@ -185,9 +195,18 @@ class Engine:
                  snapshot_id: int | None = None,
                  stats_store: StatsStore | None = None,
                  record_stats: bool = True,
-                 feedback: bool = False) -> None:
+                 feedback: bool = False,
+                 analyze_queries: bool = True) -> None:
         self.doc = doc
         self.documents = dict(documents or {})
+        #: Uris resolving to other documents, precomputed once (the
+        #: document map is fixed for an engine's lifetime) — the query
+        #: lint must not judge paths into these against the primary
+        #: document's structural summary.
+        self._foreign: frozenset[str] = (
+            frozenset(uri for uri, d in self.documents.items()
+                      if d is not doc)
+            if self.documents else _NO_FOREIGN)
         self.work_budget = work_budget
         self.index = TagIndex(doc)
         #: Executor used for partition scan tasks of parallel plans
@@ -195,6 +214,22 @@ class Engine:
         #: installs its own so partition tasks ride the serve workers).
         self.scan_executor = None
         self._stats: DocumentStats | None = None
+        #: Run the structural-summary query lint (QL rules) at compile
+        #: time and apply its pruning rewrites.  ``False`` is the escape
+        #: hatch (and the differential-testing oracle): every query runs
+        #: its unrewritten plan.
+        self.analyze_queries = analyze_queries
+        self._summary: StructuralSummary | None = None
+        #: Lint results memoized by (normalized text, summary digest,
+        #: foreign-doc set).  The lint is a pure function of that key —
+        #: compilation is deterministic, so vertex ids line up across
+        #: rebuilds of the same text — which keeps recompiles (plan-
+        #: cache evictions, per-strategy plan variants) at dict-lookup
+        #: cost instead of a fresh pattern walk.
+        self._lint_memo: OrderedDict[tuple, QueryLintResult] = OrderedDict()
+        #: Memoized :meth:`stats_fingerprint` tuple; dropped with the
+        #: stats/summary it derives from (:meth:`notify_update`).
+        self._fingerprint_cache: tuple | None = None
         self.last_plan: str | None = None
         #: Trace of the most recent ``trace=True`` query (also populated
         #: when the query aborted on a budget trip, so DNFs stay
@@ -333,6 +368,9 @@ class Engine:
         """
         self._doc_version += 1
         self._stats = None
+        self._summary = None
+        self._fingerprint_cache = None
+        self._lint_memo.clear()
         self.index.invalidate()
         self.plan_cache.invalidate("update")
 
@@ -343,10 +381,39 @@ class Engine:
         instead of the local mutation counter, so engines sharing one
         plan cache across document versions never alias entries — the
         atomic-invalidation contract of the serving layer.
+
+        With query lint enabled the structural summary's digest joins
+        the tuple: a QL-pruned plan is only valid for the exact document
+        shape it was pruned against, so the shape must key the cache.
         """
+        cached = self._fingerprint_cache
+        if cached is not None:
+            return cached
         if self.snapshot_id is not None:
-            return ("snapshot", self.snapshot_id) + self.stats.fingerprint()
-        return (self._doc_version,) + self.stats.fingerprint()
+            base = ("snapshot", self.snapshot_id) + self.stats.fingerprint()
+        else:
+            base = (self._doc_version,) + self.stats.fingerprint()
+        if self.analyze_queries:
+            base = base + (self.summary.fingerprint(),)
+        self._fingerprint_cache = base
+        return base
+
+    def cached_static_empty(self, text: str, strategy: str = "auto",
+                            parallelism: int = 1) -> bool:
+        """Whether the cache already holds a static-empty plan for
+        ``text`` (exact key, current document shape).
+
+        A pure peek — no compile, no cache-counter side effects.  The
+        query service uses it to answer provably-empty queries inline
+        instead of occupying a worker slot.
+        """
+        if not self.analyze_queries:
+            return False
+        key = (normalize_query_text(text), strategy, parallelism,
+               self.stats_fingerprint())
+        plan = self.plan_cache.peek(key)
+        return plan is not None and bool(getattr(plan, "static_empty",
+                                                 False))
 
     # ------------------------------------------------------------------
     # Serving shell (shared by query() and PreparedQuery.execute()).
@@ -522,11 +589,49 @@ class Engine:
                     external=compiled.parameters).raise_errors(compiled.source)
         choice = self._resolve_strategy(compiled, strategy, tracer,
                                         parallelism)
-        artifacts = None
-        if compiled.tree is not None \
+        # Query lint (QL rules): check the pattern against the document's
+        # structural summary and rewrite provably-empty work away.  The
+        # naive/xhive baselines stay lint-free so they remain faithful
+        # differential oracles for the rewrites.
+        lint: QueryLintResult | None = None
+        rewrites: tuple[str, ...] = ()
+        exec_tree = compiled.tree
+        if self.analyze_queries and compiled.tree is not None \
+                and strategy not in ("naive", "xhive") \
                 and choice.strategy not in ("naive", "xhive"):
+            # Memo hit inline (the warm-compile common case): one dict
+            # lookup, no method call.  Falls back to the full path on a
+            # miss or when there is no plan-cache key to derive it from.
+            norm = memo_key[0] if memo_key else None
+            fp = self._fingerprint_cache
+            if norm is not None and fp is not None:
+                lint = self._lint_memo.get((norm, fp[-1], self._foreign))
+            if lint is None:
+                lint = self._lint_compiled(compiled, norm_text=norm)
+            if tracer is not NULL_TRACER:
+                with tracer.span("query-lint") as span:
+                    span.set(findings=len(lint.report.findings),
+                             rules=",".join(lint.rules) or "-",
+                             static_empty=lint.static_empty)
+            if lint.static_empty:
+                choice = PlanChoice(
+                    "static-empty",
+                    f"query lint: {lint.static_empty_reason()}")
+                rewrites = ("short-circuit to static empty result: "
+                            f"{lint.static_empty_reason()}",)
+            else:
+                vids = lint.prune_vids()
+                if vids:
+                    pruned, notes = prune_pattern(compiled.tree, vids)
+                    if pruned is not None:
+                        exec_tree = pruned
+                        rewrites = notes
+        artifacts = None
+        if exec_tree is not None \
+                and choice.strategy not in ("naive", "xhive",
+                                            "static-empty"):
             with tracer.span("prepare-artifacts") as span:
-                artifacts = prepare_artifacts(compiled.tree)
+                artifacts = prepare_artifacts(exec_tree)
                 span.set(noks=len(artifacts.decomposition.noks))
         if choice.strategy == "parallel" and strategy == "auto" \
                 and artifacts is not None:
@@ -544,14 +649,18 @@ class Engine:
                     "parallel upgrade withdrawn: plan has non-partition-"
                     "safe NoKs (PL004); serial merged scan instead")
         if self.feedback and strategy == "auto" and isinstance(text, str) \
-                and compiled.tree is not None:
+                and compiled.tree is not None \
+                and choice.strategy != "static-empty":
             # The advisor only ever moves between pattern strategies
             # (pipelined/stack/twigstack/parallel), whose artifacts were
             # built above regardless of which of them was static.
             choice = self._advise(compiled, choice,
                                   normalize_query_text(text), parallelism)
         plan = CachedPlan(compiled, choice, artifacts, strategy,
-                          snapshot_id=self.snapshot_id)
+                          snapshot_id=self.snapshot_id,
+                          static_empty=choice.strategy == "static-empty",
+                          rewrites=rewrites,
+                          lint_rules=lint.rules if lint is not None else ())
         # Validate-on-compile: every stage of the compiled artifact is
         # checked against the invariant catalogue before the plan can be
         # cached or executed; error findings raise PlanInvariantError.
@@ -560,10 +669,14 @@ class Engine:
         else:
             with tracer.span("verify-plan") as span:
                 # tree_verified: compile_query already ran the AST and
-                # BlossomTree passes over these exact objects.
+                # BlossomTree passes over these exact objects.  A pruned
+                # tree is a *new* object the compiler never saw, so the
+                # rewrite forfeits the shortcut and gets the full check.
+                tree_verified = (compiled.tree is not None
+                                 and exec_tree is compiled.tree)
                 report = verify_plan(plan,
                                      recursive_document=self.stats.recursive,
-                                     tree_verified=compiled.tree is not None)
+                                     tree_verified=tree_verified)
                 span.set(findings=len(report.findings),
                          rules=",".join(report.rule_ids()) or "-")
             if memo_key is not None:
@@ -649,6 +762,22 @@ class Engine:
         self.last_plan = str(choice)
         self._last_strategy = choice.strategy
         values = normalize_bindings(compiled.parameters, bindings)
+
+        if plan.static_empty:
+            # Query lint proved the pattern matches nothing on this
+            # document shape: answer without scanning a single node.
+            _QUERYLINT_EMPTY.inc()
+            with tracer.span("execute", plan="static-empty"):
+                if compiled.query is compiled.flwor:
+                    return QueryResult([])
+                # The FLWOR core is empty but it sits inside a larger
+                # expression (e.g. element construction): substitute []
+                # for the core and evaluate the rest normally.
+                wrapper = _SubstitutingEvaluator(self.doc,
+                                                 self._resolve_doc,
+                                                 compiled.flwor, [])
+                return QueryResult(
+                    wrapper.eval_query_expr(compiled.query, dict(values)))
 
         if choice.strategy == "naive":
             with tracer.span("execute", plan="naive"):
@@ -762,7 +891,28 @@ class Engine:
         """Describe the plan that ``query`` would run (without running it)."""
         compiled = compile_query(text)
         choice = self._resolve_strategy(compiled, strategy)
+        lint: QueryLintResult | None = None
+        rewrites: list[str] = []
+        if self.analyze_queries and compiled.tree is not None \
+                and strategy not in ("naive", "xhive") \
+                and choice.strategy not in ("naive", "xhive"):
+            lint = self._lint_compiled(compiled)
+            if lint.static_empty:
+                choice = PlanChoice(
+                    "static-empty",
+                    f"query lint: {lint.static_empty_reason()}")
+                rewrites = ["short-circuit to static empty result: "
+                            f"{lint.static_empty_reason()}"]
+            elif lint.prune_vids():
+                _pruned, notes = prune_pattern(compiled.tree,
+                                               lint.prune_vids())
+                rewrites = list(notes)
         lines = [f"strategy: {choice}"]
+        if lint is not None and lint.report.findings:
+            lines.append("query lint:")
+            lines.extend(f"  {line}" for line in lint.describe())
+        for note in rewrites:
+            lines.append(f"rewrite: {note}")
         if compiled.flwor is not None and not compiled.is_bare_path:
             from repro.xquery.semantics import analyze
 
@@ -901,12 +1051,67 @@ class Engine:
             self._stats = compute_stats(self.doc, with_size=False)
         return self._stats
 
+    @property
+    def summary(self) -> StructuralSummary:
+        """Structural summary of the primary document (computed once).
+
+        Like :attr:`stats`, dropped by :meth:`notify_update`; a
+        snapshot-bound engine gets the catalog's per-snapshot instance
+        injected instead (see :meth:`Catalog.engine_for
+        <repro.serve.catalog.Catalog.engine_for>`).
+        """
+        if self._summary is None:
+            self._summary = build_summary(self.doc)
+        return self._summary
+
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
     def _resolve_doc(self, uri: str) -> Document:
         return self.documents.get(uri, self.doc)
+
+    #: Bound on the lint memo — generous for any real query mix, tight
+    #: enough that an adversarial stream of distinct texts stays O(1).
+    _LINT_MEMO_MAX = 512
+
+    def _lint_compiled(self, compiled: CompiledQuery,
+                       norm_text: str | None = None) -> QueryLintResult:
+        """Run (or recall) the QL lint for one compilation.
+
+        Memoized on (normalized text, summary digest, foreign-doc set):
+        the lint reads nothing else, and deterministic compilation
+        guarantees the memoized prune vertex-ids line up with any fresh
+        BlossomTree built from the same text.  This keeps the lint's
+        share of a warm compile at dictionary-lookup cost — the ≤2%
+        overhead budget the PR-8 benchmark pins.  ``norm_text`` lets
+        callers that already normalized the text (the plan-cache key)
+        skip re-normalizing it here.
+        """
+        source = compiled.source
+        key = None
+        if norm_text is None and isinstance(source, str) and source:
+            norm_text = normalize_query_text(source)
+        if norm_text:
+            # With lint enabled the cached stats fingerprint ends with
+            # the summary digest — reuse it instead of re-deriving.
+            fp = self._fingerprint_cache
+            key = (norm_text,
+                   fp[-1] if fp is not None else self.summary.fingerprint(),
+                   self._foreign)
+            cached = self._lint_memo.get(key)
+            if cached is not None:
+                return cached
+        lint = analyze_query(
+            compiled.tree, self.summary,
+            flwor=None if compiled.is_bare_path else compiled.flwor,
+            source=source if isinstance(source, str) else "<query>",
+            foreign_uris=self._foreign)
+        if key is not None:
+            self._lint_memo[key] = lint
+            if len(self._lint_memo) > self._LINT_MEMO_MAX:
+                self._lint_memo.popitem(last=False)
+        return lint
 
     def _resolve_strategy(self, compiled: CompiledQuery, strategy: str,
                           tracer: Tracer | None = None,

@@ -294,6 +294,11 @@ def _run_report(args: argparse.Namespace) -> int:
         print(f"error: cannot read stats from {args.stats!r}: {exc}",
               file=sys.stderr)
         return 2
+    if payload.get("tool") == "repro.analysis":
+        print("error: this is a repro.analysis report, not a stats "
+              "snapshot; validate it with "
+              "'python -m repro.analysis --check-report'", file=sys.stderr)
+        return 2
     schema = payload.get("schema", STATS_SCHEMA)
     if schema != STATS_SCHEMA:
         print(f"error: stats payload declares schema {schema!r}; this "

@@ -37,6 +37,7 @@ from repro.obs.statstore import StatsStore
 from repro.serve.snapshot import Snapshot, SnapshotUpdater
 from repro.xmlkit.index import TagIndex
 from repro.xmlkit.parser import parse
+from repro.xmlkit.summary import StructuralSummary
 from repro.xmlkit.stats import compute_stats
 from repro.xmlkit.tree import Document
 from repro.xmlkit.update import UpdateReport
@@ -58,7 +59,7 @@ class _Entry:
     """Per-document state; all fields guarded by the catalog lock."""
 
     __slots__ = ("name", "current", "pins", "dropped", "plan_cache",
-                 "engines", "tag_indexes", "stats_store")
+                 "engines", "tag_indexes", "stats_store", "summaries")
 
     def __init__(self, name: str, snapshot: Snapshot,
                  plan_cache_capacity: int) -> None:
@@ -83,13 +84,18 @@ class _Entry:
         #: paths share the materialized lists however the engine is
         #: (re)created.
         self.tag_indexes: dict[int, TagIndex] = {}
+        #: snapshot_id -> the version's structural summary (query-lint
+        #: oracle).  Cached like the tag index: snapshots are immutable,
+        #: so it is built at most once per version and dropped with it.
+        self.summaries: dict[int, StructuralSummary] = {}
 
 
 class Catalog:
     """A registry of named documents with snapshot-isolated versions."""
 
     def __init__(self, plan_cache_capacity: int = 128,
-                 feedback: bool = False) -> None:
+                 feedback: bool = False,
+                 analyze_queries: bool = True) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, _Entry] = {}
         self._next_id = 1
@@ -97,6 +103,9 @@ class Catalog:
         #: Feedback-driven strategy selection for every snapshot engine
         #: this catalog creates (see :class:`repro.engine.session.Engine`).
         self.feedback = feedback
+        #: Query lint + pruning rewrites for every snapshot engine this
+        #: catalog creates; ``False`` is the differential escape hatch.
+        self.analyze_queries = analyze_queries
         self._retire_listeners: list[Callable[[Snapshot], None]] = []
 
     # ------------------------------------------------------------------
@@ -184,7 +193,8 @@ class Catalog:
                 engine = Engine(snapshot.doc, plan_cache=entry.plan_cache,
                                 snapshot_id=sid,
                                 stats_store=entry.stats_store,
-                                feedback=self.feedback)
+                                feedback=self.feedback,
+                                analyze_queries=self.analyze_queries)
                 engine._stats = snapshot.stats
                 engine.plan_gate = self._make_gate(entry)
                 index = entry.tag_indexes.get(sid)
@@ -192,8 +202,29 @@ class Catalog:
                     index = entry.tag_indexes[sid] = engine.index
                 else:
                     engine.index = index
+                summary = entry.summaries.get(sid)
+                if self.analyze_queries:
+                    # Share one summary per immutable snapshot however
+                    # the engine is (re)created, like the tag index.
+                    if summary is None:
+                        summary = entry.summaries[sid] = engine.summary
+                    else:
+                        engine._summary = summary
                 entry.engines[sid] = engine
             return engine
+
+    def cached_engine(self, snapshot: Snapshot) -> Engine | None:
+        """Pure peek: the snapshot's engine if one was already built.
+
+        Never constructs anything — the serve fast path uses this on
+        the submitting thread, where creating an engine (statistics,
+        tag index, summary) would stall the caller.
+        """
+        with self._lock:
+            entry = self._entries.get(snapshot.name)
+            if entry is None:
+                return None
+            return entry.engines.get(snapshot.snapshot_id)
 
     # ------------------------------------------------------------------
     # Writer protocol: copy-on-write batches.
@@ -308,6 +339,7 @@ class Catalog:
         entry.dropped.add(sid)
         entry.engines.pop(sid, None)
         entry.tag_indexes.pop(sid, None)
+        entry.summaries.pop(sid, None)
         _RETIRES.inc()
         _LIVE.set(self._live_count())
         return snapshot

@@ -87,12 +87,16 @@ _UTILIZATION = REGISTRY.gauge(
 _SERVICE_TIMEOUTS = REGISTRY.counter(
     "repro_service_timeouts_total",
     "Served queries that missed their deadline (in queue or executing)")
+_QUERYLINT_FASTPATH = REGISTRY.counter(
+    "repro_querylint_fastpath_total",
+    "Statically-empty queries answered inline without a worker slot")
 
 #: Per-service telemetry counter names (the local mirror of the
 #: process-wide families above, so two services never mix numbers).
 _SERVICE_COUNTERS = ("submitted", "completed", "failed", "timeouts",
                      "rejections", "coalesced", "result_cache_hits",
-                     "result_cache_misses", "slow_queries")
+                     "result_cache_misses", "slow_queries",
+                     "static_empty_fastpath")
 
 
 @dataclass
@@ -202,7 +206,8 @@ class QueryService:
                  result_cache_size: int = 256,
                  default_document: str = "main",
                  slow_query_ms: float | None = None,
-                 slow_log: SlowQueryLog | None = None) -> None:
+                 slow_log: SlowQueryLog | None = None,
+                 analyze_queries: bool = True) -> None:
         if workers < 1:
             raise UsageError(f"workers must be >= 1, got {workers}")
         if max_queue < 1:
@@ -210,7 +215,7 @@ class QueryService:
         if isinstance(source, Catalog):
             self.catalog = source
         else:
-            self.catalog = Catalog()
+            self.catalog = Catalog(analyze_queries=analyze_queries)
             self.catalog.register(default_document, source)
         self.default_document = default_document
         self.default_timeout_ms = default_timeout_ms
@@ -277,10 +282,18 @@ class QueryService:
         Raises :class:`~repro.errors.ServiceOverloadedError` when the
         queue is full and :class:`~repro.errors.UsageError` after
         :meth:`close`.
+
+        A query the lint already proved statically empty (a cached
+        ``static-empty`` plan for the current snapshot) is answered
+        *inline* on the submitting thread — no queue slot, no worker:
+        provably-empty traffic can never crowd out real work.
         """
-        return self._enqueue([self._request(text, doc, strategy, params,
-                                            timeout_ms, trace,
-                                            parallelism, client)])[0]
+        request = self._request(text, doc, strategy, params,
+                                timeout_ms, trace, parallelism, client)
+        fast = self._try_static_empty(request)
+        if fast is not None:
+            return fast
+        return self._enqueue([request])[0]
 
     def query(self, text: str, *, doc: str | None = None,
               strategy: str = "auto", params: Mapping | None = None,
@@ -449,6 +462,10 @@ class QueryService:
                               if lookups else None),
             },
             "documents": documents,
+            "querylint": {
+                "enabled": getattr(self.catalog, "analyze_queries", True),
+                "static_empty_fastpath": counts["static_empty_fastpath"],
+            },
             "slow_queries": (
                 None if self.slow_log is None else {
                     "threshold_ms": self.slow_log.threshold_ms,
@@ -473,6 +490,55 @@ class QueryService:
                         params, trace, timeout_ms,
                         _effective_parallelism(strategy, parallelism),
                         client)
+
+    def _try_static_empty(self, request: _Request) -> Future | None:
+        """Answer a provably-empty query inline, if it is known to be.
+
+        Only un-parameterized, un-traced requests qualify (the same
+        population the result cache serves), and only when the shared
+        plan cache already holds a ``static-empty`` plan for this exact
+        (query, strategy, parallelism, snapshot shape) — a pure peek,
+        so clean queries pay one dictionary lookup.  The execution
+        itself is the engine's static-empty short-circuit: no scan, so
+        running it on the submitting thread is cheaper than the
+        queue/worker handoff it replaces.  Any surprise (a racing
+        publish, a failed lookup) falls back to normal admission.
+        """
+        if request.params is not None or request.trace:
+            return None
+        with self._cond:
+            if self._closed:
+                raise UsageError("query service is closed")
+        started = time.perf_counter()
+        try:
+            snapshot = self.catalog.pin(request.doc)
+        except Exception:
+            return None   # unknown doc: the queue path raises properly
+        try:
+            # Pure peek: an engine the workers already built.  A first
+            # submission (no engine yet, so no cached plan either) just
+            # takes the queue path; constructing one here would stall
+            # the submitting thread on stats/index/summary builds.
+            engine = self.catalog.cached_engine(snapshot)
+            if engine is None or not engine.cached_static_empty(
+                    request.text, request.strategy, request.parallelism):
+                return None
+            result = engine.query(request.text, strategy=request.strategy,
+                                  parallelism=request.parallelism)
+        except Exception:
+            return None   # let the worker path surface the real error
+        finally:
+            self.catalog.unpin(snapshot)
+        run_ms = (time.perf_counter() - started) * 1e3
+        _QUERYLINT_FASTPATH.inc()
+        self._count("submitted")
+        self._count("completed")
+        self._count("static_empty_fastpath")
+        _RUN_MS.observe(run_ms)
+        future: Future = Future()
+        future.set_result(ServeResult(result, snapshot, 0.0, run_ms,
+                                      attempts=1, cached=False))
+        return future
 
     def _enqueue(self, requests: list[_Request]) -> list[Future]:
         with self._cond:

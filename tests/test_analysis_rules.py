@@ -312,7 +312,8 @@ class TestEnforcementGates:
 
 class TestCatalogue:
     def test_every_rule_has_stage_severity_and_remediation(self):
-        stages = {"ast", "blossom", "decomposition", "dewey", "plan", "serve"}
+        stages = {"ast", "blossom", "decomposition", "dewey", "plan",
+                  "serve", "query"}
         for rule in RULES.values():
             assert rule.stage in stages
             assert isinstance(rule.severity, Severity)
@@ -327,12 +328,13 @@ class TestCatalogue:
             "DW001", "DW002",
             "PL001", "PL002", "PL003", "PL004",
             "SV001",
+            "QL001", "QL002", "QL003", "QL004", "QL005", "QL006",
         }
 
-    def test_pl003_is_the_only_warning(self):
+    def test_warning_rules(self):
         warnings = [r.rule_id for r in RULES.values()
                     if r.severity is Severity.WARNING]
-        assert warnings == ["PL003"]
+        assert warnings == ["PL003", "QL005"]
 
     def test_finding_format_is_lint_style(self):
         tree = artifacts_for(TWIG).tree

@@ -1,0 +1,294 @@
+"""Query-vs-data lint (QL rules), pruning rewrites and the serve fast path."""
+
+import json
+
+import pytest
+
+from repro.analysis.query import analyze_query
+from repro.engine import Engine, compile_query
+from repro.engine.database import Database
+from repro.obs.metrics import REGISTRY
+from repro.serve import QueryService
+from repro.xmlkit.parser import parse
+from repro.xmlkit.summary import build_summary
+from tests.conftest import SMALL_BIB
+
+_FINDINGS = REGISTRY.counter("repro_querylint_findings_total", "")
+_REWRITES = REGISTRY.counter("repro_querylint_rewrites_total", "")
+_STATIC_EMPTY = REGISTRY.counter("repro_querylint_static_empty_total", "")
+_FASTPATH = REGISTRY.counter("repro_querylint_fastpath_total", "")
+
+
+def lint(text, doc_text=SMALL_BIB):
+    """Compile + lint one query against a document's summary."""
+    compiled = compile_query(text)
+    assert compiled.tree is not None, "query left the pattern subset"
+    return analyze_query(
+        compiled.tree, build_summary(parse(doc_text)),
+        flwor=None if compiled.is_bare_path else compiled.flwor,
+        source="<test>")
+
+
+class TestRuleMatrix:
+    """Which QL rule fires, and which rewrite it licenses."""
+
+    def test_ql001_absent_label_is_static_empty(self):
+        result = lint("//zzz/title")
+        assert "QL001" in result.report.rule_ids()
+        assert result.static_empty
+        assert "zzz" in result.static_empty_reason()
+
+    def test_ql002_wrong_child_relationship(self):
+        result = lint("//title/book")
+        assert "QL002" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_ql002_wrong_descendant_relationship(self):
+        result = lint("//author//price")
+        assert "QL002" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_ql003_contradictory_equalities(self):
+        result = lint('//book[@year = "1994" and @year = "2000"]/title')
+        assert "QL003" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_ql003_empty_numeric_range(self):
+        result = lint("//book[@year > 2005 and @year < 2000]/title")
+        assert "QL003" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_ql004_constant_false_where(self):
+        result = lint("for $b in //book where 1 = 2 return $b/title")
+        assert "QL004" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_ql004_where_over_provably_empty_path(self):
+        result = lint("for $b in //book where $b/zzz return $b/title")
+        assert "QL004" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_ql005_constant_true_where_is_warning_only(self):
+        result = lint("for $b in //book where 1 = 1 return $b/title")
+        assert result.report.rule_ids() == ["QL005"]
+        assert not result.static_empty
+        assert not result.report.errors and result.report.warnings
+
+    def test_ql005_negated_empty_path_is_not_empty(self):
+        # not(empty) is constant TRUE: filters nothing, prunes nothing.
+        result = lint("for $b in //book where not($b/zzz) return $b/title")
+        assert "QL005" in result.report.rule_ids()
+        assert not result.static_empty
+
+    def test_ql006_attribute_never_present(self):
+        result = lint('//book[@isbn = "1"]/title')
+        assert "QL006" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_return_path_provably_empty(self):
+        result = lint("for $b in //book return $b/zzz")
+        assert "QL001" in result.report.rule_ids()
+        assert result.static_empty
+
+    def test_clean_query_has_no_findings(self):
+        result = lint('//book[@year = "1994"]/title')
+        assert result.report.clean
+        assert not result.decisions
+
+    def test_findings_carry_summary_fingerprint(self):
+        result = lint("//zzz")
+        assert result.summary_fingerprint \
+            == build_summary(parse(SMALL_BIB)).fingerprint()
+
+    def test_counters_move(self):
+        before = (_FINDINGS.value(rule="QL001"),
+                  _REWRITES.value(kind="static-empty"))
+        lint("//zzz/title")
+        assert _FINDINGS.value(rule="QL001") > before[0]
+        assert _REWRITES.value(kind="static-empty") > before[1]
+
+
+class TestEngineIntegration:
+    def test_static_empty_plan_short_circuits(self, small_bib):
+        engine = Engine(small_bib)
+        result = engine.query("//zzz/title")
+        assert len(result) == 0
+        assert "static-empty" in engine.last_plan
+        assert "QL001" in engine.last_plan
+
+    def test_static_empty_counter_moves(self, small_bib):
+        engine = Engine(small_bib)
+        before = _STATIC_EMPTY.value()
+        engine.query("//zzz")
+        assert _STATIC_EMPTY.value() == before + 1
+
+    def test_static_empty_flwor_with_constructor(self, small_bib):
+        engine = Engine(small_bib)
+        result = engine.query(
+            "<out>{ for $b in //book where 1 = 2 return $b/title }</out>")
+        assert result.serialize() == "<out/>"
+        assert "static-empty" in engine.last_plan
+
+    def test_cached_static_empty(self, small_bib):
+        engine = Engine(small_bib)
+        assert not engine.cached_static_empty("//zzz")     # not compiled yet
+        engine.query("//zzz")
+        assert engine.cached_static_empty("//zzz")
+        engine.query("//book/title")
+        assert not engine.cached_static_empty("//book/title")
+
+    def test_escape_hatch_disables_lint(self, small_bib):
+        engine = Engine(small_bib, analyze_queries=False)
+        result = engine.query("//zzz/title")
+        assert len(result) == 0
+        assert "static-empty" not in engine.last_plan
+        assert not engine.cached_static_empty("//zzz/title")
+
+    def test_fingerprint_includes_summary_only_when_enabled(self, small_bib):
+        on = Engine(small_bib).stats_fingerprint()
+        off = Engine(small_bib, analyze_queries=False).stats_fingerprint()
+        assert on[:-1] == off
+        assert isinstance(on[-1], str)
+
+    def test_baseline_strategies_bypass_lint(self, small_bib):
+        engine = Engine(small_bib)
+        assert engine.query("//zzz", strategy="naive").serialize() == ""
+        assert "static-empty" not in engine.last_plan
+
+    def test_foreign_documents_are_exempt(self, small_bib, recursive_doc):
+        # `section` exists only in sections.xml: the primary document's
+        # summary has no authority over it, so nothing may be pruned.
+        engine = Engine(small_bib,
+                        documents={"sections.xml": recursive_doc})
+        result = engine.query(
+            'for $s in doc("sections.xml")//section return $s/title')
+        assert len(result) == 4
+        assert "static-empty" not in engine.last_plan
+
+    def test_explain_reports_lint_and_rewrite(self, small_bib):
+        engine = Engine(small_bib)
+        text = engine.explain("//zzz/title")
+        assert "query lint:" in text
+        assert "QL001" in text
+        assert "rewrite:" in text
+        assert "static-empty" in text
+
+    def test_explain_clean_query_has_no_lint_section(self, small_bib):
+        engine = Engine(small_bib)
+        assert "query lint:" not in engine.explain("//book/title")
+
+    def test_db_stats_subsection(self):
+        db = Database.from_xml(SMALL_BIB)
+        section = db.stats()["querylint"]
+        assert section["enabled"] is True
+        assert section["summary_paths"] > 0
+        assert isinstance(section["summary_fingerprint"], str)
+        off = Database.from_xml(SMALL_BIB).__class__(
+            parse(SMALL_BIB), analyze_queries=False)
+        assert off.stats()["querylint"]["enabled"] is False
+
+
+class TestServeFastPath:
+    def test_second_submission_skips_the_queue(self):
+        service = QueryService(SMALL_BIB, workers=1)
+        try:
+            before = _FASTPATH.value()
+            first = service.query("//zzz/title")        # compiles + caches
+            assert len(first) == 0
+            second = service.query("//zzz/title")
+            assert len(second) == 0
+            assert _FASTPATH.value() == before + 1
+            stats = service.stats()
+            assert stats["querylint"]["enabled"] is True
+            assert stats["querylint"]["static_empty_fastpath"] == 1
+            assert stats["counters"]["static_empty_fastpath"] == 1
+        finally:
+            service.close()
+
+    def test_fast_path_result_is_well_formed(self):
+        service = QueryService(SMALL_BIB, workers=1)
+        try:
+            service.query("//zzz")
+            result = service.query("//zzz")
+            assert result.serialize() == ""
+            assert result.attempts == 1
+            assert result.wait_ms == 0.0
+        finally:
+            service.close()
+
+    def test_fast_path_disabled_with_lint_off(self):
+        service = QueryService(SMALL_BIB, workers=1, analyze_queries=False)
+        try:
+            before = _FASTPATH.value()
+            service.query("//zzz")
+            service.query("//zzz")
+            assert _FASTPATH.value() == before
+            assert service.stats()["querylint"]["enabled"] is False
+        finally:
+            service.close()
+
+
+class TestCli:
+    def test_lint_examples_and_workloads_clean(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["--lint", "--examples", "--workloads", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_flags_unsatisfiable_file(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        query = tmp_path / "dead.xq"
+        query.write_text("//zzz/title")
+        assert main(["--lint", str(query), "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "QL001" in out
+        assert "statically empty" in out
+
+    def test_lint_json_report_round_trip(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        report = tmp_path / "report.json"
+        assert main(["--lint", "--examples", "--quiet",
+                     "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == 1
+        assert payload["mode"] == "lint"
+        assert main(["--check-report", str(report)]) == 0
+        capsys.readouterr()
+
+    def test_check_report_rejects_unknown_schema(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"tool": "repro.analysis", "schema": 99, "errors": 0}))
+        assert main(["--check-report", str(bad)]) == 2
+        assert "schema 99" in capsys.readouterr().err
+
+    def test_check_report_rejects_non_analysis_payload(self, tmp_path,
+                                                       capsys):
+        from repro.analysis.__main__ import main
+
+        alien = tmp_path / "stats.json"
+        alien.write_text(json.dumps({"schema": 1, "counters": {}}))
+        assert main(["--check-report", str(alien)]) == 2
+        assert "not a repro.analysis report" in capsys.readouterr().err
+
+    def test_check_report_propagates_recorded_errors(self, tmp_path):
+        from repro.analysis.__main__ import main
+
+        report = tmp_path / "errors.json"
+        report.write_text(json.dumps(
+            {"tool": "repro.analysis", "schema": 1, "errors": 3}))
+        assert main(["--check-report", str(report)]) == 1
+
+    def test_obs_report_redirects_analysis_payloads(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        report = tmp_path / "lint.json"
+        report.write_text(json.dumps(
+            {"tool": "repro.analysis", "schema": 1, "errors": 0}))
+        assert obs_main(["report", "--stats", str(report)]) == 2
+        assert "repro.analysis --check-report" in capsys.readouterr().err

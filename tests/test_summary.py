@@ -1,0 +1,140 @@
+"""The DataGuide-style structural summary (repro.xmlkit.summary)."""
+
+from repro.xmlkit.parser import parse
+from repro.xmlkit.summary import (DOC_LABEL, StructuralSummary,
+                                  build_summary)
+
+DOC = """\
+<bib>
+ <book year="1994">
+  <title>TCP</title>
+  <author><last>Stevens</last></author>
+ </book>
+ <book year="2000">
+  <title>Web</title>
+  <author><last>Buneman</last></author>
+  <author><last>Abiteboul</last></author>
+ </book>
+ <item id="7"><isbn>x</isbn></item>
+</bib>
+"""
+
+
+def summary():
+    return build_summary(parse(DOC))
+
+
+class TestConstruction:
+    def test_distinct_paths(self):
+        s = summary()
+        assert set(s.paths) == {
+            ("bib",),
+            ("bib", "book"),
+            ("bib", "book", "title"),
+            ("bib", "book", "author"),
+            ("bib", "book", "author", "last"),
+            ("bib", "item"),
+            ("bib", "item", "isbn"),
+        }
+        assert not s.truncated
+
+    def test_counts_aggregate_over_occurrences(self):
+        s = summary()
+        assert s.paths[("bib", "book")].count == 2
+        assert s.paths[("bib", "book", "author")].count == 3
+        assert s.label_counts["author"] == 3
+        assert s.label_counts["bib"] == 1
+
+    def test_child_sets(self):
+        s = summary()
+        assert s.paths[("bib",)].children == {"book", "item"}
+        assert s.paths[("bib", "book")].children == {"title", "author"}
+
+    def test_attribute_presence(self):
+        s = summary()
+        assert s.paths[("bib", "book")].attributes == {"year"}
+        assert s.paths[("bib", "item")].attributes == {"id"}
+        assert s.label_attributes["book"] == {"year"}
+        assert s.label_attributes["title"] == set()
+
+    def test_parent_and_ancestor_maps(self):
+        s = summary()
+        assert s.parent_labels["bib"] == {DOC_LABEL}
+        assert s.parent_labels["last"] == {"author"}
+        assert s.ancestor_labels["last"] == {"bib", "book", "author"}
+
+    def test_root_labels(self):
+        assert summary().root_labels() == {"bib"}
+
+    def test_recursive_document(self):
+        s = build_summary(parse("<a><a><a><b/></a></a></a>"))
+        assert ("a", "a", "a") in s.paths
+        assert s.label_counts["a"] == 3
+        assert "a" in s.ancestor_labels["a"]
+
+
+class TestConservativeHelpers:
+    def test_label_occurs(self):
+        s = summary()
+        assert s.label_occurs("book")
+        assert not s.label_occurs("zzz")
+        # Wildcards and pseudo-labels are always satisfiable.
+        assert s.label_occurs("*")
+        assert s.label_occurs("#root")
+
+    def test_occurs_under(self):
+        s = summary()
+        assert s.occurs_under("last", "book")
+        assert not s.occurs_under("isbn", "book")
+        assert s.occurs_under("anything", "*")
+
+    def test_child_occurs(self):
+        s = summary()
+        assert s.child_occurs("author", "last")
+        assert not s.child_occurs("book", "last")
+        assert s.child_occurs(DOC_LABEL, "bib")
+        assert not s.child_occurs(DOC_LABEL, "book")
+
+    def test_attr_occurs(self):
+        s = summary()
+        assert s.attr_occurs("book", "year")
+        assert not s.attr_occurs("book", "id")
+        assert s.attr_occurs_anywhere("id")
+        assert not s.attr_occurs_anywhere("href")
+
+
+class TestTruncation:
+    def test_truncated_summary_answers_true_for_everything(self):
+        s = build_summary(parse("<r><a/><b/><c/></r>"), max_paths=2)
+        assert s.truncated
+        assert s.label_occurs("zzz")
+        assert s.occurs_under("zzz", "qqq")
+        assert s.child_occurs("zzz", "qqq")
+        assert s.attr_occurs("zzz", "href")
+        assert s.attr_occurs_anywhere("href")
+
+    def test_truncation_changes_fingerprint(self):
+        doc = parse("<r><a/><b/><c/></r>")
+        assert build_summary(doc).fingerprint() \
+            != build_summary(doc, max_paths=2).fingerprint()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert summary().fingerprint() == summary().fingerprint()
+
+    def test_changes_with_structure(self):
+        base = build_summary(parse("<r><a/></r>")).fingerprint()
+        assert base != build_summary(parse("<r><b/></r>")).fingerprint()
+        # Count changes matter too (the path set is identical).
+        assert base != build_summary(parse("<r><a/><a/></r>")).fingerprint()
+
+    def test_changes_with_attributes(self):
+        assert build_summary(parse("<r><a/></r>")).fingerprint() \
+            != build_summary(parse('<r><a x="1"/></r>')).fingerprint()
+
+    def test_empty_summary(self):
+        s = StructuralSummary(paths={})
+        assert len(s) == 0
+        assert not s.label_occurs("a")
+        assert s.fingerprint()
