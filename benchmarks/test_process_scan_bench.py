@@ -1,0 +1,146 @@
+"""Process-backend benchmark: serial vs thread vs process merged scans.
+
+The PR-9 acceptance benchmark.  One large corpus, one scan-bound query,
+three backends — results asserted bit-identical (Theorem 1 across the
+process boundary), timings recorded to ``BENCH_PR9.json`` at the repo
+root (the parallel-smoke CI job uploads it as an artifact).
+
+The ISSUE's speedup gate — the process backend at 4 partitions at least
+2x faster than the serial scan — is only *assertable* on a machine with
+enough cores to parallelize at all; on a single-core container the
+process backend pays fork/IPC overhead with nothing to parallelize
+over.  The benchmark therefore measures honestly either way, records
+``cpu_count`` alongside the timings, and enforces the 2x gate exactly
+when the hardware can express it (>= 2 cores).  The serial-overhead
+guard (arena attach + dispatch must not slow the *serial* path) holds
+everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.pattern import build_from_path, decompose
+from repro.physical import merged_scan
+from repro.physical.parallel_scan import (
+    parallel_merged_scan,
+    shared_scan_executor,
+)
+from repro.physical.process_scan import ProcessScanBackend
+from repro.xmlkit.arena import release_arena
+from repro.xmlkit.partition import partition_document
+from repro.xmlkit.tree import Document, DocumentBuilder
+from repro.xpath import parse_xpath
+
+BENCH_PR9_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+REPEATS = int(os.environ.get("REPRO_PROCESS_BENCH_REPEATS", "5"))
+N_BOOKS = int(os.environ.get("REPRO_PROCESS_BENCH_BOOKS", "30000"))
+
+QUERY = "//book[author]/title"
+
+
+def build_corpus(n_books: int = N_BOOKS) -> Document:
+    builder = DocumentBuilder()
+    builder.start_element("library")
+    for i in range(n_books):
+        builder.start_element("book", {"id": f"b{i}"})
+        builder.element("author", f"author-{i % 211}")
+        builder.element("title", f"title-{i}")
+        builder.element("price", str(i % 97))
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def noks_for(path_text: str):
+    return decompose(build_from_path(parse_xpath(path_text))).noks
+
+
+def best_of(repeats: int, run) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def nid_lists(results: dict) -> dict[int, list[int]]:
+    return {nok_id: [e.node.nid for e in entries]
+            for nok_id, entries in results.items()}
+
+
+def test_process_backend_speedup_recorded_and_gated():
+    doc = build_corpus()
+    cpu_count = os.cpu_count() or 1
+    backend = ProcessScanBackend(max_workers=min(4, cpu_count))
+    partitions = partition_document(doc, 4)
+    try:
+        # Warm the interpreter and the document (method caches, lazily
+        # built structures) before ANY timed run, or measurement order
+        # masquerades as backend speed.
+        merged_scan(noks_for(QUERY), doc)
+        merged_scan(noks_for(QUERY), doc)
+
+        serial_s, serial_results = best_of(
+            REPEATS, lambda: merged_scan(noks_for(QUERY), doc))
+        serial_nids = nid_lists(serial_results)
+
+        # Serial guard: the arena/process machinery must cost the
+        # serial path nothing (it is never touched on that path).
+        serial_again_s, _ = best_of(
+            REPEATS, lambda: merged_scan(noks_for(QUERY), doc))
+
+        threads_s, thread_results = best_of(
+            REPEATS, lambda: parallel_merged_scan(
+                noks_for(QUERY), doc, partitions=partitions,
+                executor=shared_scan_executor()))
+        assert nid_lists(thread_results) == serial_nids
+
+        def run_processes():
+            return parallel_merged_scan(
+                noks_for(QUERY), doc, partitions=partitions,
+                backend="processes", process_backend=backend)
+
+        run_processes()                        # warm: fork + arena write
+        processes_s, process_results = best_of(REPEATS, run_processes)
+        assert nid_lists(process_results) == serial_nids
+    finally:
+        backend.close(wait=True)
+        release_arena(doc)
+
+    serial_drift_pct = (serial_again_s / serial_s - 1) * 100
+    speedup_processes = serial_s / processes_s
+    speedup_threads = serial_s / threads_s
+    BENCH_PR9_PATH.write_text(json.dumps({
+        "benchmark": "process_parallel_merged_scan",
+        "query": QUERY,
+        "n_nodes": len(doc.nodes),
+        "repeats": REPEATS,
+        "cpu_count": cpu_count,
+        "n_partitions": len(partitions),
+        "serial_ms": round(serial_s * 1e3, 3),
+        "serial_rerun_ms": round(serial_again_s * 1e3, 3),
+        "serial_drift_pct": round(serial_drift_pct, 2),
+        "threads_4_ms": round(threads_s * 1e3, 3),
+        "processes_4_ms": round(processes_s * 1e3, 3),
+        "speedup_threads_4": round(speedup_threads, 3),
+        "speedup_processes_4": round(speedup_processes, 3),
+        "speedup_gate_enforced": cpu_count >= 2,
+    }, indent=2) + "\n", encoding="utf-8")
+
+    # The serial path must not regress (> +5%) with the backend present
+    # (a faster rerun is jitter in our favour, not a regression).
+    assert serial_drift_pct <= 5.0, (
+        f"serial merged scan drifted {serial_drift_pct:.1f}% between "
+        "runs; the process-backend machinery must not tax the serial "
+        "path")
+
+    if cpu_count >= 2:
+        assert speedup_processes >= 2.0, (
+            f"process backend at 4 partitions is only "
+            f"{speedup_processes:.2f}x serial on {cpu_count} cores "
+            "(gate: >= 2x)")

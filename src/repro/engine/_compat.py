@@ -9,15 +9,51 @@ and the network ``Client.query``), so the five surfaces expose
 sites from earlier releases keep working for one release through
 :func:`absorb_positional`, which maps leading positional values onto
 their keywords and emits a :class:`DeprecationWarning`.
+
+PR 9 redesigned the parallel-execution knob: ``parallelism: int`` was
+replaced by the unified ``executor=`` backend spec
+(:mod:`repro.engine.backend`) on the same five surfaces.
+:func:`absorb_executor` keeps old ``parallelism=N`` call sites working
+for one release by mapping them onto the equivalent thread backend with
+a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import warnings
 
+from repro.engine.backend import (ExecutionBackend, backend_from_parallelism,
+                                  resolve_backend)
 from repro.errors import UsageError
 
-__all__ = ["absorb_positional"]
+__all__ = ["absorb_positional", "absorb_executor"]
+
+
+def absorb_executor(surface: str,
+                    executor: ExecutionBackend | str | None,
+                    parallelism: int | None,
+                    strategy: str = "auto") -> ExecutionBackend:
+    """Resolve the ``executor=`` spec, honouring the deprecated
+    ``parallelism=`` integer for one release.
+
+    ``parallelism=N`` maps onto ``executor="threads:N"`` (serial for
+    ``N <= 1``) with a :class:`DeprecationWarning`; passing both knobs
+    is an error rather than a silent precedence rule.
+    """
+    if parallelism is not None:
+        if executor is not None:
+            raise UsageError(
+                f"{surface}() got both executor= and the deprecated "
+                "parallelism=; pass only executor=")
+        warnings.warn(
+            f"parallelism= is deprecated for {surface}(); pass "
+            f"executor=\"threads:{parallelism}\" (or \"serial\" / "
+            "\"processes:N\") — the spelling shared by Engine.query, "
+            "Database.query, PreparedQuery.execute, QueryService.submit "
+            "and the network Client.query",
+            DeprecationWarning, stacklevel=3)
+        return backend_from_parallelism(parallelism, strategy)
+    return resolve_backend(executor, strategy)
 
 
 def absorb_positional(surface: str, names: tuple[str, ...],

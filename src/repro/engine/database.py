@@ -45,6 +45,7 @@ from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xmlkit.update import DocumentUpdater
 from repro.engine._compat import absorb_positional
+from repro.engine.backend import ExecutionBackend
 from repro.engine.prepared import PreparedQuery
 from repro.engine.result import QueryResult
 from repro.engine.session import Engine
@@ -72,6 +73,12 @@ class Database:
         self.doc = doc
         self.engine = Engine(doc, feedback=feedback,
                              analyze_queries=analyze_queries)
+        #: Lazily-spawned scan executors (thread pool + process backend)
+        #: owned by this database; every parallel plan of ``self.engine``
+        #: rides them, and :meth:`close` shuts them down deterministically.
+        from repro.physical.process_scan import ScanPools
+
+        self._scan_pools = ScanPools()
         self._updater: DocumentUpdater | None = None
         self._service: QueryService | None = None
         self._server: Server | None = None
@@ -126,10 +133,11 @@ class Database:
               tracer: Tracer | None = None,
               params: dict | None = None,
               timeout_ms: float | None = None,
+              executor: ExecutionBackend | str | None = None,
               parallelism: int | None = None) -> QueryResult:
         """Evaluate a query (see :meth:`Engine.query` for the options —
         the signatures are identical: the same keyword-only
-        ``strategy`` / ``params`` / ``timeout_ms`` / ``parallelism``
+        ``strategy`` / ``params`` / ``timeout_ms`` / ``executor``
         spelling works here, on the engine, on
         :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`
         and on the network
@@ -145,12 +153,14 @@ class Database:
                     ("strategy", "counters", "work_budget", "trace",
                      "tracer"),
                     args, (strategy, counters, work_budget, trace, tracer))
+        self._wire_pools()
         if self.slow_log is None:
             return self.engine.query(text, strategy=strategy,
                                      counters=counters,
                                      work_budget=work_budget,
                                      trace=trace, tracer=tracer,
                                      params=params, timeout_ms=timeout_ms,
+                                     executor=executor,
                                      parallelism=parallelism)
         counters = counters if counters is not None else ScanCounters()
         before = counters.snapshot()
@@ -161,6 +171,7 @@ class Database:
                                        work_budget=work_budget,
                                        trace=trace, tracer=tracer,
                                        params=params, timeout_ms=timeout_ms,
+                                       executor=executor,
                                        parallelism=parallelism)
         finally:
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
@@ -171,13 +182,28 @@ class Database:
         return result
 
     def prepare(self, text: str, *args, strategy: str = "auto",
+                executor: ExecutionBackend | str | None = None,
                 parallelism: int | None = None) -> PreparedQuery:
         """Compile once for repeated execution (see :meth:`Engine.prepare`)."""
         if args:
             (strategy,) = absorb_positional(
                 "Database.prepare", ("strategy",), args, (strategy,))
+        self._wire_pools()
         return self.engine.prepare(text, strategy=strategy,
+                                   executor=executor,
                                    parallelism=parallelism)
+
+    def _wire_pools(self) -> None:
+        """Point the engine's scan executors at the database-owned pools.
+
+        The pools themselves stay lazy — nothing is spawned until a
+        parallel plan actually submits a partition task — but ownership
+        is fixed here so :meth:`close` can shut down whatever was used.
+        """
+        if self.engine.scan_executor is None:
+            self.engine.scan_executor = self._scan_pools.thread_pool()
+        if self.engine.process_executor is None:
+            self.engine.process_executor = self._scan_pools.process_backend()
 
     def explain_analyze(self, text: str, strategy: str = "auto",
                         work_budget: int | None = None, *,
@@ -339,10 +365,11 @@ class Database:
 
     def close(self) -> None:
         """Drain and stop the network server and query service (if
-        any) and close the slow-query log.  Idempotent; the database
-        refuses new serving after close, but plain :meth:`query` calls
-        keep working (the in-process engine holds no external
-        resources)."""
+        any), shut down the database-owned scan executors (thread and
+        process pools), release the document's arena file, and close
+        the slow-query log.  Idempotent; the database refuses new
+        serving after close, but plain serial :meth:`query` calls keep
+        working (they hold no external resources)."""
         if self._closed:
             return
         self._closed = True
@@ -350,6 +377,15 @@ class Database:
             self._server.close()
         if self._service is not None:
             self._service.close(drain=True)
+        # Deterministic worker-pool cleanup: drain and stop the scan
+        # executors this database owns, and release the document's
+        # arena file if process-backend queries materialized one.
+        self._scan_pools.close(wait=True)
+        self.engine.scan_executor = None
+        self.engine.process_executor = None
+        from repro.xmlkit.arena import release_arena
+
+        release_arena(self.doc)
         if self.slow_log is not None:
             self.slow_log.close()
 

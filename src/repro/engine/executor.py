@@ -101,6 +101,15 @@ class FLWORExecutor:
     scan_executor:
         Executor for partition scan tasks (``None`` uses the shared
         process-wide pool; the query service passes its own).
+    scan_backend:
+        ``"threads"`` (default) or ``"processes"`` — which execution
+        backend the parallel match phase runs on.  ``"processes"``
+        replays the dispatch loop in worker processes over the
+        mmap-shared arena (:mod:`repro.physical.process_scan`).
+    process_executor:
+        The owning stack's
+        :class:`~repro.physical.process_scan.ProcessScanBackend`
+        (``None`` uses the shared process-wide pool).
     doc_stats:
         Precomputed statistics of ``doc``, used to size partitions.
     """
@@ -112,7 +121,8 @@ class FLWORExecutor:
                  recursive_hint: bool | None = None,
                  tracer: Tracer | None = None,
                  *, index=None, parallelism: int = 1,
-                 scan_executor=None, doc_stats=None) -> None:
+                 scan_executor=None, scan_backend: str = "threads",
+                 process_executor=None, doc_stats=None) -> None:
         self.doc = doc
         self.resolve_doc = resolve_doc if resolve_doc is not None else (lambda uri: doc)
         if join_algorithm != "auto" and join_algorithm not in JOIN_ALGORITHMS:
@@ -125,6 +135,8 @@ class FLWORExecutor:
         self.index = index
         self.parallelism = max(1, parallelism)
         self.scan_executor = scan_executor
+        self.scan_backend = scan_backend
+        self.process_executor = process_executor
         self._doc_stats = doc_stats
         self._direct = DirectEvaluator(doc, self.resolve_doc)
         #: (parent_vid, child_vid) -> JoinResult, filled during execute()
@@ -256,6 +268,8 @@ class FLWORExecutor:
                         parallelism=self.parallelism,
                         stats=self._doc_stats if doc is self.doc else None,
                         executor=self.scan_executor,
+                        backend=self.scan_backend,
+                        process_backend=self.process_executor,
                         tracer=self.tracer if self._tracing else None)
                 else:
                     result = merged_scan(noks, doc, self.counters, per_nok)

@@ -187,7 +187,7 @@ class StrategyAdvisor:
             return "stack" if stats.recursive else "pipelined"
         return None
 
-    def advise(self, text: str, fingerprint: tuple, parallelism: int,
+    def advise(self, text: str, fingerprint: tuple, executor: str,
                static: PlanChoice, alternative: str | None) -> PlanChoice:
         """The strategy to execute now, given the measured history.
 
@@ -199,10 +199,10 @@ class StrategyAdvisor:
         """
         if alternative is None or alternative == static.strategy:
             return static
-        settled = self.store.settled_strategy(text, fingerprint, parallelism)
-        arms = self.store.arms(text, fingerprint, parallelism)
+        settled = self.store.settled_strategy(text, fingerprint, executor)
+        arms = self.store.arms(text, fingerprint, executor)
         if settled is not None:
-            return self._hold_or_flip(text, fingerprint, parallelism,
+            return self._hold_or_flip(text, fingerprint, executor,
                                       static, alternative, settled, arms)
         static_arm = arms.get(static.strategy)
         static_n = static_arm.successes if static_arm else 0
@@ -216,12 +216,12 @@ class StrategyAdvisor:
                 f"feedback probe {alt_n + 1}/{MIN_FEEDBACK_SAMPLES} of "
                 f"{alternative} vs static {static.strategy} "
                 f"({static_arm.mean_ms:.3f} ms measured)")
-        return self._settle(text, fingerprint, parallelism, static,
+        return self._settle(text, fingerprint, executor, static,
                             static_arm, alt_arm)
 
     # -- decision phases ---------------------------------------------------
 
-    def _settle(self, text: str, fingerprint: tuple, parallelism: int,
+    def _settle(self, text: str, fingerprint: tuple, executor: str,
                 static: PlanChoice, static_arm, alt_arm) -> PlanChoice:
         """Both arms measured: commit to the winner (maybe demoting)."""
         static_ms = static_arm.mean_ms
@@ -232,21 +232,21 @@ class StrategyAdvisor:
                       f"{alt_arm.strategy} ({alt_ms:.3f} ms)")
             record = DemotionRecord(
                 query=text, fingerprint="/".join(map(str, fingerprint)),
-                parallelism=parallelism, from_strategy=static.strategy,
+                executor=executor, from_strategy=static.strategy,
                 to_strategy=alt_arm.strategy, from_mean_ms=static_ms,
                 to_mean_ms=alt_ms,
                 executions=static_arm.executions + alt_arm.executions,
                 reason=reason)
-            self.store.settle(text, fingerprint, parallelism,
+            self.store.settle(text, fingerprint, executor,
                               alt_arm.strategy, record)
             return PlanChoice(alt_arm.strategy, reason)
-        self.store.settle(text, fingerprint, parallelism, static.strategy)
+        self.store.settle(text, fingerprint, executor, static.strategy)
         return PlanChoice(
             static.strategy,
             f"{static.reason}; feedback confirmed ({static_ms:.3f} ms vs "
             f"{alt_arm.strategy} {alt_ms:.3f} ms)")
 
-    def _hold_or_flip(self, text: str, fingerprint: tuple, parallelism: int,
+    def _hold_or_flip(self, text: str, fingerprint: tuple, executor: str,
                       static: PlanChoice, alternative: str, settled: str,
                       arms: dict) -> PlanChoice:
         """Settled decision: hold unless it degraded past the hysteresis."""
@@ -264,12 +264,12 @@ class StrategyAdvisor:
             if other != static.strategy:   # flip away from static = demotion
                 record = DemotionRecord(
                     query=text, fingerprint="/".join(map(str, fingerprint)),
-                    parallelism=parallelism, from_strategy=settled,
+                    executor=executor, from_strategy=settled,
                     to_strategy=other, from_mean_ms=settled_arm.mean_ms,
                     to_mean_ms=other_arm.mean_ms,
                     executions=settled_arm.executions + other_arm.executions,
                     reason=reason)
-            self.store.settle(text, fingerprint, parallelism, other, record)
+            self.store.settle(text, fingerprint, executor, other, record)
             return PlanChoice(other, reason)
         if settled == static.strategy:
             return PlanChoice(settled, f"{static.reason}; feedback holds")

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import BindingError
-from repro.engine._compat import absorb_positional
+from repro.engine._compat import absorb_executor, absorb_positional
+from repro.engine.backend import ExecutionBackend
 from repro.engine.compiler import CompiledQuery
 from repro.engine.optimizer import PlanChoice
 from repro.pattern.artifact import PatternArtifacts
@@ -126,15 +127,21 @@ class PreparedQuery:
 
     def __init__(self, engine, source: str, strategy: str,
                  plan: CachedPlan, fingerprint: tuple,
-                 parallelism: int = 1) -> None:
+                 executor: ExecutionBackend | None = None) -> None:
         self._engine = engine
         self.source = source
         self.strategy = strategy
         self._plan = plan
         self._fingerprint = fingerprint
-        #: Partition budget pinned at prepare() time; ``execute()`` may
+        #: Execution backend pinned at prepare() time; ``execute()`` may
         #: override it per call (which re-plans through the plan cache).
-        self.parallelism = parallelism
+        self.executor = executor if executor is not None \
+            else ExecutionBackend()
+
+    @property
+    def parallelism(self) -> int:
+        """Partition budget of the pinned backend (legacy read alias)."""
+        return self.executor.parallelism
 
     @property
     def parameters(self) -> frozenset[str]:
@@ -150,6 +157,7 @@ class PreparedQuery:
                 counters=None, work_budget: int | None = None,
                 trace: bool = False, tracer=None,
                 timeout_ms: float | None = None,
+                executor: ExecutionBackend | str | None = None,
                 parallelism: int | None = None):
         """Run the prepared plan; see :meth:`Engine.query` for the
         tracing/budget/deadline knobs.  ``params`` maps parameter names
@@ -157,8 +165,8 @@ class PreparedQuery:
         shared by every query surface (a leading positional mapping
         still works for one release with a :class:`DeprecationWarning`;
         the pre-serving ``bindings=`` alias has been removed).
-        ``parallelism`` overrides the value pinned at prepare() time
-        for this call.
+        ``executor`` overrides the backend pinned at prepare() time for
+        this call (the deprecated ``parallelism=N`` still maps).
         """
         if args:
             params, counters, work_budget, trace, tracer = \
@@ -167,10 +175,14 @@ class PreparedQuery:
                     ("params", "counters", "work_budget", "trace",
                      "tracer"),
                     args, (params, counters, work_budget, trace, tracer))
+        backend = None
+        if executor is not None or parallelism is not None:
+            backend = absorb_executor("PreparedQuery.execute", executor,
+                                      parallelism, self.strategy)
         return self._engine._execute_prepared(
             self, bindings=params, counters=counters,
             work_budget=work_budget, trace=trace, tracer=tracer,
-            timeout_ms=timeout_ms, parallelism=parallelism)
+            timeout_ms=timeout_ms, backend=backend)
 
     def explain(self) -> str:
         """Describe the plan this prepared query runs."""

@@ -66,7 +66,8 @@ from repro.xmlkit.storage import CancellationToken, ScanCounters
 from repro.xmlkit.summary import StructuralSummary, build_summary
 from repro.xmlkit.tree import Document
 from repro.xquery.ast import FLWOR, QueryExpr
-from repro.engine._compat import absorb_positional
+from repro.engine._compat import absorb_executor, absorb_positional
+from repro.engine.backend import ExecutionBackend
 from repro.engine.compiler import CompiledQuery, compile_query
 from repro.engine.construct import DirectEvaluator
 from repro.engine.executor import FLWORExecutor
@@ -89,21 +90,12 @@ __all__ = ["Engine"]
 _BLOSSOM_STRATEGIES = {"pipelined", "caching", "stack", "bnlj", "nl"}
 
 #: Partition count used when ``strategy="parallel"`` is requested
-#: explicitly without a ``parallelism=`` value.
+#: explicitly without an ``executor=`` spec (kept as a public alias of
+#: :data:`repro.engine.backend.DEFAULT_PARALLEL_WORKERS`).
 DEFAULT_PARALLELISM = 4
 
-
-def _effective_parallelism(strategy: str, parallelism: int | None) -> int:
-    """Normalize the ``parallelism=`` kwarg to a concrete partition count.
-
-    ``None`` means "serial" unless the caller explicitly asked for the
-    ``parallel`` strategy, which implies :data:`DEFAULT_PARALLELISM`.
-    The normalized value is part of the plan-cache key, so a query
-    planned serially never aliases its parallel twin.
-    """
-    if parallelism is None:
-        return DEFAULT_PARALLELISM if strategy == "parallel" else 1
-    return max(1, int(parallelism))
+#: The serial backend singleton (the default for every query surface).
+_SERIAL = ExecutionBackend()
 
 _QUERIES = REGISTRY.counter("repro_queries_total", "Queries executed")
 #: Plan verifications skipped because the identical plan-cache key
@@ -213,6 +205,10 @@ class Engine:
         #: (``None`` = the shared process-wide pool; the query service
         #: installs its own so partition tasks ride the serve workers).
         self.scan_executor = None
+        #: Process backend for ``executor="processes"`` plans (``None``
+        #: = the shared process-wide pool; Database / QueryService
+        #: install their owned pools here).
+        self.process_executor = None
         self._stats: DocumentStats | None = None
         #: Run the structural-summary query lint (QL rules) at compile
         #: time and apply its pruning rewrites.  ``False`` is the escape
@@ -281,6 +277,7 @@ class Engine:
               tracer: Tracer | None = None,
               params: dict | None = None,
               timeout_ms: float | None = None,
+              executor: ExecutionBackend | str | None = None,
               parallelism: int | None = None) -> QueryResult:
         """Evaluate a query and return its result sequence.
 
@@ -296,12 +293,17 @@ class Engine:
         variables) for this call — the same mapping
         :meth:`PreparedQuery.execute` takes.
 
-        ``parallelism`` offers the optimizer a partition budget for the
-        match phase: under ``strategy="auto"`` large non-recursive
-        documents upgrade to the ``parallel`` strategy
-        (partition-parallel merged scans, bit-identical to the serial
-        scan by Theorem 1); ``strategy="parallel"`` forces it.  The
-        normalized value joins the plan-cache key.
+        ``executor`` names the execution backend for the match phase —
+        ``"serial"``, ``"threads"``, ``"processes"``, a
+        ``"<kind>:<workers>"`` key, or an
+        :class:`~repro.engine.backend.ExecutionBackend`.  A parallel
+        backend offers the optimizer a partition budget: under
+        ``strategy="auto"`` large non-recursive documents upgrade to
+        the ``parallel`` strategy (partition-parallel merged scans,
+        bit-identical to the serial scan by Theorem 1);
+        ``strategy="parallel"`` forces it.  The backend key joins the
+        plan-cache key.  The deprecated ``parallelism=N`` still maps to
+        ``executor="threads:N"`` for one release.
 
         ``timeout_ms`` sets a cooperative deadline: the physical
         operators checkpoint a
@@ -328,14 +330,16 @@ class Engine:
                     ("strategy", "counters", "work_budget", "trace",
                      "tracer"),
                     args, (strategy, counters, work_budget, trace, tracer))
-        effective = _effective_parallelism(strategy, parallelism)
+        backend = absorb_executor("Engine.query", executor, parallelism,
+                                  strategy)
         return self._shell(
-            lambda tr: self._plan_for(text, strategy, tr, effective),
+            lambda tr: self._plan_for(text, strategy, tr, backend),
             text, strategy, counters, work_budget, trace, tracer,
-            bindings=params, timeout_ms=timeout_ms, parallelism=effective)
+            bindings=params, timeout_ms=timeout_ms, backend=backend)
 
     def prepare(self, text: str | QueryExpr, *args,
                 strategy: str = "auto",
+                executor: ExecutionBackend | str | None = None,
                 parallelism: int | None = None) -> PreparedQuery:
         """Compile ``text`` once for repeated execution.
 
@@ -344,17 +348,18 @@ class Engine:
         :class:`~repro.engine.prepared.PreparedQuery` replays the plan
         on every ``execute(params=...)``.  Free ``$variables`` in the
         query become external parameters that ``execute`` must bind.
-        ``parallelism`` is pinned into the prepared plan (same semantics
-        as :meth:`query`).
+        ``executor`` is pinned into the prepared plan (same semantics
+        as :meth:`query`; the deprecated ``parallelism=N`` still maps).
         """
         if args:
             (strategy,) = absorb_positional(
                 "Engine.prepare", ("strategy",), args, (strategy,))
-        effective = _effective_parallelism(strategy, parallelism)
-        plan, _status = self._plan_for(text, strategy, NULL_TRACER, effective)
+        backend = absorb_executor("Engine.prepare", executor, parallelism,
+                                  strategy)
+        plan, _status = self._plan_for(text, strategy, NULL_TRACER, backend)
         return PreparedQuery(self, text, strategy, plan,
                              self.stats_fingerprint(),
-                             parallelism=effective)
+                             executor=backend)
 
     def notify_update(self, report: object = None) -> None:
         """Invalidate derived state after a document mutation.
@@ -399,7 +404,8 @@ class Engine:
         return base
 
     def cached_static_empty(self, text: str, strategy: str = "auto",
-                            parallelism: int = 1) -> bool:
+                            executor: ExecutionBackend | str = "serial",
+                            ) -> bool:
         """Whether the cache already holds a static-empty plan for
         ``text`` (exact key, current document shape).
 
@@ -409,7 +415,9 @@ class Engine:
         """
         if not self.analyze_queries:
             return False
-        key = (normalize_query_text(text), strategy, parallelism,
+        backend = (executor if isinstance(executor, ExecutionBackend)
+                   else ExecutionBackend.from_key(executor))
+        key = (normalize_query_text(text), strategy, backend.key,
                self.stats_fingerprint())
         plan = self.plan_cache.peek(key)
         return plan is not None and bool(getattr(plan, "static_empty",
@@ -425,7 +433,7 @@ class Engine:
                tracer: Tracer | None,
                bindings: dict | None = None,
                timeout_ms: float | None = None,
-               parallelism: int = 1) -> QueryResult:
+               backend: ExecutionBackend = _SERIAL) -> QueryResult:
         """Counters/budget/tracing/metrics shell around one execution.
 
         ``plan_source(tracer) -> (CachedPlan, cache_status)`` supplies
@@ -468,7 +476,7 @@ class Engine:
                 try:
                     result = self._execute_plan(plan, counters, budget,
                                                 tracer, bindings,
-                                                parallelism=parallelism)
+                                                backend=backend)
                     if counters.cancellation is not None:
                         counters.cancellation.check()
                 except DNFError as exc:
@@ -489,7 +497,7 @@ class Engine:
             self._publish_metrics(counters, before, elapsed_ms)
             if self.record_stats:
                 self._record_run(source, counters, before, elapsed_ms,
-                                 parallelism, cache_status, items)
+                                 backend, cache_status, items)
             if tracing:
                 self.last_trace = tracer.finish()
         result.trace = self.last_trace
@@ -502,24 +510,23 @@ class Engine:
                           work_budget: int | None, trace: bool,
                           tracer: Tracer | None,
                           timeout_ms: float | None = None,
-                          parallelism: int | None = None) -> QueryResult:
+                          backend: ExecutionBackend | None = None,
+                          ) -> QueryResult:
         """Run a prepared query, re-planning only if the document moved."""
-        effective = (prepared.parallelism if parallelism is None
-                     else _effective_parallelism(prepared.strategy,
-                                                 parallelism))
+        effective = backend if backend is not None else prepared.executor
 
         def plan_source(tr):
             fingerprint = self.stats_fingerprint()
             if prepared._fingerprint == fingerprint \
-                    and effective == prepared.parallelism:
+                    and effective == prepared.executor:
                 return prepared._plan, "prepared"
             # The document mutated since prepare() (or the caller asked
-            # for a different partition budget): the pinned plan is
+            # for a different execution backend): the pinned plan is
             # still *correct* (plans are document-independent) but its
             # strategy choice may be stale — re-plan through the cache.
             plan, status = self._plan_for(prepared.source,
                                           prepared.strategy, tr, effective)
-            if effective == prepared.parallelism:
+            if effective == prepared.executor:
                 prepared._plan = plan
                 prepared._fingerprint = fingerprint
             return plan, f"prepared-{status}"
@@ -527,20 +534,21 @@ class Engine:
         return self._shell(plan_source, prepared.source, prepared.strategy,
                            counters, work_budget, trace, tracer,
                            bindings=bindings, timeout_ms=timeout_ms,
-                           parallelism=effective)
+                           backend=effective)
 
     # ------------------------------------------------------------------
     # Planning.
     # ------------------------------------------------------------------
 
     def _plan_for(self, text: str | QueryExpr, strategy: str,
-                  tracer, parallelism: int = 1) -> tuple[CachedPlan, str]:
+                  tracer, backend: ExecutionBackend = _SERIAL,
+                  ) -> tuple[CachedPlan, str]:
         """Get a plan from the cache or compile one; returns
         ``(plan, "hit" | "miss" | "bypass")``."""
         if not isinstance(text, str):
             return self._build_plan(text, strategy, tracer,
-                                    parallelism=parallelism), "bypass"
-        key = (normalize_query_text(text), strategy, parallelism,
+                                    backend=backend), "bypass"
+        key = (normalize_query_text(text), strategy, backend.key,
                self.stats_fingerprint())
         plan = self.plan_cache.get(key)
         if plan is not None:
@@ -550,7 +558,7 @@ class Engine:
                 # execution.  Raises PlanInvariantError.
                 self.plan_gate(plan)
             if self.feedback and strategy == "auto":
-                advised = self._advised_choice(plan, key[0], parallelism)
+                advised = self._advised_choice(plan, key[0], backend)
                 if advised is not None \
                         and advised.strategy != plan.choice.strategy:
                     # Re-cost on hit: the measured history now points at
@@ -560,18 +568,18 @@ class Engine:
                     STATS_RECOSTS.inc()
                     plan = self._build_plan(text, strategy, tracer,
                                             memo_key=key,
-                                            parallelism=parallelism)
+                                            backend=backend)
                     self.plan_cache.put(key, plan)
                     return plan, "recost"
             return plan, "hit"
         plan = self._build_plan(text, strategy, tracer, memo_key=key,
-                                parallelism=parallelism)
+                                backend=backend)
         self.plan_cache.put(key, plan)
         return plan, "miss"
 
     def _build_plan(self, text: str | QueryExpr, strategy: str,
                     tracer, memo_key: object = None,
-                    parallelism: int = 1) -> CachedPlan:
+                    backend: ExecutionBackend = _SERIAL) -> CachedPlan:
         """The full compile pipeline: parse → analyze → BlossomTree →
         strategy choice → reusable pattern artifacts.
 
@@ -588,7 +596,7 @@ class Engine:
             analyze(compiled.flwor,
                     external=compiled.parameters).raise_errors(compiled.source)
         choice = self._resolve_strategy(compiled, strategy, tracer,
-                                        parallelism)
+                                        backend.parallelism)
         # Query lint (QL rules): check the pattern against the document's
         # structural summary and rewrite provably-empty work away.  The
         # naive/xhive baselines stay lint-free so they remain faithful
@@ -655,7 +663,7 @@ class Engine:
             # (pipelined/stack/twigstack/parallel), whose artifacts were
             # built above regardless of which of them was static.
             choice = self._advise(compiled, choice,
-                                  normalize_query_text(text), parallelism)
+                                  normalize_query_text(text), backend)
         plan = CachedPlan(compiled, choice, artifacts, strategy,
                           snapshot_id=self.snapshot_id,
                           static_empty=choice.strategy == "static-empty",
@@ -691,16 +699,16 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _advise(self, compiled: CompiledQuery, static: PlanChoice,
-                norm_text: str, parallelism: int) -> PlanChoice:
+                norm_text: str, backend: ExecutionBackend) -> PlanChoice:
         """Let measured history adjust the static choice for one build."""
         alternative = StrategyAdvisor.alternative(
             static.strategy, self.stats, compiled.tree,
             compiled.is_bare_path, has_index=True)
         return self._advisor.advise(norm_text, self.stats_fingerprint(),
-                                    parallelism, static, alternative)
+                                    backend.key, static, alternative)
 
     def _advised_choice(self, plan: CachedPlan, norm_text: str,
-                        parallelism: int) -> PlanChoice | None:
+                        backend: ExecutionBackend) -> PlanChoice | None:
         """What feedback would choose *now* for a cached plan's query.
 
         Mirrors the decision sequence of :meth:`_build_plan` (static
@@ -713,7 +721,7 @@ class Engine:
             return None
         static = choose_strategy(self.stats, compiled.tree,
                                  compiled.is_bare_path, has_index=True,
-                                 parallelism=parallelism)
+                                 parallelism=backend.parallelism)
         if static.strategy == "parallel" and plan.artifacts is not None:
             from repro.analysis.passes import partition_unsafe_noks
 
@@ -722,7 +730,7 @@ class Engine:
                     "pipelined",
                     "parallel upgrade withdrawn: plan has non-partition-"
                     "safe NoKs (PL004); serial merged scan instead")
-        return self._advise(compiled, static, norm_text, parallelism)
+        return self._advise(compiled, static, norm_text, backend)
 
     def recost(self, text: str | QueryExpr, *,
                parallelism: int | None = None) -> list:
@@ -756,7 +764,7 @@ class Engine:
     def _execute_plan(self, plan: CachedPlan, counters: ScanCounters,
                       budget: int | None, tracer,
                       bindings: dict | None,
-                      parallelism: int = 1) -> QueryResult:
+                      backend: ExecutionBackend = _SERIAL) -> QueryResult:
         """Run one compiled plan (the execution half of the pipeline)."""
         compiled, choice = plan.compiled, plan.choice
         self.last_plan = str(choice)
@@ -802,9 +810,12 @@ class Engine:
             recursive_hint=self.stats.recursive,
             tracer=tracer,
             index=self.index,
-            parallelism=(max(2, parallelism)
+            parallelism=(max(2, backend.parallelism)
                          if choice.strategy == "parallel" else 1),
             scan_executor=self.scan_executor,
+            scan_backend=("processes" if backend.kind == "processes"
+                          else "threads"),
+            process_executor=self.process_executor,
             doc_stats=self.stats)
         try:
             with tracer.span("execute", plan=choice.strategy):
@@ -856,12 +867,12 @@ class Engine:
 
     def _record_run(self, source, counters: ScanCounters,
                     before: dict[str, int], elapsed_ms: float,
-                    parallelism: int, cache_status: str | None,
+                    backend: ExecutionBackend, cache_status: str | None,
                     items: int | None) -> None:
         """Feed the stats store with this run's actuals (never raises).
 
         Recorded under the plan-cache key shape — (normalized text,
-        *executed* strategy, fingerprint, parallelism) — so the
+        *executed* strategy, fingerprint, executor backend key) — so the
         feedback loop can compare strategies of the same query like the
         cache compares plans.  Runs for pre-parsed expressions record
         under the ``<expr>`` pseudo-text (they bypass the cache too).
@@ -873,7 +884,7 @@ class Engine:
             after = counters.snapshot()
             self.stats_store.record(
                 text, self._last_strategy, self.stats_fingerprint(),
-                parallelism, elapsed_ms=elapsed_ms,
+                backend.key, elapsed_ms=elapsed_ms,
                 counters={name: after[name] - before[name]
                           for name in ("nodes_scanned", "comparisons",
                                        "intermediate_results")},

@@ -57,7 +57,7 @@ def _plan_rows(plans: list[dict], top: int) -> list[dict[str, object]]:
         rows.append({
             "query": _clip(plan.get("query", "?")),
             "strategy": plan.get("strategy", "?"),
-            "par": plan.get("parallelism", 1),
+            "executor": plan.get("executor", "serial"),
             "execs": plan.get("executions", 0),
             "errors": plan.get("errors", 0),
             "mean_ms": plan.get("mean_ms", ""),

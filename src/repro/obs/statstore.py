@@ -9,7 +9,7 @@ missing memory.  Every execution that flows through
 the plan cache —
 
 ``(normalized query text, executed strategy, stats fingerprint,
-parallelism)``
+executor backend key)``
 
 — the observed wall time (a full latency histogram, not just a mean),
 the run's work-counter deltas (nodes scanned, comparisons, buffered
@@ -95,7 +95,7 @@ class DemotionRecord:
 
     query: str
     fingerprint: str
-    parallelism: int
+    executor: str
     from_strategy: str
     to_strategy: str
     from_mean_ms: float
@@ -108,7 +108,7 @@ class DemotionRecord:
         return {
             "query": self.query,
             "fingerprint": self.fingerprint,
-            "parallelism": self.parallelism,
+            "executor": self.executor,
             "from_strategy": self.from_strategy,
             "to_strategy": self.to_strategy,
             "from_mean_ms": round(self.from_mean_ms, 3),
@@ -120,23 +120,23 @@ class DemotionRecord:
 
 
 class PlanStats:
-    """Accumulated actuals of one (query, strategy, version, parallelism).
+    """Accumulated actuals of one (query, strategy, version, executor).
 
     Mutated only by :meth:`StatsStore.record` (under the store lock);
     readers get plain dicts via :meth:`to_dict`.
     """
 
-    __slots__ = ("text", "strategy", "fingerprint", "parallelism",
+    __slots__ = ("text", "strategy", "fingerprint", "executor",
                  "executions", "errors", "total_ms", "min_ms", "max_ms",
                  "latency", "items_total", "work", "nok_matches",
                  "cache_hits", "last_error", "last_recorded")
 
     def __init__(self, text: str, strategy: str, fingerprint: tuple,
-                 parallelism: int) -> None:
+                 executor: str) -> None:
         self.text = text
         self.strategy = strategy
         self.fingerprint = fingerprint
-        self.parallelism = parallelism
+        self.executor = executor
         self.executions = 0
         self.errors = 0
         self.total_ms = 0.0
@@ -179,7 +179,7 @@ class PlanStats:
             "query": self.text,
             "strategy": self.strategy,
             "fingerprint": _fingerprint_text(self.fingerprint),
-            "parallelism": self.parallelism,
+            "executor": self.executor,
             "executions": self.executions,
             "errors": self.errors,
             "total_ms": round(self.total_ms, 3),
@@ -222,7 +222,7 @@ class StatsStore:
         self.max_plans = max(1, max_plans)
         self.max_demotions = max(1, max_demotions)
         self._demotions: list[DemotionRecord] = []
-        #: (text, fingerprint, parallelism) -> strategy the feedback
+        #: (text, fingerprint, executor) -> strategy the feedback
         #: loop has settled on (the advisor's persistent decision).
         self._settled: dict[tuple, str] = {}
         self.records = 0
@@ -236,7 +236,7 @@ class StatsStore:
     # ------------------------------------------------------------------
 
     def record(self, text: str, strategy: str, fingerprint: tuple,
-               parallelism: int, *, elapsed_ms: float,
+               executor: str, *, elapsed_ms: float,
                counters: Mapping[str, int] | None = None,
                items: int | None = None,
                nok_matches: Iterable[tuple[str, int]] | None = None,
@@ -250,11 +250,11 @@ class StatsStore:
         ``error`` the exception type name when the run failed (failed
         runs count toward latency but not toward selectivities).
         """
-        key = (text, strategy, fingerprint, parallelism)
+        key = (text, strategy, fingerprint, executor)
         with self._lock:
             entry = self._plans.get(key)
             if entry is None:
-                entry = PlanStats(text, strategy, fingerprint, parallelism)
+                entry = PlanStats(text, strategy, fingerprint, executor)
                 while len(self._plans) >= self.max_plans:
                     self._plans.popitem(last=False)
                 self._plans[key] = entry
@@ -290,13 +290,13 @@ class StatsStore:
     # ------------------------------------------------------------------
 
     def get(self, text: str, strategy: str, fingerprint: tuple,
-            parallelism: int) -> PlanStats | None:
+            executor: str) -> PlanStats | None:
         with self._lock:
-            return self._plans.get((text, strategy, fingerprint, parallelism))
+            return self._plans.get((text, strategy, fingerprint, executor))
 
     def arms(self, text: str, fingerprint: tuple,
-             parallelism: int) -> dict[str, PlanStats]:
-        """Per-strategy observations of one (query, version, budget).
+             executor: str) -> dict[str, PlanStats]:
+        """Per-strategy observations of one (query, version, backend).
 
         The advisor's view: the same query executed under different
         strategies, comparable because everything else in the key is
@@ -304,8 +304,8 @@ class StatsStore:
         """
         with self._lock:
             return {entry.strategy: entry
-                    for (t, _s, f, p), entry in self._plans.items()
-                    if t == text and f == fingerprint and p == parallelism}
+                    for (t, _s, f, x), entry in self._plans.items()
+                    if t == text and f == fingerprint and x == executor}
 
     def observed_cardinalities(self, fingerprint: tuple) -> dict[str, float]:
         """Mean observed matches per NoK root tag for one document version.
@@ -331,17 +331,17 @@ class StatsStore:
     # ------------------------------------------------------------------
 
     def settled_strategy(self, text: str, fingerprint: tuple,
-                         parallelism: int) -> str | None:
+                         executor: str) -> str | None:
         """The strategy the feedback loop settled on, if decided."""
         with self._lock:
-            return self._settled.get((text, fingerprint, parallelism))
+            return self._settled.get((text, fingerprint, executor))
 
-    def settle(self, text: str, fingerprint: tuple, parallelism: int,
+    def settle(self, text: str, fingerprint: tuple, executor: str,
                strategy: str, demotion: DemotionRecord | None = None) -> None:
         """Persist a feedback decision (and its demotion record, if the
         decision moved away from the static choice)."""
         with self._lock:
-            self._settled[(text, fingerprint, parallelism)] = strategy
+            self._settled[(text, fingerprint, executor)] = strategy
             if demotion is not None:
                 self._demotions.append(demotion)
                 del self._demotions[:len(self._demotions) - self.max_demotions]
@@ -369,7 +369,7 @@ class StatsStore:
         """Per-strategy aggregate with measured win/loss counts.
 
         A *win* means: among the recorded strategies of one
-        (query, fingerprint, parallelism) group with at least two
+        (query, fingerprint, executor) group with at least two
         measured strategies, this strategy had the lowest mean latency.
         Groups with a single strategy contribute to the aggregate
         columns but not to wins/losses (there was no contest).
@@ -379,7 +379,7 @@ class StatsStore:
         groups: dict[tuple, list[PlanStats]] = {}
         for entry in entries:
             groups.setdefault(
-                (entry.text, entry.fingerprint, entry.parallelism),
+                (entry.text, entry.fingerprint, entry.executor),
                 []).append(entry)
         rows: dict[str, dict[str, object]] = {}
         pooled: dict[str, list[Histogram]] = {}
@@ -418,8 +418,8 @@ class StatsStore:
         with self._lock:
             n_plans = len(self._plans)
             records = self.records
-            settled = {" | ".join((t, _fingerprint_text(f), str(p))): s
-                       for (t, f, p), s in self._settled.items()}
+            settled = {" | ".join((t, _fingerprint_text(f), x)): s
+                       for (t, f, x), s in self._settled.items()}
         return {
             "plans": self.top_queries(top if top is not None else n_plans),
             "n_plans": n_plans,

@@ -17,9 +17,13 @@ Deviations from the serial operator, by design:
 * ``counters.scans_started`` grows by one per partition (each partition
   opens its own :class:`~repro.xmlkit.storage.SequentialScan`);
   ``nodes_scanned`` still counts every arena slot exactly once.
-* The work ``budget`` is enforced per partition — each partition's scan
-  aborts once *it* has delivered ``budget`` nodes.  A global cap over
-  racing threads would need synchronized counters on the hottest loop.
+* The work ``budget`` is an approximate **global** cap: partitions fold
+  their scanned count into one shared cell every
+  :data:`~repro.physical.parallel_scan._BUDGET_STRIDE` nodes and abort
+  once the total exceeds the budget.  Keeping the synchronized counter
+  off the hottest loop means the cap can overshoot by at most
+  ``partitions × stride`` nodes — bounded, unlike the old per-partition
+  cap, which could overshoot by ``partitions × budget``.
 * Pattern-tree-root (``#root``) NoKs are matched once on the document
   node by the coordinator, never inside a partition task.  Plans that
   reach this operator through the ``parallel`` strategy are refused by
@@ -30,6 +34,13 @@ Cancellation stays cooperative: the shared
 :class:`~repro.xmlkit.storage.CancellationToken` is checkpointed from
 every partition's scan loop, so a deadline or cancel is observed within
 one stride in every task.
+
+Two execution backends share this contract: ``backend="threads"`` runs
+the partition tasks on a :class:`~concurrent.futures.ThreadPoolExecutor`
+over the live object tree, while ``backend="processes"`` delegates to
+:mod:`repro.physical.process_scan`, which replays the same dispatch
+loop in worker processes over an mmap-shared flat arena
+(:mod:`repro.xmlkit.arena`).
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ import threading
 import time
 from concurrent.futures import Executor, ThreadPoolExecutor, wait
 
+from repro.errors import DNFError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import Span, Tracer
 from repro.pattern.decompose import NoKTree
@@ -64,6 +76,9 @@ _PARTITION_FALLBACKS = REGISTRY.counter(
     "repro_partition_fallbacks_total",
     "Parallel scan requests that collapsed to a single-partition "
     "serial scan")
+
+#: Nodes a partition scans between folds into the shared budget cell.
+_BUDGET_STRIDE = 256
 
 _shared_lock = threading.Lock()
 _shared_executor: ThreadPoolExecutor | None = None
@@ -93,6 +108,8 @@ def parallel_merged_scan(noks: list[NoKTree], doc: Document,
                          stats: DocumentStats | None = None,
                          partitions: list[Partition] | None = None,
                          executor: Executor | None = None,
+                         backend: str = "threads",
+                         process_backend: object | None = None,
                          tracer: Tracer | None = None,
                          ) -> dict[int, list[NLEntry]]:
     """Evaluate several NoK pattern trees over partition-parallel scans.
@@ -100,7 +117,9 @@ def parallel_merged_scan(noks: list[NoKTree], doc: Document,
     Same contract as :func:`~repro.physical.nok_merge.merged_scan`
     (per-NoK match lists in document order; optional ``per_nok`` work
     attribution folded back into the shared ``counters``), evaluated as
-    one scan task per partition on ``executor``.
+    one scan task per partition on ``executor`` (``backend="threads"``)
+    or on a :class:`~repro.physical.process_scan.ProcessScanBackend`
+    worker pool over the mmap-shared arena (``backend="processes"``).
 
     ``partitions`` overrides the stats-driven partitioning (tests use
     this to force fine-grained cuts on small documents); with a single
@@ -140,6 +159,20 @@ def parallel_merged_scan(noks: list[NoKTree], doc: Document,
                     operator="parallel_scan")
         return results
 
+    if backend == "processes":
+        from repro.physical import process_scan
+
+        pool_backend = (process_backend if process_backend is not None
+                        else process_scan.shared_process_backend())
+        assert isinstance(pool_backend, process_scan.ProcessScanBackend)
+        results = process_scan.run_process_scan(
+            pool_backend, doc, scannable, partitions, counters, per_nok,
+            results, tracer)
+        _INVOCATIONS.inc(operator="parallel_scan")
+        _OUTPUT.inc(sum(len(v) for v in results.values()),
+                    operator="parallel_scan")
+        return results
+
     # Shared read-only dispatch table (same as the serial merged scan).
     by_tag: dict[str, list[NoKTree]] = {}
     wildcard: list[NoKTree] = []
@@ -157,9 +190,15 @@ def parallel_merged_scan(noks: list[NoKTree], doc: Document,
     part_per_nok: list[dict[int, ScanCounters] | None] = [None] * n_parts
     part_times: list[tuple[int, int]] = [(0, 0)] * n_parts
 
+    # The work budget is enforced globally: partitions run with no local
+    # budget and instead fold their scanned count into this shared cell
+    # every _BUDGET_STRIDE nodes, aborting once the total is over.
+    budget = counters.budget
+    budget_lock = threading.Lock()
+    budget_cell = [counters.nodes_scanned]
+
     def run_partition(part: Partition) -> None:
-        local_counters = ScanCounters(budget=counters.budget,
-                                      cancellation=counters.cancellation)
+        local_counters = ScanCounters(cancellation=counters.cancellation)
         local_per_nok: dict[int, ScanCounters] | None = (
             {} if per_nok is not None else None)
         local: dict[int, list[NLEntry]] = {
@@ -174,11 +213,31 @@ def parallel_merged_scan(noks: list[NoKTree], doc: Document,
                 return local_counters
             return local_per_nok.setdefault(nok.nok_id, ScanCounters())
 
+        flushed = 0
+
+        def flush_budget(enforce: bool) -> None:
+            nonlocal flushed
+            delta = local_counters.nodes_scanned - flushed
+            if not delta:
+                return
+            flushed = local_counters.nodes_scanned
+            with budget_lock:
+                budget_cell[0] += delta
+                total = budget_cell[0]
+            if enforce and budget is not None and total > budget:
+                local_counters.trip_budget()
+                raise DNFError("parallel scan exceeded the global "
+                               "work budget", budget=budget)
+
         started = time.perf_counter_ns()
         try:
             scan = SequentialScan(doc, local_counters,
                                   part.start_nid, part.stop_nid)
             for node in scan:
+                if (budget is not None
+                        and local_counters.nodes_scanned - flushed
+                        >= _BUDGET_STRIDE):
+                    flush_budget(True)
                 named = by_tag.get(node.tag)
                 candidates = (named + wildcard if named and wildcard
                               else named or wildcard)
@@ -190,7 +249,10 @@ def parallel_merged_scan(noks: list[NoKTree], doc: Document,
                                           local_eval)
                     if entry is not None:
                         local[nok.nok_id].append(entry)
+            if budget is not None:
+                flush_budget(True)
         finally:
+            flush_budget(False)
             part_times[part.index] = (started, time.perf_counter_ns())
             _PARTITION_SCANS.inc()
 

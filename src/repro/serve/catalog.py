@@ -347,6 +347,12 @@ class Catalog:
     def _notify_retired(self, snapshot: Snapshot) -> None:
         """Purge plans and fire listeners — outside the catalog lock."""
         self.purge_snapshot_plans(snapshot.name, snapshot.snapshot_id)
+        # A retired snapshot's arena file (the mmap-shared scan image
+        # used by the process execution backend) is dead weight once no
+        # query can pin the snapshot again — unlink it eagerly.
+        from repro.xmlkit.arena import release_arena
+
+        release_arena(snapshot.doc)
         for listener in self._retire_listeners:
             listener(snapshot)
 

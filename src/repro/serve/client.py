@@ -3,7 +3,7 @@
 :func:`connect` opens a TCP connection to a :class:`~repro.serve.server.Server`
 and returns a :class:`Client` whose surface deliberately mirrors
 :class:`~repro.serve.service.QueryService` — the same keyword-only
-``strategy`` / ``params`` / ``timeout_ms`` / ``parallelism`` spelling
+``strategy`` / ``params`` / ``timeout_ms`` / ``executor`` spelling
 as every other query surface (the contract test pins this), so moving
 a workload from in-process to remote serving is a one-line change::
 
@@ -36,6 +36,8 @@ import socket
 import threading
 from typing import Any
 
+from repro.engine._compat import absorb_executor
+from repro.engine.backend import ExecutionBackend
 from repro.engine.result import atom_text
 from repro.errors import ProtocolError, error_for_code
 from repro.serve.protocol import (
@@ -136,6 +138,7 @@ class RemotePrepared:
 
     def execute(self, *, params: dict | None = None,
                 timeout_ms: float | None = None,
+                executor: ExecutionBackend | str | None = None,
                 parallelism: int | None = None) -> ClientResult:
         """Run the prepared statement (kwargs mirror every other
         query surface)."""
@@ -145,8 +148,9 @@ class RemotePrepared:
             frame["params"] = params
         if timeout_ms is not None:
             frame["timeout_ms"] = timeout_ms
-        if parallelism is not None:
-            frame["parallelism"] = parallelism
+        if executor is not None or parallelism is not None:
+            frame["executor"] = absorb_executor(
+                "RemotePrepared.execute", executor, parallelism).key
         return self._client._roundtrip_result(frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -186,6 +190,7 @@ class Client:
     def query(self, text: str, *, doc: str | None = None,
               strategy: str = "auto", params: dict | None = None,
               timeout_ms: float | None = None,
+              executor: ExecutionBackend | str | None = None,
               parallelism: int | None = None) -> ClientResult:
         """Evaluate a query on the server — the remote twin of
         :meth:`QueryService.query <repro.serve.service.QueryService.query>`
@@ -199,18 +204,21 @@ class Client:
             frame["params"] = params
         if timeout_ms is not None:
             frame["timeout_ms"] = timeout_ms
-        if parallelism is not None:
-            frame["parallelism"] = parallelism
+        if executor is not None or parallelism is not None:
+            frame["executor"] = absorb_executor(
+                "Client.query", executor, parallelism, strategy).key
         return self._roundtrip_result(frame)
 
     def prepare(self, text: str, *, strategy: str = "auto",
+                executor: ExecutionBackend | str | None = None,
                 parallelism: int | None = None) -> RemotePrepared:
         """Prepare a statement server-side; returns its handle object."""
         frame: dict[str, Any] = {"type": "prepare", "text": text}
         if strategy != "auto":
             frame["strategy"] = strategy
-        if parallelism is not None:
-            frame["parallelism"] = parallelism
+        if executor is not None or parallelism is not None:
+            frame["executor"] = absorb_executor(
+                "Client.prepare", executor, parallelism, strategy).key
         reply = self._roundtrip(frame, expect="prepared")
         return RemotePrepared(self, reply["prepared"], text,
                               list(reply.get("parameters", [])))

@@ -10,8 +10,14 @@ Request types (client → server)
     ``query``
         One-shot evaluation: ``text`` plus the unified optional kwargs
         (``doc`` / ``strategy`` / ``params`` / ``timeout_ms`` /
-        ``parallelism``) — the exact spelling of
+        ``executor``) — the exact spelling of
         :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`.
+        ``executor`` travels as the canonical backend key string
+        (``"serial"`` / ``"threads:4"`` / ``"processes:4"``, see
+        :class:`~repro.engine.backend.ExecutionBackend`); servers keep
+        accepting the pre-redesign ``parallelism`` integer from old
+        clients for one release and map it onto the equivalent thread
+        backend.
     ``prepare`` / ``execute``
         Compile-once / execute-many over the wire: ``prepare`` answers
         with a server-side handle and the external ``$parameter``

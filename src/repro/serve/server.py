@@ -48,6 +48,7 @@ from repro.errors import (
     UsageError,
     wire_code,
 )
+from repro.engine.backend import backend_from_parallelism
 from repro.obs.metrics import REGISTRY
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -83,6 +84,23 @@ _REQUESTS = REGISTRY.counter(
 #: Request frame types the dispatcher accepts.
 _REQUEST_TYPES = frozenset(
     {"query", "prepare", "execute", "stats", "ping"})
+
+
+def _frame_executor(frame: dict[str, Any]) -> str | None:
+    """Resolve a frame's execution-backend spec.
+
+    v1 frames carry ``executor`` as the canonical backend key string
+    (``"serial"`` / ``"threads:4"`` / ``"processes:4"``).  A legacy
+    ``parallelism`` integer from pre-redesign clients still maps onto
+    the equivalent thread backend.
+    """
+    executor = frame.get("executor")
+    if executor is not None:
+        return executor
+    parallelism = frame.get("parallelism")
+    if parallelism is not None:
+        return backend_from_parallelism(parallelism).key
+    return None
 
 
 class _Connection:
@@ -382,7 +400,7 @@ class Server:
         if not isinstance(text, str):
             raise ProtocolError("prepare frame carries no query text")
         strategy = frame.get("strategy", "auto")
-        parallelism = frame.get("parallelism")
+        executor = _frame_executor(frame)
         doc = frame.get("doc") or self.service.default_document
         # Validate the query and learn its external parameters by
         # compiling once against the current snapshot; executions go
@@ -391,7 +409,7 @@ class Server:
         try:
             engine = self.service.catalog.engine_for(snapshot)
             prepared = engine.prepare(text, strategy=strategy,
-                                      parallelism=parallelism)
+                                      executor=executor)
             parameters = sorted(prepared.parameters)
         finally:
             self.service.catalog.unpin(snapshot)
@@ -399,7 +417,7 @@ class Server:
         conn.next_prepared += 1
         conn.prepared[handle] = {
             "text": text, "strategy": strategy,
-            "parallelism": parallelism, "doc": frame.get("doc")}
+            "executor": executor, "doc": frame.get("doc")}
         await self._send(conn, {
             "type": "prepared", "id": request_id, "prepared": handle,
             "parameters": parameters})
@@ -420,12 +438,14 @@ class Server:
                         "statements are scoped to their connection)")
                 text = spec["text"]
                 strategy = frame.get("strategy", spec["strategy"])
-                parallelism = frame.get("parallelism", spec["parallelism"])
+                executor = _frame_executor(frame)
+                if executor is None:
+                    executor = spec["executor"]
                 doc = frame.get("doc", spec["doc"])
             else:
                 text = frame.get("text")
                 strategy = frame.get("strategy", "auto")
-                parallelism = frame.get("parallelism")
+                executor = _frame_executor(frame)
                 doc = frame.get("doc")
             if not isinstance(text, str):
                 raise ProtocolError("query frame carries no query text")
@@ -437,7 +457,7 @@ class Server:
                 raise ProtocolError("params must be a JSON object")
             future = self.service.submit(
                 text, doc=doc, strategy=strategy, params=params,
-                timeout_ms=timeout_ms, parallelism=parallelism,
+                timeout_ms=timeout_ms, executor=executor,
                 client=f"{conn.cid}#{request_id}")
             served: ServeResult = await asyncio.wrap_future(future)
             await self._stream_result(conn, request_id, served, deadline,

@@ -35,12 +35,13 @@ import threading
 import time
 from collections import OrderedDict, deque
 from collections.abc import Callable, Iterable, Mapping
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass
 
+from repro.engine._compat import absorb_executor
+from repro.engine.backend import ExecutionBackend
 from repro.engine.plancache import normalize_query_text
 from repro.engine.result import QueryResult
-from repro.engine.session import _effective_parallelism
 from repro.errors import (
     PlanInvariantError,
     QueryCancelledError,
@@ -138,12 +139,12 @@ class _Request:
 
     __slots__ = ("text", "norm_text", "doc", "strategy", "params", "trace",
                  "timeout_ms", "deadline", "submitted", "future", "key",
-                 "parallelism", "client")
+                 "executor", "client")
 
     def __init__(self, text: str, doc: str, strategy: str,
                  params: Mapping | None, trace: bool,
                  timeout_ms: float | None,
-                 parallelism: int | None = None,
+                 executor: ExecutionBackend | None = None,
                  client: str | None = None) -> None:
         self.text = text
         self.norm_text = normalize_query_text(text)
@@ -152,7 +153,8 @@ class _Request:
         self.params = dict(params) if params else None
         self.trace = trace
         self.timeout_ms = timeout_ms
-        self.parallelism = parallelism
+        self.executor = executor if executor is not None \
+            else ExecutionBackend()
         #: Caller identity (network connection + request id); tags the
         #: slow-query log so remote offenders are attributable.
         self.client = client
@@ -162,10 +164,10 @@ class _Request:
         self.future: Future = Future()
         #: Coalescing identity; ``None`` disables coalescing and result
         #: caching (parameterized or traced requests are never shared).
-        #: ``parallelism`` is part of the identity: a serial and a
-        #: parallel run of one query return identical items but differ
-        #: in trace/counters, so they never share an execution.
-        self.key = ((doc, self.norm_text, strategy, parallelism)
+        #: The executor backend key is part of the identity: a serial
+        #: and a parallel run of one query return identical items but
+        #: differ in trace/counters, so they never share an execution.
+        self.key = ((doc, self.norm_text, strategy, self.executor.key)
                     if params is None and not trace else None)
 
 
@@ -231,8 +233,11 @@ class QueryService:
         #: partition tasks onto the bounded request pool could deadlock
         #: (every worker blocked waiting for partitions no worker is
         #: free to run).
-        self._scan_lock = threading.Lock()
-        self._scan_executor: ThreadPoolExecutor | None = None
+        from repro.physical.process_scan import ScanPools
+
+        self._scan_pools = ScanPools(
+            thread_workers=max(2, workers),
+            thread_name_prefix="repro-scan")
 
         self._result_cache_size = result_cache_size
         self._result_lock = threading.Lock()
@@ -267,16 +272,18 @@ class QueryService:
                strategy: str = "auto", params: Mapping | None = None,
                timeout_ms: float | None = None,
                trace: bool = False,
+               executor: ExecutionBackend | str | None = None,
                parallelism: int | None = None,
                client: str | None = None) -> Future:
         """Enqueue one query; returns a future of :class:`ServeResult`.
 
         An identical un-parameterized, un-traced request already queued
         or executing is *coalesced*: the same future is returned and the
-        query runs once.  ``parallelism`` is the intra-query partition
-        budget (see :meth:`Engine.query`); partition scans run on a
-        scan pool the service owns, separate from the serve workers, so
-        parallel queries never deadlock against admission control.
+        query runs once.  ``executor`` selects the intra-query execution
+        backend (see :meth:`Engine.query`; the deprecated
+        ``parallelism=N`` still maps); partition scans run on scan pools
+        the service owns, separate from the serve workers, so parallel
+        queries never deadlock against admission control.
         ``client`` is an opaque caller identity (the network server
         passes connection#request ids) that tags slow-query records.
         Raises :class:`~repro.errors.ServiceOverloadedError` when the
@@ -289,7 +296,11 @@ class QueryService:
         provably-empty traffic can never crowd out real work.
         """
         request = self._request(text, doc, strategy, params,
-                                timeout_ms, trace, parallelism, client)
+                                timeout_ms, trace,
+                                absorb_executor("QueryService.submit",
+                                                executor, parallelism,
+                                                strategy),
+                                client)
         fast = self._try_static_empty(request)
         if fast is not None:
             return fast
@@ -299,16 +310,19 @@ class QueryService:
               strategy: str = "auto", params: Mapping | None = None,
               timeout_ms: float | None = None,
               trace: bool = False,
+              executor: ExecutionBackend | str | None = None,
               parallelism: int | None = None,
               client: str | None = None) -> ServeResult:
         """Synchronous :meth:`submit` — blocks for the result."""
         return self.submit(text, doc=doc, strategy=strategy, params=params,
                            timeout_ms=timeout_ms, trace=trace,
+                           executor=executor,
                            parallelism=parallelism, client=client).result()
 
     def query_batch(self, queries: Iterable[str | Mapping], *,
                     doc: str | None = None, strategy: str = "auto",
                     timeout_ms: float | None = None,
+                    executor: ExecutionBackend | str | None = None,
                     parallelism: int | None = None) -> list[ServeResult]:
         """Submit a batch atomically and wait for every result.
 
@@ -329,7 +343,10 @@ class QueryService:
                 spec["text"], spec.get("doc", doc),
                 spec.get("strategy", strategy), spec.get("params"),
                 spec.get("timeout_ms", timeout_ms), False,
-                spec.get("parallelism", parallelism)))
+                absorb_executor("QueryService.query_batch",
+                                spec.get("executor", executor),
+                                spec.get("parallelism", parallelism),
+                                spec.get("strategy", strategy))))
         futures = self._enqueue(requests)
         return [future.result() for future in futures]
 
@@ -375,10 +392,11 @@ class QueryService:
                     QueryCancelledError("service closed before execution"))
         for thread in self._workers:
             thread.join()
-        with self._scan_lock:
-            pool, self._scan_executor = self._scan_executor, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        # Deterministic cleanup: drain and stop the service-owned scan
+        # executors (thread and process pools).  Arena files of retired
+        # snapshots were already released by the catalog's retire hook;
+        # live snapshots release theirs when the catalog drops them.
+        self._scan_pools.close(wait=True)
 
     @property
     def closed(self) -> bool:
@@ -482,14 +500,12 @@ class QueryService:
 
     def _request(self, text: str, doc: str | None, strategy: str,
                  params: Mapping | None, timeout_ms: float | None,
-                 trace: bool, parallelism: int | None = None,
+                 trace: bool, executor: ExecutionBackend | None = None,
                  client: str | None = None) -> _Request:
         if timeout_ms is None:
             timeout_ms = self.default_timeout_ms
         return _Request(text, doc or self.default_document, strategy,
-                        params, trace, timeout_ms,
-                        _effective_parallelism(strategy, parallelism),
-                        client)
+                        params, trace, timeout_ms, executor, client)
 
     def _try_static_empty(self, request: _Request) -> Future | None:
         """Answer a provably-empty query inline, if it is known to be.
@@ -497,7 +513,7 @@ class QueryService:
         Only un-parameterized, un-traced requests qualify (the same
         population the result cache serves), and only when the shared
         plan cache already holds a ``static-empty`` plan for this exact
-        (query, strategy, parallelism, snapshot shape) — a pure peek,
+        (query, strategy, executor, snapshot shape) — a pure peek,
         so clean queries pay one dictionary lookup.  The execution
         itself is the engine's static-empty short-circuit: no scan, so
         running it on the submitting thread is cheaper than the
@@ -521,10 +537,10 @@ class QueryService:
             # the submitting thread on stats/index/summary builds.
             engine = self.catalog.cached_engine(snapshot)
             if engine is None or not engine.cached_static_empty(
-                    request.text, request.strategy, request.parallelism):
+                    request.text, request.strategy, request.executor):
                 return None
             result = engine.query(request.text, strategy=request.strategy,
-                                  parallelism=request.parallelism)
+                                  executor=request.executor)
         except Exception:
             return None   # let the worker path surface the real error
         finally:
@@ -648,21 +664,23 @@ class QueryService:
                 if request.key is not None and self._result_cache_size:
                     cache_key = (request.doc, snapshot.snapshot_id,
                                  request.norm_text, request.strategy,
-                                 request.parallelism)
+                                 request.executor.key)
                     cached = self._result_get(cache_key)
                     if cached is not None:
                         run_ms = (time.perf_counter() - started) * 1e3
                         return ServeResult(cached, snapshot, wait_ms, run_ms,
                                            attempts, cached=True)
                 engine = self.catalog.engine_for(snapshot)
-                if request.parallelism > 1:
-                    engine.scan_executor = self._scan_pool()
+                if request.executor.parallelism > 1:
+                    engine.scan_executor = self._scan_pools.thread_pool()
+                    engine.process_executor = \
+                        self._scan_pools.process_backend()
                 try:
                     result = engine.query(
                         request.text, strategy=request.strategy,
                         trace=request.trace, params=request.params,
                         timeout_ms=self._remaining_ms(request),
-                        parallelism=request.parallelism)
+                        executor=request.executor)
                 except PlanInvariantError as exc:
                     if attempts == 1 and "SV001" in exc.rule_ids:
                         # A cached plan raced a snapshot flip: purge the
@@ -688,16 +706,6 @@ class QueryService:
                                    attempts, cached=False)
             finally:
                 self.catalog.unpin(snapshot)
-
-    def _scan_pool(self) -> ThreadPoolExecutor:
-        """The shared partition-scan pool, created on first parallel
-        query and sized to the serve worker count."""
-        with self._scan_lock:
-            if self._scan_executor is None:
-                self._scan_executor = ThreadPoolExecutor(
-                    max_workers=max(2, len(self._workers)),
-                    thread_name_prefix="repro-scan")
-            return self._scan_executor
 
     def _remaining_ms(self, request: _Request) -> float | None:
         """Deadline budget left for execution (measured from submit)."""

@@ -109,8 +109,8 @@ def test_demotion_counter_carries_strategy_labels():
 
     demotions = REGISTRY.get("repro_strategy_demotions_total")
     before = demotions.value(from_strategy="twigstack", to_strategy="stack")
-    StatsStore().settle("q", ("fp",), 1, "stack", DemotionRecord(
-        query="q", fingerprint="fp", parallelism=1,
+    StatsStore().settle("q", ("fp",), "serial", "stack", DemotionRecord(
+        query="q", fingerprint="fp", executor="serial",
         from_strategy="twigstack", to_strategy="stack",
         from_mean_ms=2.0, to_mean_ms=1.0, executions=4, reason="r"))
     after = demotions.value(from_strategy="twigstack", to_strategy="stack")

@@ -122,12 +122,13 @@ def _five_surfaces():
 class TestUnifiedKeywords:
     """One spelling everywhere: the contract test pinning the redesigned
     v1 call surface.  ``strategy`` / ``params`` / ``timeout_ms`` /
-    ``parallelism`` must be spelled identically — and be keyword-only —
-    on all five query surfaces: ``Engine.query``, ``Database.query``,
+    ``executor`` (plus the one-release deprecated ``parallelism``
+    shim) must be spelled identically — and be keyword-only — on all
+    five query surfaces: ``Engine.query``, ``Database.query``,
     ``PreparedQuery.execute``, ``QueryService.submit`` and the network
     ``Client.query``."""
 
-    UNIFIED = ("params", "timeout_ms", "parallelism")
+    UNIFIED = ("params", "timeout_ms", "executor", "parallelism")
 
     @pytest.mark.parametrize("owner, method",
                              _five_surfaces(),

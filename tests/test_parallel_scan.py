@@ -9,7 +9,7 @@ partition-order concatenation reproduce the serial scan exactly.
 
 import pytest
 
-from repro.errors import DNFError, PlanInvariantError
+from repro.errors import DNFError, PlanInvariantError, UsageError
 from repro.pattern import build_from_path, decompose
 from repro.physical import merged_scan
 from repro.physical.parallel_scan import parallel_merged_scan
@@ -167,13 +167,37 @@ class TestDifferentialBitIdentity:
         assert counters.comparisons == \
             sum(c.comparisons for c in per_nok.values())
 
-    def test_budget_is_enforced_per_partition(self):
+    def test_budget_is_enforced_globally(self):
         doc = parse(wide_doc(150))
         counters = ScanCounters(budget=10)
         with pytest.raises(DNFError):
             parallel_merged_scan(noks_for("//book"), doc, counters,
                                  partitions=fine_partitions(doc, 3))
         assert counters.budget_trips >= 1
+
+    def test_global_budget_is_a_shared_cap_not_per_partition(self):
+        """Regression for the per-partition budget bug: each of k
+        partitions used to receive the *full* budget, so total work
+        could reach k x budget before any task tripped.  The cap is now
+        a shared counter: a budget below the document size must trip
+        even when every individual partition is comfortably under it."""
+        doc = parse(wide_doc(150))
+        n_nodes = len(doc.nodes)
+        parts = fine_partitions(doc, 3)
+        per_partition = max(p.n_nodes for p in parts)
+        # Generous for any single partition, insufficient globally.
+        budget = per_partition + 50
+        assert budget < n_nodes
+        counters = ScanCounters(budget=budget)
+        with pytest.raises(DNFError):
+            parallel_merged_scan(noks_for("//book"), doc, counters,
+                                 partitions=parts)
+        assert counters.budget_trips >= 1
+        # Overshoot is bounded by partitions x stride, not by
+        # partitions x budget as under the old semantics.
+        from repro.physical.parallel_scan import _BUDGET_STRIDE
+
+        assert counters.nodes_scanned <= budget + len(parts) * _BUDGET_STRIDE
 
 
 class TestMergedScanEdges:
@@ -237,13 +261,13 @@ class TestEngineParallelStrategy:
         engine = self.make_engine(wide_doc(600))
         serial = engine.query("//book[price > 10]/title").items
         parallel = engine.query("//book[price > 10]/title",
-                                parallelism=4).items
+                                executor="threads:4").items
         assert "parallel" in engine.last_plan
         assert [n.nid for n in serial] == [n.nid for n in parallel]
 
     def test_auto_stays_serial_below_threshold(self):
         engine = self.make_engine(wide_doc(20))
-        engine.query("//book", parallelism=4)
+        engine.query("//book", executor="threads:4")
         assert "parallel" not in engine.last_plan
 
     def test_explicit_parallel_strategy(self):
@@ -254,7 +278,7 @@ class TestEngineParallelStrategy:
 
     def test_auto_withdraws_for_partition_unsafe_plan(self):
         engine = self.make_engine(wide_doc(600))
-        engine.query("/bib/shelf", parallelism=4)
+        engine.query("/bib/shelf", executor="threads:4")
         assert "withdrawn" in engine.last_plan
         assert "PL004" in engine.last_plan
 
@@ -264,34 +288,44 @@ class TestEngineParallelStrategy:
             engine.query("/bib/shelf", strategy="parallel")
         assert "PL004" in excinfo.value.rule_ids
 
-    def test_plan_cache_keys_include_parallelism(self):
+    def test_plan_cache_keys_include_executor(self):
         engine = self.make_engine(wide_doc(600))
         engine.query("//book")
         engine.query("//book")
-        engine.query("//book", parallelism=4)    # distinct key: a miss
-        engine.query("//book", parallelism=4)    # now a hit
+        engine.query("//book", executor="threads:4")  # distinct key: a miss
+        engine.query("//book", executor="threads:4")  # now a hit
         stats = engine.plan_cache.stats()
         assert stats["size"] >= 2
 
-    def test_prepared_query_pins_parallelism(self):
+    def test_prepared_query_pins_executor(self):
         engine = self.make_engine(wide_doc(600))
-        prepared = engine.prepare("//book", parallelism=4)
+        prepared = engine.prepare("//book", executor="threads:4")
+        assert prepared.executor.key == "threads:4"
         assert prepared.parallelism == 4
         parallel = prepared.execute().items
         assert "parallel" in engine.last_plan
-        serial = prepared.execute(parallelism=1).items
+        serial = prepared.execute(executor="serial").items
         assert "parallel" not in engine.last_plan
         assert [n.nid for n in serial] == [n.nid for n in parallel]
+
+    def test_parallelism_shim_warns_and_maps(self):
+        engine = self.make_engine(wide_doc(600))
+        baseline = engine.query("//book", executor="threads:4").items
+        with pytest.warns(DeprecationWarning, match="executor="):
+            legacy = engine.query("//book", parallelism=4).items
+        assert [n.nid for n in legacy] == [n.nid for n in baseline]
+        with pytest.raises(UsageError):
+            engine.query("//book", executor="threads:4", parallelism=4)
 
     def test_skewed_document_through_the_engine(self):
         engine = self.make_engine(skewed_doc(900))
         serial = engine.query("//item/name").items
-        parallel = engine.query("//item/name", parallelism=4).items
+        parallel = engine.query("//item/name", executor="threads:4").items
         assert "parallel" in engine.last_plan
         assert [n.nid for n in serial] == [n.nid for n in parallel]
 
     def test_partition_spans_in_trace(self):
         engine = self.make_engine(wide_doc(600))
-        result = engine.query("//book", parallelism=4, trace=True)
+        result = engine.query("//book", executor="threads:4", trace=True)
         names = [span.name for _, span in result.trace.walk()]
         assert "partition-scan" in names

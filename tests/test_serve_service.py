@@ -300,7 +300,7 @@ class TestPlanInvalidationRace:
         # exactly what an entry that raced a publish looks like.
         engine.query(text)
         cache = catalog.plan_cache("main")
-        key = (normalize_query_text(text), "auto", 1,
+        key = (normalize_query_text(text), "auto", "serial",
                engine.stats_fingerprint())
         cache.get(key).snapshot_id = 1
 
@@ -325,7 +325,7 @@ class TestPlanInvalidationRace:
         engine = catalog.engine_for(snapshot)
         text = "//book/author"
         engine.query(text)
-        key = (normalize_query_text(text), "auto", 1,
+        key = (normalize_query_text(text), "auto", "serial",
                engine.stats_fingerprint())
         catalog.plan_cache("main").get(key).snapshot_id = 1
         with pytest.raises(PlanInvariantError) as exc_info:
@@ -395,29 +395,29 @@ class TestParallelismAndIndexLifecycle:
     def test_parallel_request_bit_identical_to_serial(self):
         with QueryService(big_library(), workers=2) as service:
             serial = service.query("//book/title")
-            parallel = service.query("//book/title", parallelism=4)
+            parallel = service.query("//book/title", executor="threads:4")
         assert serial.snapshot_id == parallel.snapshot_id
         assert [n.nid for n in serial.items] == \
             [n.nid for n in parallel.items]
 
-    def test_result_cache_key_separates_parallelism(self):
+    def test_result_cache_key_separates_executor(self):
         with make_service(workers=1) as service:
             serial = service.query("//book/title")
-            parallel = service.query("//book/title", parallelism=4)
-            again = service.query("//book/title", parallelism=4)
+            parallel = service.query("//book/title", executor="threads:4")
+            again = service.query("//book/title", executor="threads:4")
         assert not serial.cached
         # A serially-computed cached result must not answer a request
-        # asking for a different parallelism: the keys differ.
+        # asking for a different execution backend: the keys differ.
         assert not parallel.cached
         assert again.cached
         assert [n.nid for n in serial.items] == \
             [n.nid for n in parallel.items]
 
-    def test_batch_accepts_parallelism_overrides(self):
+    def test_batch_accepts_executor_overrides(self):
         with QueryService(big_library(), workers=2) as service:
             plain, parallel = service.query_batch([
                 {"text": "//book/author"},
-                {"text": "//book/author", "parallelism": 4},
+                {"text": "//book/author", "executor": "threads:4"},
             ])
         assert [n.nid for n in plain.items] == \
             [n.nid for n in parallel.items]

@@ -50,10 +50,10 @@ def make_flat_doc(n_items: int = 2500) -> str:
 class TestStatsStore:
     def test_record_accumulates(self):
         store = StatsStore()
-        store.record("q", "pipelined", FP, 1, elapsed_ms=2.0,
+        store.record("q", "pipelined", FP, "serial", elapsed_ms=2.0,
                      counters={"nodes_scanned": 10, "comparisons": 3},
                      items=5, cache_status="miss")
-        entry = store.record("q", "pipelined", FP, 1, elapsed_ms=4.0,
+        entry = store.record("q", "pipelined", FP, "serial", elapsed_ms=4.0,
                              counters={"nodes_scanned": 6}, items=5,
                              cache_status="hit")
         assert entry.executions == 2
@@ -71,47 +71,47 @@ class TestStatsStore:
 
     def test_prepared_counts_as_cache_hit(self):
         store = StatsStore()
-        entry = store.record("q", "pipelined", FP, 1, elapsed_ms=1.0,
+        entry = store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0,
                              cache_status="prepared")
         assert entry.cache_hits == 1
 
     def test_error_runs_skip_selectivities(self):
         store = StatsStore()
-        entry = store.record("q", "pipelined", FP, 1, elapsed_ms=1.0,
+        entry = store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0,
                              nok_matches=[("book", 7)], error="DNFError")
         assert entry.errors == 1
         assert entry.last_error == "DNFError"
         assert entry.successes == 0
         assert entry.nok_matches == {}        # failed run: no selectivity
-        entry = store.record("q", "pipelined", FP, 1, elapsed_ms=1.0,
+        entry = store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0,
                              nok_matches=[("book", 7), ("book", 9)])
         assert entry.observed_cardinality("book") == pytest.approx(8.0)
 
-    def test_keys_separate_strategy_and_parallelism(self):
+    def test_keys_separate_strategy_and_executor(self):
         store = StatsStore()
-        store.record("q", "pipelined", FP, 1, elapsed_ms=1.0)
-        store.record("q", "parallel", FP, 4, elapsed_ms=2.0)
-        store.record("q", "pipelined", FP, 4, elapsed_ms=3.0)
+        store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0)
+        store.record("q", "parallel", FP, "threads:4", elapsed_ms=2.0)
+        store.record("q", "pipelined", FP, "threads:4", elapsed_ms=3.0)
         assert len(store) == 3
-        assert store.get("q", "pipelined", FP, 1).mean_ms == pytest.approx(1.0)
-        arms = store.arms("q", FP, 4)
+        assert store.get("q", "pipelined", FP, "serial").mean_ms == pytest.approx(1.0)
+        arms = store.arms("q", FP, "threads:4")
         assert set(arms) == {"parallel", "pipelined"}
 
     def test_lru_eviction_bounds_the_store(self):
         store = StatsStore(max_plans=2)
-        store.record("a", "s", FP, 1, elapsed_ms=1.0)
-        store.record("b", "s", FP, 1, elapsed_ms=1.0)
-        store.record("a", "s", FP, 1, elapsed_ms=1.0)   # refresh a
-        store.record("c", "s", FP, 1, elapsed_ms=1.0)   # evicts b
-        assert store.get("b", "s", FP, 1) is None
-        assert store.get("a", "s", FP, 1) is not None
-        assert store.get("c", "s", FP, 1) is not None
+        store.record("a", "s", FP, "serial", elapsed_ms=1.0)
+        store.record("b", "s", FP, "serial", elapsed_ms=1.0)
+        store.record("a", "s", FP, "serial", elapsed_ms=1.0)   # refresh a
+        store.record("c", "s", FP, "serial", elapsed_ms=1.0)   # evicts b
+        assert store.get("b", "s", FP, "serial") is None
+        assert store.get("a", "s", FP, "serial") is not None
+        assert store.get("c", "s", FP, "serial") is not None
 
     def test_observed_cardinalities_pool_across_strategies(self):
         store = StatsStore()
-        store.record("q", "pipelined", FP, 1, elapsed_ms=1.0,
+        store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0,
                      nok_matches=[("book", 10)])
-        store.record("q", "twigstack", FP, 1, elapsed_ms=1.0,
+        store.record("q", "twigstack", FP, "serial", elapsed_ms=1.0,
                      nok_matches=[("book", 20)])
         store.record("q", "pipelined", ("other",), 1, elapsed_ms=1.0,
                      nok_matches=[("book", 999)])     # other version: excluded
@@ -120,9 +120,9 @@ class TestStatsStore:
 
     def test_top_queries_orders_by_total_time(self):
         store = StatsStore()
-        store.record("cheap", "s", FP, 1, elapsed_ms=1.0)
+        store.record("cheap", "s", FP, "serial", elapsed_ms=1.0)
         for _ in range(3):
-            store.record("hot", "s", FP, 1, elapsed_ms=5.0)
+            store.record("hot", "s", FP, "serial", elapsed_ms=5.0)
         top = store.top_queries(1)
         assert len(top) == 1 and top[0]["query"] == "hot"
         assert top[0]["total_ms"] == pytest.approx(15.0)
@@ -130,9 +130,9 @@ class TestStatsStore:
     def test_strategy_table_wins_and_losses(self):
         store = StatsStore()
         for _ in range(2):
-            store.record("q", "pipelined", FP, 1, elapsed_ms=1.0)
-            store.record("q", "twigstack", FP, 1, elapsed_ms=9.0)
-        store.record("solo", "stack", FP, 1, elapsed_ms=1.0)  # uncontested
+            store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0)
+            store.record("q", "twigstack", FP, "serial", elapsed_ms=9.0)
+        store.record("solo", "stack", FP, "serial", elapsed_ms=1.0)  # uncontested
         rows = {row["strategy"]: row for row in store.strategy_table()}
         assert rows["pipelined"]["wins"] == 1
         assert rows["pipelined"]["losses"] == 0
@@ -143,7 +143,7 @@ class TestStatsStore:
     def test_snapshot_shape_and_top_bound(self):
         store = StatsStore()
         for name in ("a", "b", "c"):
-            store.record(name, "s", FP, 1, elapsed_ms=1.0)
+            store.record(name, "s", FP, "serial", elapsed_ms=1.0)
         snap = store.snapshot(top=2)
         assert snap["n_plans"] == 3
         assert snap["records"] == 3
@@ -157,11 +157,11 @@ class TestStatsStore:
         before = STRATEGY_DEMOTIONS.value(from_strategy="parallel",
                                           to_strategy="pipelined")
         for i in range(3):
-            store.settle(f"q{i}", FP, 1, "pipelined", DemotionRecord(
-                query=f"q{i}", fingerprint="fp", parallelism=1,
+            store.settle(f"q{i}", FP, "serial", "pipelined", DemotionRecord(
+                query=f"q{i}", fingerprint="fp", executor="serial",
                 from_strategy="parallel", to_strategy="pipelined",
                 from_mean_ms=2.0, to_mean_ms=1.0, executions=4, reason="r"))
-        assert store.settled_strategy("q0", FP, 1) == "pipelined"
+        assert store.settled_strategy("q0", FP, "serial") == "pipelined"
         assert len(store.demotions) == 2      # bounded ring
         assert store.demotions[-1].query == "q2"
         after = STRATEGY_DEMOTIONS.value(from_strategy="parallel",
@@ -170,9 +170,9 @@ class TestStatsStore:
 
     def test_jsonl_round_trip(self, tmp_path):
         store = StatsStore()
-        store.record("q", "pipelined", FP, 1, elapsed_ms=1.0)
-        store.settle("q", FP, 1, "pipelined", DemotionRecord(
-            query="q", fingerprint="fp", parallelism=1,
+        store.record("q", "pipelined", FP, "serial", elapsed_ms=1.0)
+        store.settle("q", FP, "serial", "pipelined", DemotionRecord(
+            query="q", fingerprint="fp", executor="serial",
             from_strategy="parallel", to_strategy="pipelined",
             from_mean_ms=2.0, to_mean_ms=1.0, executions=4, reason="r"))
         path = tmp_path / "stats.jsonl"
@@ -183,11 +183,11 @@ class TestStatsStore:
 
     def test_clear_resets_everything(self):
         store = StatsStore()
-        store.record("q", "s", FP, 1, elapsed_ms=1.0)
-        store.settle("q", FP, 1, "s")
+        store.record("q", "s", FP, "serial", elapsed_ms=1.0)
+        store.settle("q", FP, "serial", "s")
         store.clear()
         assert len(store) == 0 and store.records == 0
-        assert store.settled_strategy("q", FP, 1) is None
+        assert store.settled_strategy("q", FP, "serial") is None
         assert store.demotions == []
 
 
@@ -255,8 +255,8 @@ class TestHistogramQuantile:
 class TestStrategyAdvisor:
     STATIC = PlanChoice("parallel", "static rules")
 
-    def advise(self, store, text="q", parallelism=4):
-        return StrategyAdvisor(store).advise(text, FP, parallelism,
+    def advise(self, store, text="q", executor="threads:4"):
+        return StrategyAdvisor(store).advise(text, FP, executor,
                                              self.STATIC, "pipelined")
 
     def test_no_history_runs_the_static_choice(self):
@@ -265,7 +265,7 @@ class TestStrategyAdvisor:
     def test_probes_alternative_after_static_is_measured(self):
         store = StatsStore()
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            store.record("q", "parallel", FP, 4, elapsed_ms=5.0)
+            store.record("q", "parallel", FP, "threads:4", elapsed_ms=5.0)
         choice = self.advise(store)
         assert choice.strategy == "pipelined"
         assert "probe" in choice.reason
@@ -273,18 +273,18 @@ class TestStrategyAdvisor:
     def test_settles_on_static_when_it_wins(self):
         store = StatsStore()
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            store.record("q", "parallel", FP, 4, elapsed_ms=1.0)
-            store.record("q", "pipelined", FP, 4, elapsed_ms=5.0)
+            store.record("q", "parallel", FP, "threads:4", elapsed_ms=1.0)
+            store.record("q", "pipelined", FP, "threads:4", elapsed_ms=5.0)
         choice = self.advise(store)
         assert choice.strategy == "parallel"
-        assert store.settled_strategy("q", FP, 4) == "parallel"
+        assert store.settled_strategy("q", FP, "threads:4") == "parallel"
         assert store.demotions == []          # confirming is not a demotion
 
     def test_demotes_static_when_alternative_wins(self):
         store = StatsStore()
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            store.record("q", "parallel", FP, 4, elapsed_ms=26.3)
-            store.record("q", "pipelined", FP, 4, elapsed_ms=25.3)
+            store.record("q", "parallel", FP, "threads:4", elapsed_ms=26.3)
+            store.record("q", "pipelined", FP, "threads:4", elapsed_ms=25.3)
         choice = self.advise(store)
         assert choice.strategy == "pipelined"
         [demotion] = store.demotions
@@ -294,22 +294,22 @@ class TestStrategyAdvisor:
     def test_demote_margin_is_hysteresis_not_a_coin_flip(self):
         store = StatsStore()
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            store.record("q", "parallel", FP, 4, elapsed_ms=1.0)
+            store.record("q", "parallel", FP, "threads:4", elapsed_ms=1.0)
             # faster, but within the margin: not worth flapping over
-            store.record("q", "pipelined", FP, 4,
+            store.record("q", "pipelined", FP, "threads:4",
                          elapsed_ms=1.0 / DEMOTE_MARGIN * 1.001)
         assert self.advise(store).strategy == "parallel"
 
     def test_settled_decision_holds_then_flips_on_degradation(self):
         store = StatsStore()
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            store.record("q", "parallel", FP, 4, elapsed_ms=26.3)
-            store.record("q", "pipelined", FP, 4, elapsed_ms=25.3)
+            store.record("q", "parallel", FP, "threads:4", elapsed_ms=26.3)
+            store.record("q", "pipelined", FP, "threads:4", elapsed_ms=25.3)
         assert self.advise(store).strategy == "pipelined"   # settles
         assert self.advise(store).strategy == "pipelined"   # holds
         # The settled arm degrades far past the re-promotion margin...
         for _ in range(20):
-            store.record("q", "pipelined", FP, 4, elapsed_ms=200.0)
+            store.record("q", "pipelined", FP, "threads:4", elapsed_ms=200.0)
         choice = self.advise(store)
         assert choice.strategy == "parallel"                # ...and flips
         assert "flip" in choice.reason
@@ -317,7 +317,7 @@ class TestStrategyAdvisor:
     def test_no_alternative_means_static(self):
         store = StatsStore()
         advisor = StrategyAdvisor(store)
-        choice = advisor.advise("q", FP, 1, PlanChoice("naive", "r"), None)
+        choice = advisor.advise("q", FP, "serial", PlanChoice("naive", "r"), None)
         assert choice.strategy == "naive"
 
 
@@ -331,7 +331,7 @@ class TestEngineRecording:
                               "<author>a</author></book></bib>"))
         result = engine.query("//book[author]/title")
         key = (normalize_query_text("//book[author]/title"),
-               engine._last_strategy, engine.stats_fingerprint(), 1)
+               engine._last_strategy, engine.stats_fingerprint(), "serial")
         entry = engine.stats_store.get(*key)
         assert entry is not None
         assert entry.executions == 1
@@ -366,9 +366,9 @@ class TestEngineRecording:
             engine.query(text)
         norm = normalize_query_text(text)
         fp = engine.stats_fingerprint()
-        arms = engine.stats_store.arms(norm, fp, 1)
+        arms = engine.stats_store.arms(norm, fp, "serial")
         assert len(arms) == 2                 # static + probed alternative
-        assert engine.stats_store.settled_strategy(norm, fp, 1) is not None
+        assert engine.stats_store.settled_strategy(norm, fp, "serial") is not None
 
     def test_feedback_off_by_default_never_probes(self):
         engine = Engine(parse(make_flat_doc(200)))
@@ -377,7 +377,7 @@ class TestEngineRecording:
             engine.query("//item/val")
         arms = engine.stats_store.arms(
             normalize_query_text("//item/val"),
-            engine.stats_fingerprint(), 1)
+            engine.stats_fingerprint(), "serial")
         assert len(arms) == 1                 # only the static strategy ran
 
     def test_recost_ranks_against_observed_cardinalities(self):
@@ -402,14 +402,14 @@ class TestParallelDemotionRegression:
         # Seed the two measured arms with BENCH_PR5's shape: the
         # parallel upgrade costs ~4% over the serial merged scan.
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            engine.stats_store.record(norm, "parallel", fp, 4,
+            engine.stats_store.record(norm, "parallel", fp, "threads:4",
                                       elapsed_ms=26.3)
-            engine.stats_store.record(norm, "pipelined", fp, 4,
+            engine.stats_store.record(norm, "pipelined", fp, "threads:4",
                                       elapsed_ms=25.3)
-        result = engine.query(text, parallelism=4)
+        result = engine.query(text, executor="threads:4")
         assert len(result) == 2500
         assert engine._last_strategy == "pipelined"
-        assert engine.stats_store.settled_strategy(norm, fp, 4) == "pipelined"
+        assert engine.stats_store.settled_strategy(norm, fp, "threads:4") == "pipelined"
         [demotion] = engine.stats_store.demotions
         assert demotion.from_strategy == "parallel"
         assert demotion.to_strategy == "pipelined"
@@ -422,15 +422,15 @@ class TestParallelDemotionRegression:
         text = "//item/val"
         norm = normalize_query_text(text)
         fp = engine.stats_fingerprint()
-        engine.query(text, parallelism=4)     # caches the parallel plan
+        engine.query(text, executor="threads:4")     # caches the parallel plan
         assert engine._last_strategy == "parallel"
         engine.stats_store.clear()            # seed a clean measured history
         for _ in range(MIN_FEEDBACK_SAMPLES):
-            engine.stats_store.record(norm, "parallel", fp, 4,
+            engine.stats_store.record(norm, "parallel", fp, "threads:4",
                                       elapsed_ms=26.3)
-            engine.stats_store.record(norm, "pipelined", fp, 4,
+            engine.stats_store.record(norm, "pipelined", fp, "threads:4",
                                       elapsed_ms=25.3)
-        engine.query(text, parallelism=4)     # hit -> advised -> recost
+        engine.query(text, executor="threads:4")     # hit -> advised -> recost
         assert engine._last_strategy == "pipelined"
         assert engine.stats_store.demotions
 
@@ -525,7 +525,7 @@ class TestObsCli:
         from repro.obs.__main__ import main
 
         store = StatsStore()
-        store.record("//a//b", "pipelined", FP, 1, elapsed_ms=2.5, items=3)
+        store.record("//a//b", "pipelined", FP, "serial", elapsed_ms=2.5, items=3)
         path = tmp_path / "stats.jsonl"
         store.export_jsonl(path)
         assert main(["report", "--stats", str(path)]) == 0
