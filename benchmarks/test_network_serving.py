@@ -200,7 +200,7 @@ def open_loop(server: Server, n_requests: int, rate_qps: float,
 
 def test_closed_loop_throughput():
     service = QueryService(build_corpus(), workers=WORKERS,
-                           result_cache_size=64)
+                           result_cache={"max_entries": 64})
     try:
         with Server(service, target_ms=100.0) as server:
             # Warm plans out of the timed region.
@@ -230,7 +230,7 @@ def test_closed_loop_throughput():
 def test_open_loop_overload_sheds_and_bounds_p99():
     """The tentpole claim: overpressure is shed, served p99 bounded."""
     service = QueryService(build_corpus(), workers=WORKERS,
-                           result_cache_size=0)     # every request runs
+                           result_cache=0)          # every request runs
     try:
         # A tight latency target and a small window ceiling make the
         # admission controller the binding constraint, deterministically.

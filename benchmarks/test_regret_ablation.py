@@ -60,7 +60,7 @@ PATTERN_STRATEGIES = ("pipelined", "twigstack")
 #: where the partition hand-off may or may not pay for itself.
 PARALLEL_QUERY = "//book/title"
 PARALLEL_STRATEGIES = ("parallel", "pipelined")
-PARALLELISM = 4
+PARALLEL_EXECUTOR = "threads:4"
 
 
 def build_corpus(n_books: int = N_BOOKS) -> Document:
@@ -89,7 +89,7 @@ def best_of(repeats: int, run) -> float:
 
 
 def static_means(doc: Document, queries, strategies,
-                 parallelism: int | None) -> dict[tuple[str, str], float]:
+                 executor: str | None) -> dict[tuple[str, str], float]:
     """Measured mean ms per (query, strategy) from a dedicated sweep."""
     means: dict[tuple[str, str], float] = {}
     for strategy in strategies:
@@ -97,32 +97,31 @@ def static_means(doc: Document, queries, strategies,
         engine.index.build()
         for query in queries:
             for _ in range(STATIC_ROUNDS):
-                engine.query(query, strategy=strategy,
-                             parallelism=parallelism)
+                engine.query(query, strategy=strategy, executor=executor)
             entry = engine.stats_store.get(
                 normalize_query_text(query), strategy,
                 engine.stats_fingerprint(),
-                parallelism if parallelism is not None else 1)
+                executor if executor is not None else "serial")
             assert entry is not None and entry.successes == STATIC_ROUNDS
             means[(query, strategy)] = entry.mean_ms
     return means
 
 
 def run_feedback_policy(doc: Document, queries,
-                        parallelism: int | None) -> tuple[Engine, dict]:
+                        executor: str | None) -> tuple[Engine, dict]:
     """Run the online policy; returns the engine and its choice log."""
     engine = Engine(doc, feedback=True)
     engine.index.build()
     choices: dict[str, list[str]] = {query: [] for query in queries}
     for _ in range(FEEDBACK_ROUNDS):
         for query in queries:
-            engine.query(query, parallelism=parallelism)
+            engine.query(query, executor=executor)
             choices[query].append(engine._last_strategy)
     return engine, choices
 
 
 def regret_rows(engine: Engine, sweep_means, choices, strategies,
-                parallelism: int | None) -> tuple[list[dict], dict]:
+                executor: str | None) -> tuple[list[dict], dict]:
     """Per-query policy costs (decision-priced) and the aggregate."""
     rows = []
     totals = {"feedback_ms": 0.0, "best_static_ms": 0.0,
@@ -131,7 +130,7 @@ def regret_rows(engine: Engine, sweep_means, choices, strategies,
     for query, chosen in choices.items():
         arms = engine.stats_store.arms(
             normalize_query_text(query), fingerprint,
-            parallelism if parallelism is not None else 1)
+            executor if executor is not None else "serial")
         online = {s: arm.mean_ms for s, arm in arms.items()
                   if arm.successes}
         assert set(chosen) <= set(online)
@@ -168,11 +167,11 @@ def test_feedback_regret_within_10pct_and_overhead_within_3pct():
 
     # -- parallel phase: partition-parallel vs serial merged scan ------
     par_means = static_means(doc, (PARALLEL_QUERY,), PARALLEL_STRATEGIES,
-                             PARALLELISM)
+                             PARALLEL_EXECUTOR)
     par_engine, par_choices = run_feedback_policy(doc, (PARALLEL_QUERY,),
-                                                  PARALLELISM)
+                                                  PARALLEL_EXECUTOR)
     par_rows, par_totals = regret_rows(par_engine, par_means, par_choices,
-                                       PARALLEL_STRATEGIES, PARALLELISM)
+                                       PARALLEL_STRATEGIES, PARALLEL_EXECUTOR)
     rows.extend(par_rows)
     for key, value in par_totals.items():
         totals[key] += value

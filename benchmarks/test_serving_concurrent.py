@@ -109,7 +109,7 @@ def test_concurrent_service_beats_serial_by_2x():
     catalog.register("main", doc)
     service = QueryService(catalog, workers=WORKERS,
                            max_queue=max(64, N_REQUESTS),
-                           result_cache_size=64)
+                           result_cache={"max_entries": 64})
     for text in QUERY_MIX:  # identical warmup: plans hot, results cold
         service.query(text)
     started = time.perf_counter()
@@ -168,7 +168,7 @@ def test_unique_params_mode_reports_honest_execution_qps():
     catalog.register("main", doc)
     service = QueryService(catalog, workers=WORKERS,
                            max_queue=max(64, n_requests),
-                           result_cache_size=64)
+                           result_cache={"max_entries": 64})
     service.query(text, params=bindings[0])    # identical warmup
     started = time.perf_counter()
     futures = [service.submit(text, params=params, timeout_ms=60_000)

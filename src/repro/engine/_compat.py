@@ -1,80 +1,52 @@
 """One-release compatibility shims for the unified query-call API.
 
-PR 7 made the query options — ``strategy`` / ``params`` /
-``timeout_ms`` / ``parallelism`` and the diagnostics knobs — strictly
-keyword-only on every call surface (``Engine.query``,
-``Database.query``, ``PreparedQuery.execute``, ``QueryService.submit``
-and the network ``Client.query``), so the five surfaces expose
-*identical* signatures (a contract test pins this).  Positional call
-sites from earlier releases keep working for one release through
-:func:`absorb_positional`, which maps leading positional values onto
-their keywords and emits a :class:`DeprecationWarning`.
+The PR 7 positional-options shim (``absorb_positional``) and the PR 9
+``parallelism=`` → ``executor=`` shim (``absorb_executor``) both served
+their one release and are gone: the five query surfaces
+(``Engine.query``, ``Database.query``, ``PreparedQuery.execute``,
+``QueryService.submit``, ``Client.query``) now reject positional
+options and ``parallelism=`` with a plain :class:`TypeError`, exactly
+like any other unknown argument — the contract test pins this.
 
-PR 9 redesigned the parallel-execution knob: ``parallelism: int`` was
-replaced by the unified ``executor=`` backend spec
-(:mod:`repro.engine.backend`) on the same five surfaces.
-:func:`absorb_executor` keeps old ``parallelism=N`` call sites working
-for one release by mapping them onto the equivalent thread backend with
-a :class:`DeprecationWarning`.
+What lives here now is the current one-release shim:
+:func:`absorb_result_cache` maps the retired entry-count knob
+``result_cache_size=N`` onto the byte-accounted ``result_cache=`` spec
+(:mod:`repro.serve.cachepolicy`) with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import warnings
+from typing import Any
 
-from repro.engine.backend import (ExecutionBackend, backend_from_parallelism,
-                                  resolve_backend)
 from repro.errors import UsageError
 
-__all__ = ["absorb_positional", "absorb_executor"]
+__all__ = ["absorb_result_cache"]
+
+_SENTINEL = object()
 
 
-def absorb_executor(surface: str,
-                    executor: ExecutionBackend | str | None,
-                    parallelism: int | None,
-                    strategy: str = "auto") -> ExecutionBackend:
-    """Resolve the ``executor=`` spec, honouring the deprecated
-    ``parallelism=`` integer for one release.
+def absorb_result_cache(surface: str, result_cache: Any,
+                        result_cache_size: int | None) -> Any:
+    """Honour the deprecated ``result_cache_size=`` knob for one release.
 
-    ``parallelism=N`` maps onto ``executor="threads:N"`` (serial for
-    ``N <= 1``) with a :class:`DeprecationWarning`; passing both knobs
-    is an error rather than a silent precedence rule.
+    ``result_cache_size=N`` maps onto ``result_cache={"max_entries": N}``
+    — the old entry-count semantics under the new byte-accounted
+    storage (the default byte budget still applies on top).  Passing
+    both knobs is an error rather than a silent precedence rule.
     """
-    if parallelism is not None:
-        if executor is not None:
-            raise UsageError(
-                f"{surface}() got both executor= and the deprecated "
-                "parallelism=; pass only executor=")
-        warnings.warn(
-            f"parallelism= is deprecated for {surface}(); pass "
-            f"executor=\"threads:{parallelism}\" (or \"serial\" / "
-            "\"processes:N\") — the spelling shared by Engine.query, "
-            "Database.query, PreparedQuery.execute, QueryService.submit "
-            "and the network Client.query",
-            DeprecationWarning, stacklevel=3)
-        return backend_from_parallelism(parallelism, strategy)
-    return resolve_backend(executor, strategy)
-
-
-def absorb_positional(surface: str, names: tuple[str, ...],
-                      args: tuple, current: tuple) -> tuple:
-    """Map deprecated positional option values onto their keywords.
-
-    ``names`` is the pre-unification positional order, ``current`` the
-    keyword values the call actually passed (signature defaults where
-    it did not).  Positional values win over their keyword twins — the
-    historical call sites this shim exists for never passed both.
-    Returns the merged value tuple in ``names`` order.
-    """
-    if len(args) > len(names):
+    if result_cache_size is None:
+        return result_cache
+    if result_cache is not None:
         raise UsageError(
-            f"{surface}() takes at most {len(names)} deprecated positional "
-            f"options ({', '.join(names)}), got {len(args)}")
-    taken = ", ".join(names[:len(args)])
+            f"{surface}() got both result_cache= and the deprecated "
+            "result_cache_size=; pass only result_cache=")
     warnings.warn(
-        f"passing {taken} positionally to {surface}() is deprecated; "
-        "these options are keyword-only — the spelling shared by "
-        "Engine.query, Database.query, PreparedQuery.execute, "
-        "QueryService.submit and the network Client.query",
+        f"result_cache_size= is deprecated for {surface}(); pass "
+        f"result_cache={{'max_entries': {result_cache_size}}} (or a "
+        "byte budget like result_cache=\"16mb\", or 0 to disable) — "
+        "see repro.serve.cachepolicy.resolve_result_cache",
         DeprecationWarning, stacklevel=3)
-    return args + current[len(args):]
+    if result_cache_size == 0:
+        return 0
+    return {"max_entries": result_cache_size}

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro.errors import ReproError
 
 __all__ = ["ExecutionBackend", "BACKEND_KINDS", "DEFAULT_PARALLEL_WORKERS",
-           "resolve_backend", "backend_from_parallelism"]
+           "resolve_backend"]
 
 BACKEND_KINDS = ("serial", "threads", "processes")
 
@@ -102,18 +102,3 @@ def resolve_backend(executor: "ExecutionBackend | str | None",
     raise ReproError(
         f"executor= expects an ExecutionBackend or backend name, "
         f"got {type(executor).__name__}")
-
-
-def backend_from_parallelism(parallelism: int | None,
-                             strategy: str = "auto") -> ExecutionBackend:
-    """Map a legacy ``parallelism=`` integer onto the new spec.
-
-    The old contract was ``parallelism=N`` meaning "N thread
-    partitions"; ``N <= 1`` meant serial.  Used only by the
-    deprecation shim in :mod:`repro.engine._compat`.
-    """
-    if parallelism is None:
-        return resolve_backend(None, strategy)
-    if parallelism <= 1:
-        return ExecutionBackend()
-    return ExecutionBackend("threads", parallelism)

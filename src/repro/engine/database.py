@@ -44,7 +44,6 @@ from repro.xmlkit.stats import DocumentStats, compute_stats
 from repro.xmlkit.storage import ScanCounters
 from repro.xmlkit.tree import Document
 from repro.xmlkit.update import DocumentUpdater
-from repro.engine._compat import absorb_positional
 from repro.engine.backend import ExecutionBackend
 from repro.engine.prepared import PreparedQuery
 from repro.engine.result import QueryResult
@@ -125,7 +124,7 @@ class Database:
     # Queries and updates.
     # ------------------------------------------------------------------
 
-    def query(self, text: str, *args,
+    def query(self, text: str, *,
               strategy: str = "auto",
               counters: ScanCounters | None = None,
               work_budget: int | None = None,
@@ -133,8 +132,7 @@ class Database:
               tracer: Tracer | None = None,
               params: dict | None = None,
               timeout_ms: float | None = None,
-              executor: ExecutionBackend | str | None = None,
-              parallelism: int | None = None) -> QueryResult:
+              executor: ExecutionBackend | str | None = None) -> QueryResult:
         """Evaluate a query (see :meth:`Engine.query` for the options —
         the signatures are identical: the same keyword-only
         ``strategy`` / ``params`` / ``timeout_ms`` / ``executor``
@@ -146,13 +144,6 @@ class Database:
         When the slow-query log is enabled the call is timed and,
         past the threshold, recorded with plan and counters.
         """
-        if args:
-            strategy, counters, work_budget, trace, tracer = \
-                absorb_positional(
-                    "Database.query",
-                    ("strategy", "counters", "work_budget", "trace",
-                     "tracer"),
-                    args, (strategy, counters, work_budget, trace, tracer))
         self._wire_pools()
         if self.slow_log is None:
             return self.engine.query(text, strategy=strategy,
@@ -160,8 +151,7 @@ class Database:
                                      work_budget=work_budget,
                                      trace=trace, tracer=tracer,
                                      params=params, timeout_ms=timeout_ms,
-                                     executor=executor,
-                                     parallelism=parallelism)
+                                     executor=executor)
         counters = counters if counters is not None else ScanCounters()
         before = counters.snapshot()
         started = time.perf_counter_ns()
@@ -171,8 +161,7 @@ class Database:
                                        work_budget=work_budget,
                                        trace=trace, tracer=tracer,
                                        params=params, timeout_ms=timeout_ms,
-                                       executor=executor,
-                                       parallelism=parallelism)
+                                       executor=executor)
         finally:
             elapsed_ms = (time.perf_counter_ns() - started) / 1e6
             snapshot = counters.snapshot()
@@ -181,17 +170,13 @@ class Database:
                                   elapsed_ms, delta)
         return result
 
-    def prepare(self, text: str, *args, strategy: str = "auto",
-                executor: ExecutionBackend | str | None = None,
-                parallelism: int | None = None) -> PreparedQuery:
+    def prepare(self, text: str, *, strategy: str = "auto",
+                executor: ExecutionBackend | str | None = None
+                ) -> PreparedQuery:
         """Compile once for repeated execution (see :meth:`Engine.prepare`)."""
-        if args:
-            (strategy,) = absorb_positional(
-                "Database.prepare", ("strategy",), args, (strategy,))
         self._wire_pools()
         return self.engine.prepare(text, strategy=strategy,
-                                   executor=executor,
-                                   parallelism=parallelism)
+                                   executor=executor)
 
     def _wire_pools(self) -> None:
         """Point the engine's scan executors at the database-owned pools.
@@ -307,7 +292,8 @@ class Database:
     def serve(self, workers: int = 4, *,
               max_queue: int = 64,
               default_timeout_ms: float | None = None,
-              result_cache_size: int = 256) -> QueryService:
+              result_cache=None,
+              result_cache_size: int | None = None) -> QueryService:
         """Start (or return) the concurrent query service for this
         database.
 
@@ -315,15 +301,20 @@ class Database:
         :class:`~repro.serve.catalog.Catalog` (registered as
         ``"main"``); queries go through a bounded worker pool with
         admission control and per-query deadlines, and updates through
-        copy-on-write snapshot batches — see :mod:`repro.serve`.  The
-        service is owned by the database: :meth:`close` drains and
-        stops it.  Calling ``serve()`` again while the service runs
-        returns the same instance (the knobs of the first call win).
+        copy-on-write snapshot batches — see :mod:`repro.serve`.
+        ``result_cache`` configures the byte-accounted result cache
+        (see :func:`repro.serve.cachepolicy.resolve_result_cache`; the
+        deprecated entry-count ``result_cache_size=`` still maps for
+        one release).  The service is owned by the database:
+        :meth:`close` drains and stops it.  Calling ``serve()`` again
+        while the service runs returns the same instance (the knobs of
+        the first call win).
         """
         if self._closed:
             raise UsageError("database is closed")
         if self._service is not None and not self._service.closed:
             return self._service
+        from repro.engine._compat import absorb_result_cache
         from repro.serve.catalog import Catalog
         from repro.serve.service import QueryService
 
@@ -333,7 +324,8 @@ class Database:
         self._service = QueryService(
             catalog, workers=workers, max_queue=max_queue,
             default_timeout_ms=default_timeout_ms,
-            result_cache_size=result_cache_size,
+            result_cache=absorb_result_cache("Database.serve", result_cache,
+                                             result_cache_size),
             slow_log=self.slow_log)
         return self._service
 

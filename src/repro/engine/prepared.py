@@ -23,8 +23,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import BindingError
-from repro.engine._compat import absorb_executor, absorb_positional
-from repro.engine.backend import ExecutionBackend
+from repro.engine.backend import ExecutionBackend, resolve_backend
 from repro.engine.compiler import CompiledQuery
 from repro.engine.optimizer import PlanChoice
 from repro.pattern.artifact import PatternArtifacts
@@ -153,32 +152,22 @@ class PreparedQuery:
         """The optimizer's current choice, for introspection."""
         return str(self._plan.choice)
 
-    def execute(self, *args, params: dict | None = None,
+    def execute(self, *, params: dict | None = None,
                 counters=None, work_budget: int | None = None,
                 trace: bool = False, tracer=None,
                 timeout_ms: float | None = None,
-                executor: ExecutionBackend | str | None = None,
-                parallelism: int | None = None):
+                executor: ExecutionBackend | str | None = None):
         """Run the prepared plan; see :meth:`Engine.query` for the
         tracing/budget/deadline knobs.  ``params`` maps parameter names
-        (without ``$``) to values — keyword-only, the unified spelling
-        shared by every query surface (a leading positional mapping
-        still works for one release with a :class:`DeprecationWarning`;
-        the pre-serving ``bindings=`` alias has been removed).
+        (without ``$``) to values — strictly keyword-only, the unified
+        spelling shared by every query surface (positional options and
+        the pre-serving ``bindings=`` alias raise :class:`TypeError`).
         ``executor`` overrides the backend pinned at prepare() time for
-        this call (the deprecated ``parallelism=N`` still maps).
+        this call (which re-plans through the plan cache).
         """
-        if args:
-            params, counters, work_budget, trace, tracer = \
-                absorb_positional(
-                    "PreparedQuery.execute",
-                    ("params", "counters", "work_budget", "trace",
-                     "tracer"),
-                    args, (params, counters, work_budget, trace, tracer))
         backend = None
-        if executor is not None or parallelism is not None:
-            backend = absorb_executor("PreparedQuery.execute", executor,
-                                      parallelism, self.strategy)
+        if executor is not None:
+            backend = resolve_backend(executor, self.strategy)
         return self._engine._execute_prepared(
             self, bindings=params, counters=counters,
             work_budget=work_budget, trace=trace, tracer=tracer,

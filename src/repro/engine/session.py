@@ -66,8 +66,7 @@ from repro.xmlkit.storage import CancellationToken, ScanCounters
 from repro.xmlkit.summary import StructuralSummary, build_summary
 from repro.xmlkit.tree import Document
 from repro.xquery.ast import FLWOR, QueryExpr
-from repro.engine._compat import absorb_executor, absorb_positional
-from repro.engine.backend import ExecutionBackend
+from repro.engine.backend import ExecutionBackend, resolve_backend
 from repro.engine.compiler import CompiledQuery, compile_query
 from repro.engine.construct import DirectEvaluator
 from repro.engine.executor import FLWORExecutor
@@ -269,7 +268,7 @@ class Engine:
     # Public API.
     # ------------------------------------------------------------------
 
-    def query(self, text: str | QueryExpr, *args,
+    def query(self, text: str | QueryExpr, *,
               strategy: str = "auto",
               counters: ScanCounters | None = None,
               work_budget: int | None = None,
@@ -277,17 +276,16 @@ class Engine:
               tracer: Tracer | None = None,
               params: dict | None = None,
               timeout_ms: float | None = None,
-              executor: ExecutionBackend | str | None = None,
-              parallelism: int | None = None) -> QueryResult:
+              executor: ExecutionBackend | str | None = None) -> QueryResult:
         """Evaluate a query and return its result sequence.
 
-        All options are keyword-only — the unified spelling shared by
-        :meth:`Database.query`, :meth:`PreparedQuery.execute`,
+        All options are strictly keyword-only — the unified spelling
+        shared by :meth:`Database.query`, :meth:`PreparedQuery.execute`,
         :meth:`QueryService.submit
         <repro.serve.service.QueryService.submit>` and the network
         :meth:`Client.query <repro.serve.client.Client.query>`
-        (positional options still work for one release with a
-        :class:`DeprecationWarning`).
+        (positional options and the pre-PR 9 ``parallelism=`` integer
+        now raise :class:`TypeError`).
 
         ``params`` binds the query's external ``$parameters`` (free
         variables) for this call — the same mapping
@@ -302,8 +300,7 @@ class Engine:
         the ``parallel`` strategy (partition-parallel merged scans,
         bit-identical to the serial scan by Theorem 1);
         ``strategy="parallel"`` forces it.  The backend key joins the
-        plan-cache key.  The deprecated ``parallelism=N`` still maps to
-        ``executor="threads:N"`` for one release.
+        plan-cache key.
 
         ``timeout_ms`` sets a cooperative deadline: the physical
         operators checkpoint a
@@ -323,24 +320,16 @@ class Engine:
         says whether this call ``hit``, ``miss``-ed, or ``bypass``-ed
         the cache (pre-parsed expressions are never cached).
         """
-        if args:
-            strategy, counters, work_budget, trace, tracer = \
-                absorb_positional(
-                    "Engine.query",
-                    ("strategy", "counters", "work_budget", "trace",
-                     "tracer"),
-                    args, (strategy, counters, work_budget, trace, tracer))
-        backend = absorb_executor("Engine.query", executor, parallelism,
-                                  strategy)
+        backend = resolve_backend(executor, strategy)
         return self._shell(
             lambda tr: self._plan_for(text, strategy, tr, backend),
             text, strategy, counters, work_budget, trace, tracer,
             bindings=params, timeout_ms=timeout_ms, backend=backend)
 
-    def prepare(self, text: str | QueryExpr, *args,
+    def prepare(self, text: str | QueryExpr, *,
                 strategy: str = "auto",
-                executor: ExecutionBackend | str | None = None,
-                parallelism: int | None = None) -> PreparedQuery:
+                executor: ExecutionBackend | str | None = None
+                ) -> PreparedQuery:
         """Compile ``text`` once for repeated execution.
 
         The full pipeline (parse → BlossomTree → NoK decomposition →
@@ -349,13 +338,9 @@ class Engine:
         on every ``execute(params=...)``.  Free ``$variables`` in the
         query become external parameters that ``execute`` must bind.
         ``executor`` is pinned into the prepared plan (same semantics
-        as :meth:`query`; the deprecated ``parallelism=N`` still maps).
+        as :meth:`query`).
         """
-        if args:
-            (strategy,) = absorb_positional(
-                "Engine.prepare", ("strategy",), args, (strategy,))
-        backend = absorb_executor("Engine.prepare", executor, parallelism,
-                                  strategy)
+        backend = resolve_backend(executor, strategy)
         plan, _status = self._plan_for(text, strategy, NULL_TRACER, backend)
         return PreparedQuery(self, text, strategy, plan,
                              self.stats_fingerprint(),

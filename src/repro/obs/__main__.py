@@ -102,6 +102,28 @@ def _cache_line(cache: dict | None) -> str:
             f"evictions {cache.get('evictions', 0)}  hit ratio {ratio_text}")
 
 
+def _ratio_text(ratio) -> str:
+    return "-" if ratio is None else f"{ratio:.2%}"
+
+
+def _result_cache_line(cache: dict) -> str:
+    """Render the byte-accounted result-cache section of ``stats()``."""
+    if not cache.get("enabled", True) and "size" not in cache:
+        return "disabled"
+    window = cache.get("window") or {}
+    audit = cache.get("audit") or {}
+    return (f"{cache.get('size', 0)} entries  "
+            f"{cache.get('bytes', 0)}/{cache.get('capacity_bytes', '?')} B  "
+            f"hits {cache.get('hits', 0)}  misses {cache.get('misses', 0)}  "
+            f"hit ratio {_ratio_text(cache.get('hit_ratio'))} "
+            f"(window {_ratio_text(window.get('hit_ratio'))})  "
+            f"evictions {cache.get('evictions', 0)}  "
+            f"expirations {cache.get('expirations', 0)}  "
+            f"invalidated {cache.get('invalidated', 0)} "
+            f"({audit.get('snapshots_invalidated', 0)} snapshots, "
+            f"{audit.get('survivors', 0)} audit survivors)")
+
+
 def render_statstore(snapshot: dict, top: int = 10) -> str:
     """Text tables over one :meth:`StatsStore.snapshot` dict."""
     lines = [f"runtime statistics: {snapshot.get('records', 0)} recorded "
@@ -154,7 +176,7 @@ def render_service(stats: dict, top: int = 10) -> str:
         lines.append(f"  counters: {pairs}")
     result_cache = stats.get("result_cache")
     if isinstance(result_cache, dict):
-        lines.append(f"  result cache: {_cache_line(result_cache)}")
+        lines.append(f"  result cache: {_result_cache_line(result_cache)}")
     for name, doc in sorted((stats.get("documents") or {}).items()):
         lines.append("")
         lines.append(f"document {name!r} (snapshot "

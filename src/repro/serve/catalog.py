@@ -278,7 +278,15 @@ class Catalog:
         return snapshot_id in self.live_ids(name)
 
     def on_retire(self, callback: Callable[[Snapshot], None]) -> None:
-        """Register a callback fired (outside the lock) per retirement."""
+        """Register a callback fired (outside the lock) per retirement.
+
+        Listeners run *synchronously* inside the retiring call
+        (``unpin``/``commit``), so cleanup they perform — the query
+        service invalidates the retired snapshot's result-cache entries
+        here, with an audit counter proving zero survivors — is
+        complete before the retire returns.  Keep listeners fast and
+        never have them re-enter the catalog lock.
+        """
         self._retire_listeners.append(callback)
 
     def plan_cache(self, name: str) -> PlanCache:

@@ -36,8 +36,7 @@ import socket
 import threading
 from typing import Any
 
-from repro.engine._compat import absorb_executor
-from repro.engine.backend import ExecutionBackend
+from repro.engine.backend import ExecutionBackend, resolve_backend
 from repro.engine.result import atom_text
 from repro.errors import ProtocolError, error_for_code
 from repro.serve.protocol import (
@@ -138,8 +137,8 @@ class RemotePrepared:
 
     def execute(self, *, params: dict | None = None,
                 timeout_ms: float | None = None,
-                executor: ExecutionBackend | str | None = None,
-                parallelism: int | None = None) -> ClientResult:
+                executor: ExecutionBackend | str | None = None
+                ) -> ClientResult:
         """Run the prepared statement (kwargs mirror every other
         query surface)."""
         frame: dict[str, Any] = {"type": "execute",
@@ -148,9 +147,8 @@ class RemotePrepared:
             frame["params"] = params
         if timeout_ms is not None:
             frame["timeout_ms"] = timeout_ms
-        if executor is not None or parallelism is not None:
-            frame["executor"] = absorb_executor(
-                "RemotePrepared.execute", executor, parallelism).key
+        if executor is not None:
+            frame["executor"] = resolve_backend(executor).key
         return self._client._roundtrip_result(frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -190,8 +188,8 @@ class Client:
     def query(self, text: str, *, doc: str | None = None,
               strategy: str = "auto", params: dict | None = None,
               timeout_ms: float | None = None,
-              executor: ExecutionBackend | str | None = None,
-              parallelism: int | None = None) -> ClientResult:
+              executor: ExecutionBackend | str | None = None
+              ) -> ClientResult:
         """Evaluate a query on the server — the remote twin of
         :meth:`QueryService.query <repro.serve.service.QueryService.query>`
         (identical keyword-only kwargs)."""
@@ -204,21 +202,19 @@ class Client:
             frame["params"] = params
         if timeout_ms is not None:
             frame["timeout_ms"] = timeout_ms
-        if executor is not None or parallelism is not None:
-            frame["executor"] = absorb_executor(
-                "Client.query", executor, parallelism, strategy).key
+        if executor is not None:
+            frame["executor"] = resolve_backend(executor, strategy).key
         return self._roundtrip_result(frame)
 
     def prepare(self, text: str, *, strategy: str = "auto",
-                executor: ExecutionBackend | str | None = None,
-                parallelism: int | None = None) -> RemotePrepared:
+                executor: ExecutionBackend | str | None = None
+                ) -> RemotePrepared:
         """Prepare a statement server-side; returns its handle object."""
         frame: dict[str, Any] = {"type": "prepare", "text": text}
         if strategy != "auto":
             frame["strategy"] = strategy
-        if executor is not None or parallelism is not None:
-            frame["executor"] = absorb_executor(
-                "Client.prepare", executor, parallelism, strategy).key
+        if executor is not None:
+            frame["executor"] = resolve_backend(executor, strategy).key
         reply = self._roundtrip(frame, expect="prepared")
         return RemotePrepared(self, reply["prepared"], text,
                               list(reply.get("parameters", [])))

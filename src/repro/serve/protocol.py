@@ -14,10 +14,9 @@ Request types (client → server)
         :meth:`QueryService.submit <repro.serve.service.QueryService.submit>`.
         ``executor`` travels as the canonical backend key string
         (``"serial"`` / ``"threads:4"`` / ``"processes:4"``, see
-        :class:`~repro.engine.backend.ExecutionBackend`); servers keep
-        accepting the pre-redesign ``parallelism`` integer from old
-        clients for one release and map it onto the equivalent thread
-        backend.
+        :class:`~repro.engine.backend.ExecutionBackend`).  The
+        pre-redesign ``parallelism`` integer field had its one-release
+        acceptance window and is now ignored.
     ``prepare`` / ``execute``
         Compile-once / execute-many over the wire: ``prepare`` answers
         with a server-side handle and the external ``$parameter``

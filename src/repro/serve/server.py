@@ -48,7 +48,6 @@ from repro.errors import (
     UsageError,
     wire_code,
 )
-from repro.engine.backend import backend_from_parallelism
 from repro.obs.metrics import REGISTRY
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -90,17 +89,12 @@ def _frame_executor(frame: dict[str, Any]) -> str | None:
     """Resolve a frame's execution-backend spec.
 
     v1 frames carry ``executor`` as the canonical backend key string
-    (``"serial"`` / ``"threads:4"`` / ``"processes:4"``).  A legacy
-    ``parallelism`` integer from pre-redesign clients still maps onto
-    the equivalent thread backend.
+    (``"serial"`` / ``"threads:4"`` / ``"processes:4"``).  The legacy
+    ``parallelism`` integer field served its one-release deprecation
+    window and is no longer mapped — pre-redesign clients must send
+    ``executor`` keys.
     """
-    executor = frame.get("executor")
-    if executor is not None:
-        return executor
-    parallelism = frame.get("parallelism")
-    if parallelism is not None:
-        return backend_from_parallelism(parallelism).key
-    return None
+    return frame.get("executor")
 
 
 class _Connection:

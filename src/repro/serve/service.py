@@ -33,13 +33,13 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import deque
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import Future
 from dataclasses import dataclass
 
-from repro.engine._compat import absorb_executor
-from repro.engine.backend import ExecutionBackend
+from repro.engine._compat import absorb_result_cache
+from repro.engine.backend import ExecutionBackend, resolve_backend
 from repro.engine.plancache import normalize_query_text
 from repro.engine.result import QueryResult
 from repro.errors import (
@@ -51,6 +51,11 @@ from repro.errors import (
 )
 from repro.obs.metrics import REGISTRY
 from repro.obs.slowlog import SlowQueryLog
+from repro.serve.cachepolicy import (
+    ENTRY_OVERHEAD_BYTES,
+    ResultCacheStorage,
+    resolve_result_cache,
+)
 from repro.serve.catalog import Catalog
 from repro.serve.snapshot import Snapshot, SnapshotUpdater
 from repro.xmlkit.tree import Document
@@ -187,8 +192,17 @@ class QueryService:
         :class:`~repro.errors.ServiceOverloadedError`.
     default_timeout_ms:
         Deadline applied when a call does not pass ``timeout_ms``.
-    result_cache_size:
-        Entries in the snapshot-keyed result cache (0 disables it).
+    result_cache:
+        Spec for the snapshot-keyed result cache (see
+        :func:`repro.serve.cachepolicy.resolve_result_cache`):
+        ``None`` for the default byte-budgeted LRU, ``0``/``"off"`` to
+        disable, a byte budget (``int`` or ``"16mb"``), a knob mapping
+        (``max_bytes`` / ``max_entries`` / ``ttl_s`` /
+        ``max_entry_bytes`` / ``adaptive``), a
+        :class:`~repro.serve.cachepolicy.CachePolicy` or a prebuilt
+        :class:`~repro.serve.cachepolicy.ResultCacheStorage`.  The
+        deprecated ``result_cache_size=N`` (entry count) still maps for
+        one release.
     default_document:
         Name used when calls omit ``doc`` (and for registering a
         non-catalog ``source``).
@@ -205,7 +219,8 @@ class QueryService:
     def __init__(self, source: Catalog | Document | str, *,
                  workers: int = 4, max_queue: int = 64,
                  default_timeout_ms: float | None = None,
-                 result_cache_size: int = 256,
+                 result_cache=None,
+                 result_cache_size: int | None = None,
                  default_document: str = "main",
                  slow_query_ms: float | None = None,
                  slow_log: SlowQueryLog | None = None,
@@ -239,9 +254,12 @@ class QueryService:
             thread_workers=max(2, workers),
             thread_name_prefix="repro-scan")
 
-        self._result_cache_size = result_cache_size
-        self._result_lock = threading.Lock()
-        self._result_cache: OrderedDict[tuple, QueryResult] = OrderedDict()
+        #: Policy/storage result cache (``None`` when disabled).  The
+        #: catalog's retire hook invalidates synchronously, so a retired
+        #: snapshot's entries are gone before ``commit`` returns.
+        self.result_cache: ResultCacheStorage | None = resolve_result_cache(
+            absorb_result_cache("QueryService", result_cache,
+                                result_cache_size))
         self.catalog.on_retire(self._purge_results)
 
         self.slow_log = (slow_log if slow_log is not None
@@ -273,17 +291,15 @@ class QueryService:
                timeout_ms: float | None = None,
                trace: bool = False,
                executor: ExecutionBackend | str | None = None,
-               parallelism: int | None = None,
                client: str | None = None) -> Future:
         """Enqueue one query; returns a future of :class:`ServeResult`.
 
         An identical un-parameterized, un-traced request already queued
         or executing is *coalesced*: the same future is returned and the
         query runs once.  ``executor`` selects the intra-query execution
-        backend (see :meth:`Engine.query`; the deprecated
-        ``parallelism=N`` still maps); partition scans run on scan pools
-        the service owns, separate from the serve workers, so parallel
-        queries never deadlock against admission control.
+        backend (see :meth:`Engine.query`); partition scans run on scan
+        pools the service owns, separate from the serve workers, so
+        parallel queries never deadlock against admission control.
         ``client`` is an opaque caller identity (the network server
         passes connection#request ids) that tags slow-query records.
         Raises :class:`~repro.errors.ServiceOverloadedError` when the
@@ -297,9 +313,7 @@ class QueryService:
         """
         request = self._request(text, doc, strategy, params,
                                 timeout_ms, trace,
-                                absorb_executor("QueryService.submit",
-                                                executor, parallelism,
-                                                strategy),
+                                resolve_backend(executor, strategy),
                                 client)
         fast = self._try_static_empty(request)
         if fast is not None:
@@ -311,19 +325,17 @@ class QueryService:
               timeout_ms: float | None = None,
               trace: bool = False,
               executor: ExecutionBackend | str | None = None,
-              parallelism: int | None = None,
               client: str | None = None) -> ServeResult:
         """Synchronous :meth:`submit` — blocks for the result."""
         return self.submit(text, doc=doc, strategy=strategy, params=params,
                            timeout_ms=timeout_ms, trace=trace,
-                           executor=executor,
-                           parallelism=parallelism, client=client).result()
+                           executor=executor, client=client).result()
 
     def query_batch(self, queries: Iterable[str | Mapping], *,
                     doc: str | None = None, strategy: str = "auto",
                     timeout_ms: float | None = None,
-                    executor: ExecutionBackend | str | None = None,
-                    parallelism: int | None = None) -> list[ServeResult]:
+                    executor: ExecutionBackend | str | None = None
+                    ) -> list[ServeResult]:
         """Submit a batch atomically and wait for every result.
 
         ``queries`` items are query strings or mappings with ``text``
@@ -343,9 +355,7 @@ class QueryService:
                 spec["text"], spec.get("doc", doc),
                 spec.get("strategy", strategy), spec.get("params"),
                 spec.get("timeout_ms", timeout_ms), False,
-                absorb_executor("QueryService.query_batch",
-                                spec.get("executor", executor),
-                                spec.get("parallelism", parallelism),
+                resolve_backend(spec.get("executor", executor),
                                 spec.get("strategy", strategy))))
         futures = self._enqueue(requests)
         return [future.result() for future in futures]
@@ -447,15 +457,13 @@ class QueryService:
         with self._cond:
             depth, inflight = len(self._queue), self._inflight_count
             busy_ns = self._busy_ns
-        with self._result_lock:
-            cached = len(self._result_cache)
+        cached = len(self.result_cache) if self.result_cache is not None else 0
         with self._count_lock:
             counts = dict(self._counts)
         uptime_s = max(time.perf_counter() - self._started, 1e-9)
         utilization = min(
             busy_ns / 1e9 / (uptime_s * len(self._workers)), 1.0)
         _UTILIZATION.set(utilization)
-        lookups = counts["result_cache_hits"] + counts["result_cache_misses"]
         documents = {}
         for name in self.catalog.names():
             documents[name] = {
@@ -471,14 +479,9 @@ class QueryService:
             "uptime_s": round(uptime_s, 3),
             "worker_utilization": round(utilization, 4),
             "counters": counts,
-            "result_cache": {
-                "size": cached,
-                "capacity": self._result_cache_size,
-                "hits": counts["result_cache_hits"],
-                "misses": counts["result_cache_misses"],
-                "hit_ratio": (round(counts["result_cache_hits"] / lookups, 4)
-                              if lookups else None),
-            },
+            "result_cache": (
+                self.result_cache.stats()
+                if self.result_cache is not None else {"enabled": False}),
             "documents": documents,
             "querylint": {
                 "enabled": getattr(self.catalog, "analyze_queries", True),
@@ -661,7 +664,7 @@ class QueryService:
             started = time.perf_counter()
             try:
                 cache_key = None
-                if request.key is not None and self._result_cache_size:
+                if request.key is not None and self.result_cache is not None:
                     cache_key = (request.doc, snapshot.snapshot_id,
                                  request.norm_text, request.strategy,
                                  request.executor.key)
@@ -733,10 +736,7 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _result_get(self, key: tuple) -> QueryResult | None:
-        with self._result_lock:
-            result = self._result_cache.get(key)
-            if result is not None:
-                self._result_cache.move_to_end(key)
+        result = self.result_cache.get(key)
         if result is None:
             _RESULT_MISSES.inc()
             self._count("result_cache_misses")
@@ -746,20 +746,33 @@ class QueryService:
         return result
 
     def _result_put(self, key: tuple, result: QueryResult) -> None:
-        with self._result_lock:
-            self._result_cache[key] = result
-            self._result_cache.move_to_end(key)
-            while len(self._result_cache) > self._result_cache_size:
-                self._result_cache.popitem(last=False)
+        storage = self.result_cache
+        nbytes = storage.sizer(result) + ENTRY_OVERHEAD_BYTES
+        # Feed the entry-size distribution the adaptive policy reads
+        # back; the document's stats store outlives snapshot churn.
+        try:
+            self.catalog.stats_store(key[0]).record_result_bytes(nbytes)
+        except UsageError:
+            pass    # document dropped while the request was in flight
+        storage.put(key, result, nbytes=nbytes)
+        new_budget = storage.policy.adapt(storage, self._stats_stores)
+        if new_budget is not None and new_budget != storage.max_bytes:
+            storage.resize(max_bytes=new_budget)
+
+    def _stats_stores(self) -> list:
+        return [self.catalog.stats_store(name)
+                for name in self.catalog.names()]
 
     def _purge_results(self, snapshot: Snapshot) -> None:
-        """Catalog retire hook: drop the retired snapshot's results."""
-        with self._result_lock:
-            doomed = [key for key in self._result_cache
-                      if key[0] == snapshot.name
-                      and key[1] == snapshot.snapshot_id]
-            for key in doomed:
-                del self._result_cache[key]
+        """Catalog retire hook: eagerly drop the snapshot's results.
+
+        Runs synchronously inside the retire notification — the audit
+        counters in the storage prove no entry of the retired snapshot
+        survives past this call.
+        """
+        if self.result_cache is not None:
+            self.result_cache.invalidate_snapshot(
+                snapshot.name, snapshot.snapshot_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.stats()

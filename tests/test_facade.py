@@ -122,13 +122,14 @@ def _five_surfaces():
 class TestUnifiedKeywords:
     """One spelling everywhere: the contract test pinning the redesigned
     v1 call surface.  ``strategy`` / ``params`` / ``timeout_ms`` /
-    ``executor`` (plus the one-release deprecated ``parallelism``
-    shim) must be spelled identically — and be keyword-only — on all
-    five query surfaces: ``Engine.query``, ``Database.query``,
+    ``executor`` must be spelled identically — and be keyword-only —
+    on all five query surfaces: ``Engine.query``, ``Database.query``,
     ``PreparedQuery.execute``, ``QueryService.submit`` and the network
-    ``Client.query``."""
+    ``Client.query``.  The one-release shims are gone: positional
+    options and ``parallelism=`` now raise a plain :class:`TypeError`
+    on every surface."""
 
-    UNIFIED = ("params", "timeout_ms", "executor", "parallelism")
+    UNIFIED = ("params", "timeout_ms", "executor")
 
     @pytest.mark.parametrize("owner, method",
                              _five_surfaces(),
@@ -140,11 +141,20 @@ class TestUnifiedKeywords:
         # surface takes it per call, spelled identically.
         wanted = self.UNIFIED if method == "execute" \
             else self.UNIFIED + ("strategy",)
+        where = f"{owner.__name__}.{method}"
         for name in wanted:
-            where = f"{owner.__name__}.{method}"
             assert name in sig.parameters, f"{where} is missing {name}"
             assert sig.parameters[name].kind is inspect.Parameter.KEYWORD_ONLY, \
                 f"{where}({name}=...) must be keyword-only"
+        # The PR 9 parallelism= shim completed its deprecation cycle.
+        assert "parallelism" not in sig.parameters, \
+            f"{where} still accepts the removed parallelism= kwarg"
+        # No *args escape hatch either: stray positionals must be a
+        # TypeError, not silently absorbed.
+        assert not any(
+            p.kind is inspect.Parameter.VAR_POSITIONAL
+            for p in sig.parameters.values()), \
+            f"{where} still absorbs positional options"
 
     @pytest.mark.parametrize("owner, method", [
         (Database, "explain_analyze"), (Engine, "explain_analyze")])
@@ -173,16 +183,23 @@ class TestUnifiedKeywords:
             with pytest.raises(TypeError, match="bindings"):
                 prepared.execute(bindings={"who": "Gray"})
 
-    def test_positional_options_are_deprecated_but_work(self):
+    def test_positional_options_are_a_type_error(self):
+        # The PR 7 positional-absorption shim completed its deprecation
+        # cycle: options are strictly keyword-only now.
         with repro.connect(LIBRARY) as db:
-            with pytest.warns(DeprecationWarning, match="keyword-only"):
-                result = db.query("//book/title", "naive")
-            assert len(result) == 3
+            with pytest.raises(TypeError):
+                db.query("//book/title", "naive")
             prepared = db.prepare("//book[author = $who]/title")
-            with pytest.warns(DeprecationWarning, match="keyword-only"):
-                assert len(prepared.execute({"who": "Gray"})) == 1
+            with pytest.raises(TypeError):
+                prepared.execute({"who": "Gray"})
 
-    def test_too_many_positionals_is_a_usage_error(self):
+    def test_parallelism_kwarg_is_a_type_error(self):
+        # The PR 9 parallelism= → executor= shim is gone too.
         with repro.connect(LIBRARY) as db:
-            with pytest.raises(UsageError, match="positional"):
-                db.query("//book", "auto", None, None, False, None, "extra")
+            with pytest.raises(TypeError, match="parallelism"):
+                db.query("//book", parallelism=4)
+            with pytest.raises(TypeError, match="parallelism"):
+                db.prepare("//book", parallelism=4)
+            service = db.serve(workers=1)
+            with pytest.raises(TypeError, match="parallelism"):
+                service.submit("//book", parallelism=4)

@@ -9,7 +9,7 @@ partition-order concatenation reproduce the serial scan exactly.
 
 import pytest
 
-from repro.errors import DNFError, PlanInvariantError, UsageError
+from repro.errors import DNFError, PlanInvariantError
 from repro.pattern import build_from_path, decompose
 from repro.physical import merged_scan
 from repro.physical.parallel_scan import parallel_merged_scan
@@ -308,14 +308,14 @@ class TestEngineParallelStrategy:
         assert "parallel" not in engine.last_plan
         assert [n.nid for n in serial] == [n.nid for n in parallel]
 
-    def test_parallelism_shim_warns_and_maps(self):
+    def test_parallelism_kwarg_is_removed(self):
+        # The one-release parallelism= → executor= shim is gone; the
+        # old spelling fails like any other unknown keyword.
         engine = self.make_engine(wide_doc(600))
-        baseline = engine.query("//book", executor="threads:4").items
-        with pytest.warns(DeprecationWarning, match="executor="):
-            legacy = engine.query("//book", parallelism=4).items
-        assert [n.nid for n in legacy] == [n.nid for n in baseline]
-        with pytest.raises(UsageError):
-            engine.query("//book", executor="threads:4", parallelism=4)
+        with pytest.raises(TypeError, match="parallelism"):
+            engine.query("//book", parallelism=4)
+        with pytest.raises(TypeError, match="parallelism"):
+            engine.prepare("//book", parallelism=4)
 
     def test_skewed_document_through_the_engine(self):
         engine = self.make_engine(skewed_doc(900))

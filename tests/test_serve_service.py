@@ -14,7 +14,13 @@ from repro.errors import (
     UsageError,
 )
 from repro.obs.metrics import REGISTRY
-from repro.serve import Catalog, QueryService, ServeResult
+from repro.serve import (
+    CachePolicy,
+    Catalog,
+    QueryService,
+    ResultCacheStorage,
+    ServeResult,
+)
 from repro.xmlkit.storage import CancellationToken, ScanCounters
 from repro.xmlkit.parser import parse
 
@@ -282,6 +288,100 @@ class TestCoalescingAndResultCache:
             second = service.query(q, params={"who": "Stevens"})
         assert not first.cached and not second.cached
         assert len(first) == len(second) == 1
+
+
+class TestCacheLifecycle:
+    """Storage-backed cache semantics: the retire audit, TTL expiry with
+    an injected clock, and the windowed-vs-lifetime hit ratio."""
+
+    def test_retire_drops_entries_eagerly_with_audit(self):
+        """The lifecycle bugfix regression: a publish retires the old
+        snapshot and its cached results must be *gone* — counter-backed
+        (audit survivors == 0), not merely unreachable — before the
+        retiring call returns, and a probe on the retired snapshot's key
+        must miss."""
+        with make_service(workers=2) as service:
+            storage = service.result_cache
+            queries = ("//book/title", "//book/author", "//shelf[book]")
+            for text in queries:
+                service.query(text)
+            retired_id = service.catalog.current("main").snapshot_id
+            assert len(storage) == len(queries)
+            stale_key = ("main", retired_id,
+                         normalize_query_text("//book/title"),
+                         "auto", "serial")
+            assert storage.get(stale_key) is not None
+
+            with service.updater() as up:
+                shelf = [c for c in up.doc.root.children
+                         if c.tag is not None][0]
+                up.delete_subtree(shelf)
+
+            # Eager, synchronous: zero entries the moment commit returns,
+            # with the audit proving the snapshot index covered them all.
+            assert len(storage) == 0
+            stats = storage.stats()
+            assert stats["invalidated"] == len(queries)
+            assert stats["audit"]["snapshots_invalidated"] >= 1
+            assert stats["audit"]["survivors"] == 0
+            assert stats["bytes"] == 0
+            assert storage.get(stale_key) is None
+            fresh = service.query("//book/title")
+            assert not fresh.cached and len(fresh) == 1
+
+    def test_ttl_expiry_with_injected_clock(self):
+        clock = {"now": 0.0}
+        storage = ResultCacheStorage(policy=CachePolicy(ttl_s=5.0),
+                                     clock=lambda: clock["now"])
+        with make_service(workers=1, result_cache=storage) as service:
+            first = service.query("//book/title")
+            clock["now"] = 4.0
+            warm = service.query("//book/title")      # inside the TTL
+            clock["now"] = 6.0
+            cold = service.query("//book/title")      # past it: re-runs
+        assert not first.cached and warm.cached and not cold.cached
+        stats = storage.stats()
+        assert stats["expirations"] == 1
+        assert stats["size"] == 1                     # the re-admitted run
+
+    def test_hit_ratio_window_resets_on_resize_and_clear(self):
+        """The stale-ratio bugfix: after a resize the windowed ratio
+        speaks only for the new configuration, while the lifetime ratio
+        keeps the full history."""
+        with make_service(workers=1) as service:
+            storage = service.result_cache
+            service.query("//book/title")             # miss
+            service.query("//book/title")             # hit
+            stats = storage.stats()
+            assert stats["hit_ratio"] == 0.5
+            assert stats["window"]["hit_ratio"] == 0.5
+
+            storage.resize(max_bytes=storage.max_bytes)
+            stats = storage.stats()
+            assert stats["hit_ratio"] == 0.5          # lifetime survives
+            assert stats["window"]["lookups"] == 0    # window starts over
+
+            service.query("//book/title")             # entry survived: hit
+            stats = storage.stats()
+            assert stats["window"]["hit_ratio"] == 1.0
+            assert stats["hit_ratio"] == pytest.approx(2 / 3, abs=1e-4)
+
+            storage.clear()
+            stats = storage.stats()
+            assert stats["size"] == 0
+            assert stats["window"]["lookups"] == 0
+            assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_oversized_results_are_rejected_not_admitted(self):
+        with make_service(
+                workers=1,
+                result_cache={"max_entry_bytes": 1}) as service:
+            first = service.query("//book/title")
+            second = service.query("//book/title")
+            stats = service.result_cache.stats()
+        assert not first.cached and not second.cached
+        assert stats["size"] == 0
+        assert stats["rejected"] >= 1
 
 
 class TestPlanInvalidationRace:

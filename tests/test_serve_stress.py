@@ -75,7 +75,8 @@ def test_concurrent_readers_match_serial_replay_exactly():
     catalog.register("main", build_library() if STRESS_PARALLELISM <= 1
                      else build_library(shelves=40, books=30))
     service = QueryService(catalog, workers=N_READERS,
-                           max_queue=256, result_cache_size=128)
+                           max_queue=256,
+                           result_cache={"max_entries": 128})
     deadline = time.monotonic() + STRESS_SECONDS
     stop = threading.Event()
     violations: list[str] = []
@@ -158,7 +159,8 @@ def test_plan_and_result_caches_stay_coherent_under_churn():
     match its snapshot even when served from the result cache."""
     catalog = Catalog()
     catalog.register("main", build_library())
-    service = QueryService(catalog, workers=4, result_cache_size=64)
+    service = QueryService(catalog, workers=4,
+                           result_cache={"max_entries": 64})
     stop = threading.Event()
     violations: list[str] = []
 
@@ -185,3 +187,69 @@ def test_plan_and_result_caches_stay_coherent_under_churn():
     thread.join(timeout=30)
     service.close()
     assert not violations, violations
+
+
+def test_cache_churn_under_byte_pressure_and_ttl():
+    """Cache-churn phase: a tiny byte budget plus a short TTL force
+    constant eviction/expiry while writers retire snapshots underneath.
+
+    Every miss re-executes; the differential check asserts the fresh
+    result is bit-identical to a serial replay on the served snapshot —
+    so eviction, expiry and retire-invalidation can never surface a
+    wrong answer, only a recomputation.  The storage's audit counters
+    must show zero entries surviving any snapshot retire.
+    """
+    catalog = Catalog()
+    catalog.register("main", build_library())
+    # A budget of ~4 entries' bytes and a TTL short enough to expire
+    # within the loop: both reclamation paths stay hot.
+    service = QueryService(
+        catalog, workers=4,
+        result_cache={"max_bytes": 2048, "ttl_s": 0.05})
+    storage = service.result_cache
+    stop = threading.Event()
+    violations: list[str] = []
+
+    def writer() -> None:
+        serial = 0
+        while not stop.is_set():
+            serial += 1
+            with catalog.updater("main") as up:
+                up.insert_subtree(elems(up.doc.root, "shelf")[0],
+                                  make_book(serial))
+            time.sleep(0.002)
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + min(STRESS_SECONDS, 2.0)
+    served_cached = served_fresh = 0
+    while time.monotonic() < deadline:
+        for text in QUERIES:
+            served = service.query(text, timeout_ms=30_000)
+            if served.cached:
+                served_cached += 1
+                continue
+            served_fresh += 1
+            replay = Engine(served.snapshot.doc).query(text)
+            if served.serialize() != replay.serialize():
+                violations.append(
+                    f"miss replay mismatch: {text!r} on snapshot "
+                    f"{served.snapshot_id}")
+                break
+        if violations:
+            break
+    stop.set()
+    thread.join(timeout=30)
+    service.close()
+
+    assert not violations, violations
+    assert served_fresh > 0, "cache churn never forced a re-execution"
+    stats = storage.stats()
+    # Both reclamation paths plus retire-invalidation actually ran.
+    assert stats["evictions"] + stats["expirations"] > 0, stats
+    assert stats["audit"]["snapshots_invalidated"] > 0, stats
+    # The tentpole invariant: no entry of any retired snapshot survived
+    # its invalidation (the audit scans the whole cache per retire).
+    assert stats["audit"]["survivors"] == 0, stats
+    # Byte accounting stayed consistent under the churn.
+    assert stats["bytes"] <= stats["capacity_bytes"]
